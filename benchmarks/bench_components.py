@@ -1,0 +1,72 @@
+"""Component micro-benchmarks: simulation throughput of the substrates.
+
+Unlike the figure benches these use real repetition — they are the numbers
+to watch when optimizing the pure-Python hot paths.
+"""
+
+import pytest
+
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.opt import compute_next_use
+from repro.btb.replacement.registry import make_policy
+from repro.core.profiler import profile_trace
+from repro.frontend.simulator import FrontendSimulator
+from repro.workloads.datacenter import make_app_trace
+
+TRACE_LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_app_trace("tomcat", length=TRACE_LENGTH)
+
+
+@pytest.fixture(scope="module")
+def stream(trace):
+    return btb_access_stream(trace)[0]
+
+
+@pytest.mark.parametrize("policy_name", ["lru", "srrip", "ghrp", "hawkeye"])
+def test_btb_replay_throughput(benchmark, trace, policy_name):
+    def run():
+        return run_btb(trace, BTB(BTBConfig(), make_policy(policy_name)))
+
+    stats = benchmark(run)
+    assert stats.accesses > 0
+
+
+def test_thermometer_replay_throughput(benchmark, trace):
+    from repro.core.pipeline import ThermometerPipeline
+    pipeline = ThermometerPipeline()
+    hints = pipeline.build_hints(trace)
+
+    def run():
+        return run_btb(trace, BTB(BTBConfig(), pipeline.policy(hints)))
+
+    stats = benchmark(run)
+    assert stats.accesses > 0
+
+
+def test_next_use_precomputation(benchmark, stream):
+    result = benchmark(compute_next_use, stream)
+    assert len(result) == len(stream)
+
+
+def test_opt_profiling(benchmark, trace):
+    profile = benchmark(profile_trace, trace, BTBConfig())
+    assert profile.num_branches > 0
+
+
+def test_trace_generation(benchmark):
+    trace = benchmark(make_app_trace, "tomcat", 0, TRACE_LENGTH)
+    assert len(trace) == TRACE_LENGTH
+
+
+def test_frontend_simulation_throughput(benchmark, trace):
+    def run():
+        sim = FrontendSimulator(btb=BTB(BTBConfig(), make_policy("lru")))
+        return sim.simulate(trace)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.cycles > 0

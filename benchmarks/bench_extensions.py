@@ -1,0 +1,221 @@
+"""Extension benchmarks: studies this library adds beyond the paper.
+
+* policy zoo — every implemented policy on one workload;
+* online vs offline Thermometer — the value of the OPT profile;
+* two-level BTB — hints on the contended small level;
+* 3C classification — the structure of the remaining misses.
+"""
+
+from repro.analysis.threec import classify_misses
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.hierarchy import TwoLevelBTB
+from repro.btb.replacement.registry import make_policy
+from repro.harness.reporting import format_table
+
+APP = "kafka"
+
+
+def test_policy_zoo(benchmark, harness):
+    trace = harness.trace(APP)
+    pcs, _ = btb_access_stream(trace)
+    hints = harness.hints(APP)
+
+    def run():
+        rows = []
+        for name in ("lru", "plru", "fifo", "random", "srrip", "brrip",
+                     "dip", "ship", "ghrp", "hawkeye",
+                     "thermometer-online"):
+            stats = harness.run_misses(trace, name)
+            rows.append([name, stats.misses])
+        rows.append(["thermometer",
+                     harness.run_misses(trace, "thermometer",
+                                        hints=hints).misses])
+        rows.append(["opt", harness.run_misses(trace, "opt").misses])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(["policy", "misses"],
+                       sorted(rows, key=lambda r: r[1], reverse=True)))
+    misses = dict(rows)
+    assert misses["opt"] == min(misses.values())
+    assert misses["thermometer"] < min(
+        v for k, v in misses.items() if k not in ("thermometer", "opt"))
+
+
+def test_online_vs_offline_thermometer(benchmark, harness):
+    trace = harness.trace(APP)
+    hints = harness.hints(APP)
+
+    def run():
+        online = harness.run_misses(trace, "thermometer-online").misses
+        offline = harness.run_misses(trace, "thermometer",
+                                     hints=hints).misses
+        lru = harness.run_misses(trace, "lru").misses
+        return lru, online, offline
+
+    lru, online, offline = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nlru={lru} online={online} offline={offline}")
+    # The offline profile buys a clear margin over in-hardware estimation.
+    assert offline < online <= lru * 1.02
+
+
+def test_two_level_btb_with_hints(benchmark, harness):
+    trace = harness.trace(APP)
+    hints = harness.hints(APP, btb_config=None)
+    pcs, targets = btb_access_stream(trace)
+
+    def run(l1_policy_name):
+        if l1_policy_name == "thermometer":
+            from repro.btb.replacement.thermometer import ThermometerPolicy
+            policy = ThermometerPolicy(hints, default_category=1)
+        else:
+            policy = make_policy(l1_policy_name)
+        two = TwoLevelBTB.build(l1_entries=1024, l2_entries=8192,
+                                l1_policy=policy)
+        for i in range(len(pcs)):
+            two.access(int(pcs[i]), int(targets[i]), i)
+        return two.stats
+
+    def run_both():
+        return run("lru"), run("thermometer")
+
+    lru_stats, therm_stats = benchmark.pedantic(run_both, rounds=1,
+                                                iterations=1)
+    print(f"\nL1 hit rate: lru={lru_stats.l1_hit_rate:.3f} "
+          f"thermometer={therm_stats.l1_hit_rate:.3f}")
+    # Hints help the small, contended level too.
+    assert therm_stats.l1_hit_rate > lru_stats.l1_hit_rate
+
+
+def test_3c_classification(benchmark, harness):
+    trace = harness.trace(APP)
+
+    def run():
+        return classify_misses(trace, config=harness.config.btb_config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + result.summary())
+    # LRU never makes a within-associativity mistake by the set-local
+    # stack-distance definition.
+    assert result.conflict == 0
+    assert result.total_misses > 0
+
+
+def test_compressed_btb_tradeoff(benchmark, harness):
+    """Partial-tag compression: smaller tags buy entries but alias.
+
+    Sweeps the tag width at constant storage and reports geometry, false
+    hits, and IPC — with Thermometer running on top of every variant
+    (the paper's 'orthogonal and combinable' claim, §5).
+    """
+    from repro.btb.compressed import (PartialTagBTB,
+                                      iso_storage_compressed_config)
+    from repro.btb.replacement.thermometer import ThermometerPolicy
+    from repro.frontend.simulator import FrontendSimulator
+
+    # verilator: the only model whose multi-MB footprint spans enough tag
+    # windows for narrow tags to alias (smaller apps fit one window).
+    trace = harness.trace("verilator")
+    base_config = harness.config.btb_config
+
+    def run():
+        rows = []
+        for tag_bits in (4, 6, 16):
+            config = iso_storage_compressed_config(base_config, tag_bits,
+                                                   hint_bits=2)
+            hints = harness.hints("verilator", btb_config=config)
+            btb = PartialTagBTB(config, ThermometerPolicy(
+                hints, default_category=1), tag_bits=tag_bits)
+            result = FrontendSimulator(btb=btb).simulate(trace)
+            rows.append([f"tag={tag_bits}b", config.entries,
+                         btb.false_hits, round(result.ipc, 4)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(["variant", "entries", "false_hits", "ipc"], rows))
+    by_tag = {row[0]: row for row in rows}
+    # Narrower tags must buy entries and cost aliases.
+    assert by_tag["tag=4b"][1] > by_tag["tag=16b"][1]
+    assert by_tag["tag=4b"][2] > by_tag["tag=16b"][2]
+
+
+def test_sampled_profiling_cost_accuracy(benchmark, harness):
+    """SimPoint-style sampled profiling — and its limits.
+
+    Extends Fig. 14's cost story, with a finding that *supports* the
+    paper's design: hit-to-taken is a holistic metric, so OPT-replaying
+    isolated intervals loses cross-phase reuse and degrades temperature
+    fidelity.  The sampled hints stay LRU-competitive at a fraction of the
+    profiling cost, but whole-run replay (the paper's choice) is what the
+    full quality requires.
+    """
+    import time
+
+    from repro.analysis.phases import sampled_profile, \
+        select_representatives
+    from repro.btb.btb import BTB, run_btb
+    from repro.btb.replacement.thermometer import ThermometerPolicy
+    from repro.core.hints import ThresholdQuantizer
+    from repro.core.temperature import TemperatureProfile
+
+    trace = harness.trace(APP)
+    config = harness.config.btb_config
+
+    def run():
+        start = time.perf_counter()
+        full = harness.profile(APP)
+        full_seconds = full.elapsed_seconds
+        selection = select_representatives(trace, k=6)
+        sampled = sampled_profile(trace, config, selection=selection)
+        sampled_seconds = time.perf_counter() - start
+        agreement = TemperatureProfile.from_opt_profile(full) \
+            .agreement_with(TemperatureProfile.from_opt_profile(sampled))
+        hints = ThresholdQuantizer().quantize(
+            TemperatureProfile.from_opt_profile(sampled),
+            default_category=1)
+        stats = run_btb(trace, BTB(config, ThermometerPolicy(
+            hints, default_category=1)))
+        lru = harness.run_misses(trace, "lru")
+        return (selection.sampled_fraction, agreement,
+                stats.misses, lru.misses)
+
+    fraction, agreement, misses, lru_misses = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    print(f"\nsampled fraction={fraction:.2f} "
+          f"temperature agreement={agreement:.2f} "
+          f"misses={misses} (lru {lru_misses})")
+    assert fraction < 0.75
+    # Interval-local replay retains only partial temperature fidelity...
+    assert 0.2 < agreement < 0.95
+    # ...but the resulting hints must stay LRU-competitive.
+    assert misses < lru_misses * 1.1
+
+
+def test_block_btb_organization(benchmark, harness):
+    """Block-oriented BTB (§5): tag sharing across same-block branches."""
+    from repro.btb.block_btb import BlockBTB, run_block_btb
+    from repro.btb.btb import BTB, run_btb
+    from repro.btb.replacement.lru import LRUPolicy
+    from repro.btb.config import BTBConfig
+
+    trace = harness.trace(APP)
+    config = BTBConfig(entries=2048, ways=4)
+
+    def run():
+        block = BlockBTB(config, LRUPolicy(), block_bytes=64,
+                         branches_per_entry=4)
+        block_stats = run_block_btb(trace, block)
+        branch_stats = run_btb(trace, BTB(config, LRUPolicy()))
+        return block, block_stats, branch_stats
+
+    block, block_stats, branch_stats = benchmark.pedantic(run, rounds=1,
+                                                          iterations=1)
+    print(f"\nblock entries cover {block.sharing_factor:.2f} branches "
+          f"each; hits: block={block_stats.hits} "
+          f"branch={branch_stats.hits} (equal entry counts)")
+    assert block.sharing_factor > 1.0
+    # With >1 branch per entry, the block organization reaches more
+    # branches from the same number of tags.
+    assert block_stats.hits > branch_stats.hits

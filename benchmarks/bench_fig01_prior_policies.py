@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 1: prior replacement policies vs OPT over LRU.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig01_prior_policies.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig1(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig1, harness)
+    avg = result.row("Avg")
+    opt = avg[result.columns.index("opt")]
+    srrip = avg[result.columns.index("srrip")]
+    # The motivating gap: OPT far ahead of the best prior policy.
+    assert opt > 2 * max(srrip, 0.1)

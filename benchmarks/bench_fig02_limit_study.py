@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 2: perfect BTB / BP / I-cache limit study.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig02_limit_study.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig2(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig2, harness)
+    avg = result.row("Avg")
+    btb = avg[result.columns.index("perfect_btb")]
+    bp = avg[result.columns.index("perfect_bp")]
+    # Perfect BTB is the dominant oracle on average (paper: 63.2 vs 11.3).
+    assert btb > bp

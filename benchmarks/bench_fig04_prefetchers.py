@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 4: BTB prefetching vs optimal replacement.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig04_prefetchers.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig4(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig4, harness)
+    avg = result.row("Avg")
+    perfect = avg[result.columns.index("perfect_btb")]
+    confluence = avg[result.columns.index("confluence_lru")]
+    # Prefetching alone remains far from the perfect-BTB limit.
+    assert perfect > 4 * max(confluence, 0.1)

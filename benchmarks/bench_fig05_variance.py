@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 5: transient vs holistic reuse variance.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig05_variance.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig5(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig5, harness)
+    avg = result.row("Avg")
+    ratio = avg[result.columns.index("ratio")]
+    # Paper: transient variance more than 2x holistic on average.
+    assert ratio > 1.5

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 6: hit-to-taken distribution under OPT.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig06_hit_to_taken.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig6(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig6, harness)
+    for row in result.rows:
+        values = row[1:]
+        # Sorted-descending temperature curve.
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 7: dynamic-execution CDF by temperature.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig07_dynamic_cdf.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig7(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig7, harness)
+    half_idx = result.columns.index("50%")
+    for row in result.rows:
+        # Hot half of unique branches covers most dynamic execution.
+        assert row[half_idx] > 60.0

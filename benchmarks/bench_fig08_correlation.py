@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 8: branch property vs temperature correlation.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig08_correlation.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig8(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig8, harness)
+    avg = result.row("Avg")
+    reuse = avg[result.columns.index("avg_reuse_distance")]
+    bias = avg[result.columns.index("bias")]
+    # Holistic reuse distance is the strong signal.
+    assert reuse > bias

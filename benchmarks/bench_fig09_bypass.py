@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 9: bypass ratio by temperature class under OPT.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig09_bypass.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig9(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig9, harness)
+    avg = result.row("Avg")
+    cold = avg[result.columns.index("cold")]
+    hot = avg[result.columns.index("hot")]
+    # Cold branches bypass far more often than hot ones.
+    assert cold > hot

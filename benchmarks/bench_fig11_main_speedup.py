@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 11 (headline): Thermometer vs priors vs OPT.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig11_main_speedup.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig11(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig11, harness)
+    avg = result.row("Avg")
+    col = result.columns.index
+    opt, therm = avg[col("opt")], avg[col("thermometer")]
+    priors = [avg[col(n)] for n in ("srrip", "ghrp", "hawkeye")]
+    assert opt >= therm
+    assert therm > max(priors)
+    # Thermometer captures a large share of the optimal speedup.
+    assert therm > 0.4 * opt

@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 12: BTB miss reduction over LRU.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig12_miss_reduction.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig12(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig12, harness)
+    avg = result.row("Avg")
+    col = result.columns.index
+    assert avg[col("opt")] >= avg[col("thermometer")] > avg[col("srrip")]

@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 13: generalization across application inputs.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig13_cross_input.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig13(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig13, harness, inputs=(1,))
+    avg = result.row("Avg")
+    col = result.columns.index
+    training = avg[col("therm_training_profile")]
+    srrip = avg[col("srrip")]
+    # A stale (different-input) profile still beats the best prior policy.
+    assert training > srrip

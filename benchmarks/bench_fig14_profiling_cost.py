@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 14: offline OPT-simulation cost.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig14_profiling_cost.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig14(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig14, harness)
+    seconds = result.column("seconds")[:-1]
+    # Offline analysis stays in interactive territory even in pure Python.
+    assert all(s < 120 for s in seconds)

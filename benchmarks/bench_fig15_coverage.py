@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 15: Thermometer replacement coverage.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig15_coverage.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig15(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig15, harness)
+    avg = result.row("Avg")
+    coverage = avg[result.columns.index("coverage")]
+    # Hints narrow the victim choice for a substantial share of decisions.
+    assert 20.0 < coverage <= 100.0

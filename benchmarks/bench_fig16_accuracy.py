@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 16: replacement accuracy (transient/holistic/both).
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig16_accuracy.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig16(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig16, harness)
+    avg = result.row("Avg")
+    col = result.columns.index
+    # Paper: holistic information beats transient-only decisions.  (See
+    # the figure note for the combined policy's known deviation.)
+    assert avg[col("holistic")] > avg[col("transient")]
+    assert avg[col("thermometer")] > avg[col("transient")]

@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 17: CBP-5-like suite, miss reduction over GHRP.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig17_cbp5.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig17(benchmark, harness):
+    from benchmarks.conftest import BENCH_CBP_COUNT, BENCH_LENGTH
+    result = run_figure(benchmark, experiments.fig17, harness,
+                        count=BENCH_CBP_COUNT, length=BENCH_LENGTH)
+    metrics = {row[0]: row[1] for row in result.rows}
+    assert metrics["wins_vs_ghrp"] >= metrics["losses_vs_ghrp"]
+    assert metrics["mean_reduction_pct_twofold"] >= \
+        metrics["mean_reduction_pct"] - 1.0

@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 18: IPC-1-like suite speedups.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig18_ipc1.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig18(benchmark, harness):
+    from benchmarks.conftest import BENCH_IPC_COUNT, BENCH_LENGTH
+    result = run_figure(benchmark, experiments.fig18, harness,
+                        count=BENCH_IPC_COUNT, length=BENCH_LENGTH)
+    avg = result.row("Avg")
+    col = result.columns.index
+    assert avg[col("opt")] >= avg[col("thermometer")] >= \
+        avg[col("srrip")] - 0.3

@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 19: BTB entries/ways sensitivity.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig19_btb_geometry.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig19(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig19, harness,
+                        apps=("cassandra", "tomcat"),
+                        entry_sweep=(2048, 8192, 32768),
+                        way_sweep=(4, 16, 64))
+    col = result.columns.index
+    rows = [r for r in result.rows if r[col("thermometer")] > 0]
+    # Thermometer retains more of OPT than SRRIP in the typical case.
+    better = sum(r[col("thermometer")] >= r[col("srrip")] for r in rows)
+    assert better >= len(rows) * 0.7

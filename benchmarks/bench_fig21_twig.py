@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 21: Thermometer under Twig BTB prefetching.
+
+Regenerates the figure at benchmark scale and checks its headline property;
+run with ``pytest benchmarks/bench_fig21_twig.py --benchmark-only -s`` to see
+the table.
+"""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig21(benchmark, harness):
+    result = run_figure(benchmark, experiments.fig21, harness)
+    avg = result.row("Avg")
+    col = result.columns.index
+    assert avg[col("thermometer")] > avg[col("srrip")]
+    assert avg[col("opt")] >= avg[col("thermometer")] - 0.5

@@ -1,0 +1,36 @@
+"""Shared state for the figure-regeneration benchmarks.
+
+Every ``bench_figNN`` benchmark regenerates one paper figure at a reduced
+trace length (override with ``REPRO_BENCH_LENGTH``; the full-length campaign
+is ``python -m repro.harness.reproduce --preset full``).  The harness is
+session-scoped so traces, OPT profiles, and LRU baselines are computed once
+and shared across figures, exactly as the reproduce driver does.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.runner import Harness, HarnessConfig
+
+#: Reduced per-app trace length for the benchmark campaign.
+BENCH_LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "120000"))
+#: Suite sizes for the CBP-5/IPC-1 benches.
+BENCH_CBP_COUNT = int(os.environ.get("REPRO_BENCH_CBP", "8"))
+BENCH_IPC_COUNT = int(os.environ.get("REPRO_BENCH_IPC", "5"))
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    return Harness(HarnessConfig(length=BENCH_LENGTH))
+
+
+def run_figure(benchmark, fig_func, *args, **kwargs):
+    """Run one figure exactly once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(fig_func, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Sensitivity of Thermometer to BTB geometry (a mini Fig. 19).
+
+Temperature hints are computed *per geometry* (§3.4 of the paper: the
+profile is target-dependent), so each point re-profiles under its own BTB
+before measuring how much of the optimal policy's speedup Thermometer and
+SRRIP retain.
+
+Run:  python examples/btb_size_sweep.py
+"""
+
+from repro import BTBConfig, Harness, HarnessConfig
+from repro.harness.reporting import format_table
+
+APP = "cassandra"
+ENTRY_SWEEP = (1024, 2048, 4096, 8192, 16384)
+
+harness = Harness(HarnessConfig(apps=(APP,), length=80_000))
+trace = harness.trace(APP)
+
+rows = []
+for entries in ENTRY_SWEEP:
+    config = BTBConfig(entries=entries, ways=4)
+    hints = harness.hints(APP, btb_config=config)
+    base = harness.run_sim(trace, "lru", btb_config=config)
+    opt = harness.speedup_pct(
+        harness.run_sim(trace, "opt", btb_config=config), base)
+    therm = harness.speedup_pct(
+        harness.run_sim(trace, "thermometer", hints=hints,
+                        btb_config=config), base)
+    srrip = harness.speedup_pct(
+        harness.run_sim(trace, "srrip", btb_config=config), base)
+    pct = (lambda x: round(100.0 * x / opt, 1) if opt > 0 else 0.0)
+    rows.append([f"{entries // 1024}K", round(opt, 2), round(therm, 2),
+                 round(srrip, 2), pct(therm), pct(srrip)])
+
+print(f"{APP}: % of optimal-policy speedup across BTB sizes\n")
+print(format_table(
+    ["entries", "opt_%", "therm_%", "srrip_%", "therm/opt_%",
+     "srrip/opt_%"], rows))
+print("\nPaper (Fig. 19): Thermometer beats SRRIP at every size and tracks "
+      "OPT more\nclosely as the BTB grows.")

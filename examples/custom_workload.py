@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Define a custom workload, persist its trace, and study its temperatures.
+
+Shows the extension surface a downstream user works with:
+
+* build a :class:`WorkloadSpec` from scratch (layout + dynamic mixture);
+* save/load the trace in the binary ``.btrc.gz`` format;
+* inspect the temperature distribution and cross-input hint stability.
+
+Run:  python examples/custom_workload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (SyntheticWorkload, ThermometerPipeline, TraceStats,
+                   WorkloadSpec, read_trace, write_trace)
+from repro.workloads import LayoutParams, MixParams
+
+# A mid-size service: a modest hot core, many warm callees, a long cold
+# tail that sweeps the BTB.
+spec = WorkloadSpec(
+    name="my-service",
+    layout=LayoutParams(
+        n_hot_loops=200, hot_loop_branches=(8, 20),
+        n_warm_funcs=150, n_cold_branches=2500,
+        loop_trips_max=16, region_gap_bytes=16),
+    mix=MixParams(
+        active_loops=60, core_loops=6, phase_len=10_000,
+        p_call=0.2, p_cold_burst=0.04, cold_burst_len=(20, 80)),
+    default_length=60_000)
+
+workload = SyntheticWorkload(spec)
+trace = workload.generate()
+print(TraceStats.from_trace(trace).summary())
+
+# Persist and reload — the profile pipeline consumes traces from disk in a
+# real deployment (Intel PT capture -> offline analysis machine).
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "my-service.btrc.gz"
+    write_trace(trace, path)
+    print(f"\nwrote {path.name}: {path.stat().st_size / 1024:.0f} KiB")
+    trace = read_trace(path)
+
+# Temperature structure under the optimal policy.
+pipeline = ThermometerPipeline()
+temps = pipeline.temperatures(trace)
+cold_frac, warm_frac, hot_frac = temps.class_fractions()
+print(f"\nunique taken branches: {len(temps)}")
+print(f"temperature classes: {hot_frac:.0%} hot, {warm_frac:.0%} warm, "
+      f"{cold_frac:.0%} cold")
+dyn = temps.dynamic_fractions()
+print(f"dynamic execution:   {dyn[2]:.0%} hot, {dyn[1]:.0%} warm, "
+      f"{dyn[0]:.0%} cold  (paper: hot branches ~90% of accesses)")
+
+# How stable are the hints across a different input?
+other_input = workload.generate(input_id=1)
+agreement = temps.agreement_with(pipeline.temperatures(other_input))
+print(f"\ncross-input temperature agreement: {agreement:.0%} "
+      f"(paper reports 81% for production apps)")

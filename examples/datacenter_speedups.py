@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""IPC speedups across data center applications (a mini Fig. 11).
+
+Runs the full decoupled-frontend timing model — FDIP run-ahead, I-cache
+hierarchy, TAGE-lite direction prediction — for several applications and
+reports each policy's IPC speedup over the LRU baseline, plus the fraction
+of the optimal policy's speedup that Thermometer captures.
+
+Run:  python examples/datacenter_speedups.py [app ...]
+"""
+
+import sys
+
+from repro import Harness, HarnessConfig
+from repro.harness.reporting import format_table
+
+DEFAULT_APPS = ("cassandra", "mysql", "python", "tomcat")
+
+
+def main(apps) -> None:
+    harness = Harness(HarnessConfig(apps=tuple(apps), length=80_000))
+    rows = []
+    for app in apps:
+        trace = harness.trace(app)
+        base = harness.lru_sim(app)
+        srrip = harness.run_sim(trace, "srrip")
+        therm = harness.run_sim(trace, "thermometer",
+                                hints=harness.hints(app))
+        opt = harness.run_sim(trace, "opt")
+        opt_pct = harness.speedup_pct(opt, base)
+        therm_pct = harness.speedup_pct(therm, base)
+        rows.append([
+            app,
+            round(base.ipc, 3),
+            round(harness.speedup_pct(srrip, base), 2),
+            round(therm_pct, 2),
+            round(opt_pct, 2),
+            round(100.0 * therm_pct / opt_pct, 1) if opt_pct > 0 else 0.0,
+        ])
+    print(format_table(
+        ["app", "lru_ipc", "srrip_%", "thermometer_%", "opt_%",
+         "therm_as_%_of_opt"], rows))
+    print("\nPaper reference: Thermometer averages 8.7% speedup, 83.6% of "
+          "the optimal\npolicy's 10.4% (Fig. 11).")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT_APPS)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Beyond the paper: the extension studies this library adds.
+
+* a **policy zoo** — every replacement policy on one workload;
+* **online Thermometer** — temperature estimated in hardware counters
+  instead of an offline profile (how much is the profile worth?);
+* **3C miss classification** — where the remaining misses come from;
+* a **two-level BTB** with hints on the small level;
+* **profile merging and drift** — the multi-run deployment story.
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro import (BTB, BTBConfig, ThermometerPipeline, make_app_trace,
+                   make_policy, run_btb)
+from repro.analysis import classify_misses
+from repro.btb import TwoLevelBTB, btb_access_stream
+from repro.core import merge_profiles, profile_drift, profile_trace
+from repro.core.temperature import TemperatureProfile
+from repro.core.hints import ThresholdQuantizer
+from repro.harness.reporting import format_table
+
+CONFIG = BTBConfig()
+trace = make_app_trace("kafka", length=100_000)
+pipeline = ThermometerPipeline(config=CONFIG)
+hints = pipeline.build_hints(trace)
+
+# ----------------------------------------------------------------- zoo --
+print("policy zoo (kafka, 8K-entry BTB)\n")
+rows = []
+pcs, _ = btb_access_stream(trace)
+for name in ("lru", "plru", "fifo", "random", "srrip", "brrip", "dip",
+             "ship", "ghrp", "hawkeye", "thermometer-online"):
+    stats = run_btb(trace, BTB(CONFIG, make_policy(name)))
+    rows.append([name, stats.misses, round(100 * stats.hit_rate, 2)])
+therm_stats = run_btb(trace, BTB(CONFIG, pipeline.policy(hints)))
+rows.append(["thermometer", therm_stats.misses,
+             round(100 * therm_stats.hit_rate, 2)])
+opt_stats = run_btb(trace, BTB(CONFIG, make_policy("opt", stream=pcs)))
+rows.append(["opt", opt_stats.misses, round(100 * opt_stats.hit_rate, 2)])
+rows.sort(key=lambda r: r[1], reverse=True)
+print(format_table(["policy", "misses", "hit_rate_%"], rows))
+
+# ------------------------------------------------------------------ 3C --
+print("\n3C classification of the LRU baseline's misses:")
+print(" ", classify_misses(trace, config=CONFIG).summary())
+
+# ------------------------------------------------------------ 2-level --
+two = TwoLevelBTB.build(l1_entries=1024, l2_entries=8192,
+                        l1_policy=pipeline.policy(hints))
+pcs, targets = btb_access_stream(trace)
+for i in range(len(pcs)):
+    two.access(int(pcs[i]), int(targets[i]), i)
+print(f"\ntwo-level BTB (1K hinted L1 + 8K L2): "
+      f"L1 hit {two.stats.l1_hit_rate:.1%}, "
+      f"overall hit {two.stats.overall_hit_rate:.1%}, "
+      f"true misses {two.stats.misses}")
+
+# ------------------------------------------------- merging and drift --
+inputs = [make_app_trace("kafka", input_id=i, length=60_000)
+          for i in (0, 1, 2)]
+profiles = [profile_trace(t, CONFIG) for t in inputs]
+merged = merge_profiles(profiles)
+merged_hints = ThresholdQuantizer().quantize(
+    TemperatureProfile.from_opt_profile(merged), default_category=1)
+merged_stats = run_btb(trace, BTB(CONFIG, pipeline.policy(merged_hints)))
+lru_stats = run_btb(trace, BTB(CONFIG, make_policy("lru")))
+print(f"\nhints merged from 3 inputs: {merged_stats.misses} misses "
+      f"(same-input profile: {therm_stats.misses}; "
+      f"LRU: {lru_stats.misses})")
+drift = profile_drift(profiles[0], profiles[1])
+print(f"profile drift input#0 -> input#1: "
+      f"{drift['category_change_rate']:.1%} category changes, "
+      f"{drift['new_branch_rate']:.1%} new branches")

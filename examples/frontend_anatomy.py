@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Where do the cycles go?  Frontend stall anatomy and limit study.
+
+Reproduces the paper's §2.2 argument on one application: break the LRU
+baseline's cycles into stall sources, then replace each frontend structure
+with a perfect oracle and compare (a per-app Fig. 2).
+
+Run:  python examples/frontend_anatomy.py [app]
+"""
+
+import sys
+
+from repro import BTB, BTBConfig, make_app_trace, simulate
+from repro.analysis import limit_study
+from repro.btb import LRUPolicy
+
+app = sys.argv[1] if len(sys.argv) > 1 else "mysql"
+trace = make_app_trace(app, length=80_000)
+
+baseline = simulate(trace, btb=BTB(BTBConfig(), LRUPolicy()))
+print(baseline.breakdown())
+print(f"\nBTB: hit rate {baseline.btb_stats.hit_rate:.1%}, "
+      f"{baseline.btb_stats.misses} misses; "
+      f"L2 instruction MPKI {baseline.l2_instruction_mpki:.2f}; "
+      f"FDIP hid {baseline.fdip_hide_rate:.0%} of I-cache fill latency")
+
+study = limit_study(trace)
+pct = study.as_percentages()
+print(f"\nlimit study ({app}):")
+print(f"  perfect BTB      +{pct['perfect_btb']:.1f}%")
+print(f"  perfect I-cache  +{pct['perfect_icache']:.1f}%")
+print(f"  perfect BP       +{pct['perfect_bp']:.1f}%")
+print("\nPaper (Fig. 2 averages): perfect BTB 63.2% >> perfect I-cache "
+      "21.5% > perfect BP 11.3%.\nA perfect BTB also lets FDIP hide most "
+      "I-cache misses, which is why the BTB\ndominates the other two "
+      "structures.")

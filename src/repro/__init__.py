@@ -1,0 +1,95 @@
+"""repro — a full reproduction of *Thermometer: Profile-Guided BTB
+Replacement for Data Center Applications* (Song et al., ISCA 2022).
+
+The package is organized bottom-up:
+
+* :mod:`repro.trace` — dynamic branch-trace data model and file formats;
+* :mod:`repro.workloads` — synthetic data-center workload generators (the
+  stand-in for the paper's proprietary Intel PT traces — see DESIGN.md);
+* :mod:`repro.btb` — the set-associative BTB and every replacement policy
+  studied (LRU, SRRIP, GHRP, Hawkeye, Belady-OPT, Thermometer, …);
+* :mod:`repro.core` — Thermometer's profile-guided pipeline: OPT profiling,
+  branch temperature, hint quantization;
+* :mod:`repro.frontend` — the decoupled-frontend (FDIP) timing model that
+  turns BTB behavior into IPC;
+* :mod:`repro.prefetch` — Confluence/Shotgun/Twig BTB prefetchers;
+* :mod:`repro.analysis` — the paper's §2 characterization analyses;
+* :mod:`repro.harness` — one runnable experiment per paper figure.
+
+Quickstart::
+
+    from repro import (make_app_trace, ThermometerPipeline, BTB,
+                       BTBConfig, run_btb, make_policy)
+
+    trace = make_app_trace("cassandra")
+    pipeline = ThermometerPipeline()
+    hints = pipeline.build_hints(trace)          # offline profile analysis
+    btb = BTB(BTBConfig(), pipeline.policy(hints))
+    stats = run_btb(trace, btb)                  # hardware replay
+    print(f"hit rate {stats.hit_rate:.3f}")
+"""
+
+from repro.trace import (BranchKind, BranchRecord, BranchTrace, TraceStats,
+                         read_trace, write_trace)
+from repro.workloads import (APPLICATIONS, SyntheticWorkload, WorkloadSpec,
+                             app_names, make_app_trace, make_app_workload,
+                             make_cbp5_suite, make_ipc1_suite)
+from repro.btb import (BTB, BTBConfig, BTBStats, BeladyOptimalPolicy,
+                       GHRPPolicy, HawkeyePolicy, LRUPolicy, SRRIPPolicy,
+                       ThermometerPolicy, btb_access_stream, make_policy,
+                       policy_names, run_btb)
+from repro.core import (HintMap, OptProfile, TemperatureProfile,
+                        ThermometerPipeline, ThresholdQuantizer,
+                        cross_validate_thresholds, profile_trace,
+                        thermometer_policy_for)
+from repro.frontend import (FrontendParams, FrontendSimulator, SimResult,
+                            simulate)
+from repro.harness import Harness, HarnessConfig, experiments
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATIONS",
+    "BTB",
+    "BTBConfig",
+    "BTBStats",
+    "BeladyOptimalPolicy",
+    "BranchKind",
+    "BranchRecord",
+    "BranchTrace",
+    "FrontendParams",
+    "FrontendSimulator",
+    "GHRPPolicy",
+    "Harness",
+    "HarnessConfig",
+    "HawkeyePolicy",
+    "HintMap",
+    "LRUPolicy",
+    "OptProfile",
+    "SRRIPPolicy",
+    "SimResult",
+    "SyntheticWorkload",
+    "TemperatureProfile",
+    "ThermometerPipeline",
+    "ThermometerPolicy",
+    "ThresholdQuantizer",
+    "TraceStats",
+    "WorkloadSpec",
+    "app_names",
+    "btb_access_stream",
+    "cross_validate_thresholds",
+    "experiments",
+    "make_app_trace",
+    "make_app_workload",
+    "make_cbp5_suite",
+    "make_ipc1_suite",
+    "make_policy",
+    "policy_names",
+    "profile_trace",
+    "read_trace",
+    "run_btb",
+    "simulate",
+    "thermometer_policy_for",
+    "write_trace",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Hit-to-taken distribution analyses (Figs. 6 and 7)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.core.profiler import profile_trace
+from repro.core.temperature import TemperatureProfile
+from repro.trace.record import BranchTrace
+
+__all__ = ["hit_to_taken_curve", "dynamic_cdf_curve", "temperature_regions"]
+
+
+def _temperatures(trace: BranchTrace,
+                  config: BTBConfig) -> TemperatureProfile:
+    return TemperatureProfile.from_opt_profile(profile_trace(trace, config))
+
+
+def hit_to_taken_curve(trace: BranchTrace,
+                       config: BTBConfig = DEFAULT_BTB_CONFIG
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fig. 6 for one application: x = % of unique taken branches sorted by
+    descending temperature, y = hit-to-taken % under OPT."""
+    return _temperatures(trace, config).sorted_curve()
+
+
+def dynamic_cdf_curve(trace: BranchTrace,
+                      config: BTBConfig = DEFAULT_BTB_CONFIG
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fig. 7 for one application: cumulative % of dynamic execution covered
+    by the hottest x% of unique branches."""
+    return _temperatures(trace, config).dynamic_cdf()
+
+
+def temperature_regions(xs: np.ndarray, ys: np.ndarray,
+                        thresholds: Sequence[float] = (50.0, 80.0)
+                        ) -> Tuple[float, ...]:
+    """Where the hot/warm/cold region boundaries fall on a Fig. 6 curve.
+
+    Returns, for each threshold (descending through the sorted curve), the
+    percentage of unique branches that lie at or above it — e.g. with the
+    default thresholds, ``(hot_pct, hot_plus_warm_pct)``.
+    """
+    if len(xs) == 0:
+        return tuple(0.0 for _ in thresholds)
+    boundaries = []
+    for threshold in sorted(thresholds, reverse=True):
+        above = ys > threshold
+        boundaries.append(float(xs[above][-1]) if above.any() else 0.0)
+    return tuple(boundaries)

@@ -1,0 +1,66 @@
+"""Frontend limit studies (§2.2, Figs. 2 and 3).
+
+How much is each frontend structure worth?  Replace one structure at a time
+with a perfect oracle and measure the IPC gain over the realistic baseline.
+The paper's headline: a perfect BTB (63.2% mean) is worth roughly 3× a
+perfect I-cache (21.5%) and 6× a perfect direction predictor (11.3%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btb.btb import BTB
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.btb.replacement.lru import LRUPolicy
+from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
+from repro.frontend.simulator import FrontendSimulator, SimResult
+from repro.trace.record import BranchTrace
+
+__all__ = ["LimitStudyResult", "limit_study"]
+
+
+@dataclass(frozen=True)
+class LimitStudyResult:
+    """Speedups of the three oracles over the baseline for one app."""
+
+    trace_name: str
+    baseline_ipc: float
+    perfect_btb_speedup: float
+    perfect_bp_speedup: float
+    perfect_icache_speedup: float
+    #: Fig. 3's metric, measured on the baseline run.
+    l2_instruction_mpki: float
+
+    def as_percentages(self) -> dict:
+        return {
+            "perfect_btb": 100.0 * self.perfect_btb_speedup,
+            "perfect_bp": 100.0 * self.perfect_bp_speedup,
+            "perfect_icache": 100.0 * self.perfect_icache_speedup,
+        }
+
+
+def _run(trace: BranchTrace, config: BTBConfig, params: FrontendParams,
+         **oracle_flags) -> SimResult:
+    btb = None if oracle_flags.get("perfect_btb") \
+        else BTB(config, LRUPolicy())
+    sim = FrontendSimulator(params=params, btb=btb, **oracle_flags)
+    return sim.simulate(trace)
+
+
+def limit_study(trace: BranchTrace,
+                config: BTBConfig = DEFAULT_BTB_CONFIG,
+                params: FrontendParams = DEFAULT_FRONTEND_PARAMS
+                ) -> LimitStudyResult:
+    """Run the four simulations (baseline + three oracles) for one trace."""
+    baseline = _run(trace, config, params)
+    perfect_btb = _run(trace, config, params, perfect_btb=True)
+    perfect_bp = _run(trace, config, params, perfect_bp=True)
+    perfect_icache = _run(trace, config, params, perfect_icache=True)
+    return LimitStudyResult(
+        trace_name=trace.name,
+        baseline_ipc=baseline.ipc,
+        perfect_btb_speedup=perfect_btb.speedup_over(baseline),
+        perfect_bp_speedup=perfect_bp.speedup_over(baseline),
+        perfect_icache_speedup=perfect_icache.speedup_over(baseline),
+        l2_instruction_mpki=baseline.l2_instruction_mpki)

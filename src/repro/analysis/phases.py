@@ -1,0 +1,165 @@
+"""Phase analysis and SimPoint-style sampled profiling.
+
+The paper's offline OPT simulation costs seconds to minutes per profile
+(Fig. 14).  Production profiling pipelines cut such costs by exploiting
+program *phases*: intervals with similar basic-block vectors (BBVs) behave
+alike, so simulating one representative per phase and weighting by phase
+size approximates the full run (Sherwood et al.'s SimPoint).
+
+This module provides the whole pipeline on branch traces:
+
+* :func:`basic_block_vectors` — hashed, normalized BBVs per interval;
+* :func:`kmeans` — a small numpy k-means (deterministic under a seed);
+* :func:`select_representatives` — one weighted interval per cluster;
+* :func:`sampled_profile` — an OPT profile computed only on the
+  representative intervals, with counters scaled by cluster weights.
+
+`benchmarks/bench_extensions.py` measures the cost/accuracy trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.core.merging import merge_profiles
+from repro.core.profiler import OptProfile, profile_trace
+from repro.trace.record import BranchTrace
+
+__all__ = ["basic_block_vectors", "kmeans", "select_representatives",
+           "sampled_profile", "PhaseSelection"]
+
+
+def basic_block_vectors(trace: BranchTrace, interval: int = 10_000,
+                        dimensions: int = 64) -> np.ndarray:
+    """Hashed basic-block vectors, one row per interval, L1-normalized.
+
+    Each branch pc is hashed into one of ``dimensions`` buckets (random
+    projection by hashing — the standard BBV compression), and each row
+    counts bucket occupancies over ``interval`` consecutive records.
+    """
+    if interval < 1:
+        raise ValueError("interval must be positive")
+    if dimensions < 2:
+        raise ValueError("dimensions must be >= 2")
+    n = len(trace)
+    if n == 0:
+        return np.zeros((0, dimensions))
+    words = (trace.pcs.astype(np.int64) >> 2)
+    # Fibonacci-multiplicative hash: contiguous pcs must not alias into
+    # the same bucket pattern across phases.
+    hashed = (words * 0x9E3779B1) & 0xFFFFFFFF
+    buckets = ((hashed >> 16) % dimensions).astype(np.int64)
+    n_intervals = (n + interval - 1) // interval
+    vectors = np.zeros((n_intervals, dimensions))
+    for i in range(n_intervals):
+        chunk = buckets[i * interval:(i + 1) * interval]
+        counts = np.bincount(chunk, minlength=dimensions)
+        total = counts.sum()
+        if total:
+            vectors[i] = counts / total
+    return vectors
+
+
+def kmeans(vectors: np.ndarray, k: int, iterations: int = 25,
+           seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's k-means; returns (labels, centroids).
+
+    Deterministic under ``seed``; empty clusters are reseeded to the point
+    furthest from its centroid.
+    """
+    n = len(vectors)
+    if n == 0:
+        raise ValueError("no vectors to cluster")
+    k = min(k, n)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = np.random.default_rng(seed)
+    centroids = vectors[rng.choice(n, size=k, replace=False)].copy()
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        distances = ((vectors[:, None, :] - centroids[None, :, :]) ** 2
+                     ).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        if (new_labels == labels).all() and _ > 0:
+            break
+        labels = new_labels
+        for c in range(k):
+            members = vectors[labels == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+            else:
+                # Reseed an empty cluster with the worst-fit point.
+                worst = distances.min(axis=1).argmax()
+                centroids[c] = vectors[worst]
+    return labels, centroids
+
+
+@dataclass(frozen=True)
+class PhaseSelection:
+    """Chosen representative intervals and their weights."""
+
+    interval: int
+    #: Interval indices chosen (one per cluster).
+    representatives: Tuple[int, ...]
+    #: Cluster sizes (same order) — the extrapolation weights.
+    weights: Tuple[int, ...]
+    labels: Tuple[int, ...]
+
+    @property
+    def sampled_fraction(self) -> float:
+        """Fraction of intervals actually simulated."""
+        total = len(self.labels)
+        return len(self.representatives) / total if total else 0.0
+
+
+def select_representatives(trace: BranchTrace, k: int = 8,
+                           interval: int = 10_000,
+                           seed: int = 0) -> PhaseSelection:
+    """Cluster the trace's BBVs and pick one interval per phase."""
+    vectors = basic_block_vectors(trace, interval)
+    if len(vectors) == 0:
+        raise ValueError("trace too short for phase analysis")
+    labels, centroids = kmeans(vectors, k, seed=seed)
+    representatives: List[int] = []
+    weights: List[int] = []
+    for c in range(centroids.shape[0]):
+        members = np.flatnonzero(labels == c)
+        if len(members) == 0:
+            continue
+        distances = ((vectors[members] - centroids[c]) ** 2).sum(axis=1)
+        representatives.append(int(members[distances.argmin()]))
+        weights.append(int(len(members)))
+    return PhaseSelection(interval=interval,
+                          representatives=tuple(representatives),
+                          weights=tuple(weights),
+                          labels=tuple(int(x) for x in labels))
+
+
+def sampled_profile(trace: BranchTrace,
+                    config: BTBConfig = DEFAULT_BTB_CONFIG,
+                    k: int = 8, interval: int = 10_000,
+                    seed: int = 0,
+                    selection: Optional[PhaseSelection] = None
+                    ) -> OptProfile:
+    """An approximate OPT profile from representative intervals only.
+
+    Each representative interval is profiled independently and the
+    per-branch counters are merged with the cluster sizes as weights —
+    extrapolating each phase's behavior to all its intervals.
+    """
+    if selection is None:
+        selection = select_representatives(trace, k=k, interval=interval,
+                                           seed=seed)
+    profiles = []
+    for index in selection.representatives:
+        start = index * selection.interval
+        piece = trace[start:start + selection.interval]
+        profiles.append(profile_trace(piece, config))
+    merged = merge_profiles(profiles, weights=[float(w) for w in
+                                               selection.weights])
+    merged.trace_name = f"{trace.name}[sampled k={len(profiles)}]"
+    return merged

@@ -1,0 +1,169 @@
+"""Reuse-distance analysis: transient vs. holistic variance (§2.3, Fig. 5).
+
+The paper defines, for a branch with reuse-distance vector ``a_2..a_n``
+(set-local distances between consecutive BTB accesses):
+
+* transient variance — mean squared difference of *consecutive* distances,
+  what a recency-based policy implicitly relies on;
+* holistic variance — ordinary variance around the whole-execution mean.
+
+Data center branch streams show transient variance more than 2× the holistic
+variance, which is the paper's argument for profiling holistic behavior.
+
+Reuse distance here is the **set-local LRU stack distance**: the number of
+unique branch pcs mapping to the same BTB set accessed between two
+consecutive accesses to the branch — the quantity that determines whether a
+``ways``-associative set retains the branch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.btb.btb import btb_access_stream
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.trace.record import BranchTrace
+
+__all__ = ["set_reuse_distance_sequences", "forward_set_reuse_distances",
+           "transient_variance", "holistic_variance",
+           "ReuseVarianceSummary", "variance_summary", "INFINITE_DISTANCE"]
+
+#: Distance recorded when a branch is never re-accessed.
+INFINITE_DISTANCE = 1 << 30
+
+
+def set_reuse_distance_sequences(pcs: Sequence[int],
+                                 set_indices: Sequence[int]
+                                 ) -> Dict[int, List[int]]:
+    """Per-branch sequences of set-local LRU stack distances.
+
+    For each access to a pc previously seen in its set, the distance is the
+    number of *unique* pcs of the same set touched since the previous access
+    (0 = immediately re-accessed).
+    """
+    stacks: Dict[int, List[int]] = {}
+    sequences: Dict[int, List[int]] = {}
+    for pc, set_idx in zip(pcs, set_indices):
+        pc = int(pc)
+        stack = stacks.get(int(set_idx))
+        if stack is None:
+            stack = []
+            stacks[int(set_idx)] = stack
+        try:
+            depth = stack.index(pc)
+        except ValueError:
+            stack.insert(0, pc)
+            continue
+        sequences.setdefault(pc, []).append(depth)
+        del stack[depth]
+        stack.insert(0, pc)
+    return sequences
+
+
+def forward_set_reuse_distances(pcs: Sequence[int],
+                                set_indices: Sequence[int]) -> np.ndarray:
+    """For each access ``i``, the set-local stack distance to the *next*
+    access of the same pc (``INFINITE_DISTANCE`` if never re-accessed).
+
+    This is the quantity a replacement decision is judged against
+    (Fig. 16's accuracy): evicting an entry whose forward distance is at
+    least the associativity cannot cost a hit.
+    """
+    n = len(pcs)
+    out = np.full(n, INFINITE_DISTANCE, dtype=np.int64)
+    stacks: Dict[int, List[int]] = {}
+    last_index: Dict[int, int] = {}
+    for i in range(n):
+        pc = int(pcs[i])
+        set_idx = int(set_indices[i])
+        stack = stacks.get(set_idx)
+        if stack is None:
+            stack = []
+            stacks[set_idx] = stack
+        try:
+            depth = stack.index(pc)
+        except ValueError:
+            stack.insert(0, pc)
+        else:
+            # The backward distance observed now is the forward distance of
+            # this pc's previous access.
+            out[last_index[pc]] = depth
+            del stack[depth]
+            stack.insert(0, pc)
+        last_index[pc] = i
+    return out
+
+
+def transient_variance(distances: Sequence[float]) -> float:
+    """The paper's transient variance: mean squared consecutive difference.
+
+    Requires at least 3 samples (the formula's ``n - 2`` denominator).
+    """
+    n = len(distances)
+    if n < 3:
+        raise ValueError("transient variance needs at least 3 samples")
+    a = np.asarray(distances, dtype=np.float64)
+    diffs = a[:-1] - a[1:]
+    return float(np.sum(diffs * diffs) / (n - 2))
+
+
+def holistic_variance(distances: Sequence[float]) -> float:
+    """The paper's holistic variance: variance around the whole-run mean."""
+    n = len(distances)
+    if n < 2:
+        raise ValueError("holistic variance needs at least 2 samples")
+    a = np.asarray(distances, dtype=np.float64)
+    mean = a.mean()
+    return float(np.sum((a - mean) ** 2) / (n - 1))
+
+
+@dataclass(frozen=True)
+class ReuseVarianceSummary:
+    """Average per-branch variances for one application (one Fig. 5 bar
+    pair)."""
+
+    trace_name: str
+    transient: float
+    holistic: float
+    branches_measured: int
+
+    @property
+    def ratio(self) -> float:
+        """Transient / holistic — the paper reports > 2 on average."""
+        if self.holistic == 0.0:
+            return math.inf if self.transient > 0 else 0.0
+        return self.transient / self.holistic
+
+
+def variance_summary(trace: BranchTrace,
+                     config: BTBConfig = DEFAULT_BTB_CONFIG,
+                     log_scale: bool = True,
+                     min_samples: int = 4) -> ReuseVarianceSummary:
+    """Fig. 5 for one application: mean transient and holistic variance over
+    branches with at least ``min_samples`` reuse observations.
+
+    Distances are log2-compressed by default (raw stack distances span four
+    orders of magnitude; the paper plots unit-scale variances).
+    """
+    pcs, _ = btb_access_stream(trace)
+    set_indices = [config.set_index(int(pc)) for pc in pcs]
+    sequences = set_reuse_distance_sequences(pcs, set_indices)
+    transients: List[float] = []
+    holistics: List[float] = []
+    for seq in sequences.values():
+        if len(seq) < min_samples:
+            continue
+        values = [math.log2(1 + d) for d in seq] if log_scale else seq
+        transients.append(transient_variance(values))
+        holistics.append(holistic_variance(values))
+    if not transients:
+        return ReuseVarianceSummary(trace.name, 0.0, 0.0, 0)
+    return ReuseVarianceSummary(
+        trace_name=trace.name,
+        transient=float(np.mean(transients)),
+        holistic=float(np.mean(holistics)),
+        branches_measured=len(transients))

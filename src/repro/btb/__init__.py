@@ -1,0 +1,62 @@
+"""Branch Target Buffer substrate.
+
+A set-associative BTB with pluggable replacement policies, mirroring the
+paper's 8K-entry, 4-way baseline (Table 1).  Only *taken* branches occupy BTB
+entries (returns are handled by the return address stack and never consult
+the BTB — see DESIGN.md §5).
+"""
+
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.btb.entry import BTBEntry
+from repro.btb.btb import BTB, BTBStats, IndirectBTB, btb_access_stream, run_btb
+from repro.btb.block_btb import BlockBTB, BlockBTBStats, run_block_btb
+from repro.btb.compressed import PartialTagBTB, iso_storage_compressed_config
+from repro.btb.hierarchy import TwoLevelBTB, TwoLevelStats
+from repro.btb.storage import (BTBEntryLayout, BTBStorageModel,
+                               iso_storage_entries)
+from repro.btb.replacement import (BYPASS, BeladyOptimalPolicy, DIPPolicy,
+                                   FIFOPolicy, GHRPPolicy, HawkeyePolicy,
+                                   LRUPolicy, MRUPolicy,
+                                   OnlineThermometerPolicy, RandomPolicy,
+                                   ReplacementPolicy, SHiPPolicy,
+                                   SRRIPPolicy, ThermometerPolicy,
+                                   TreePLRUPolicy, make_policy,
+                                   policy_names)
+
+__all__ = [
+    "BTB",
+    "BTBConfig",
+    "BTBEntry",
+    "BTBStats",
+    "BYPASS",
+    "BlockBTB",
+    "BlockBTBStats",
+    "BTBEntryLayout",
+    "PartialTagBTB",
+    "BTBStorageModel",
+    "BeladyOptimalPolicy",
+    "DIPPolicy",
+    "OnlineThermometerPolicy",
+    "SHiPPolicy",
+    "TreePLRUPolicy",
+    "TwoLevelBTB",
+    "TwoLevelStats",
+    "DEFAULT_BTB_CONFIG",
+    "FIFOPolicy",
+    "GHRPPolicy",
+    "HawkeyePolicy",
+    "IndirectBTB",
+    "LRUPolicy",
+    "MRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "ThermometerPolicy",
+    "btb_access_stream",
+    "iso_storage_compressed_config",
+    "iso_storage_entries",
+    "make_policy",
+    "policy_names",
+    "run_block_btb",
+    "run_btb",
+]

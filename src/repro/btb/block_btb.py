@@ -1,0 +1,166 @@
+"""Block-based BTB organization (Yeh & Patt style, related work §5).
+
+Instead of one entry per branch, a block-oriented BTB keeps one entry per
+*fetch block*, holding the branches discovered inside it (bounded by
+``branches_per_entry``).  Branches in the same block share one tag, so the
+organization trades per-branch slot capacity against tag amortization —
+attractive exactly when branch density per block is high.
+
+Replacement operates at block granularity through the ordinary
+:class:`~repro.btb.replacement.base.ReplacementPolicy` interface (the
+"pc" a policy sees is the block's base address, so Thermometer-style hints
+can be applied per block by hinting block addresses).  Within an entry,
+branch slots recycle FIFO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.btb.btb import BTBStats
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.base import BYPASS, ReplacementPolicy
+from repro.trace.record import BranchTrace
+from repro.btb.btb import btb_access_stream
+
+__all__ = ["BlockBTB", "BlockBTBStats", "run_block_btb"]
+
+_INVALID = -1
+
+
+@dataclass
+class BlockBTBStats(BTBStats):
+    """Block-BTB counters: BTBStats plus block-level events."""
+
+    #: Misses where the block entry was present but the branch slot wasn't
+    #: (a *branch* miss inside a resident block).
+    branch_misses: int = 0
+    #: Branch slots recycled inside resident blocks.
+    slot_evictions: int = 0
+
+
+class BlockBTB:
+    """A set-associative BTB of fetch-block entries."""
+
+    def __init__(self, config: BTBConfig,
+                 policy: Optional[ReplacementPolicy] = None,
+                 block_bytes: int = 32, branches_per_entry: int = 2):
+        from repro.btb.replacement.lru import LRUPolicy
+        if block_bytes < 4 or block_bytes & (block_bytes - 1):
+            raise ValueError("block_bytes must be a power of two >= 4")
+        if branches_per_entry < 1:
+            raise ValueError("branches_per_entry must be >= 1")
+        self.config = config
+        self.block_bytes = block_bytes
+        self.branches_per_entry = branches_per_entry
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.policy.bind(config.num_sets, config.ways)
+        self.stats = BlockBTBStats()
+        nsets, ways = config.num_sets, config.ways
+        self._blocks: List[List[int]] = [[_INVALID] * ways
+                                         for _ in range(nsets)]
+        # Per (set, way): insertion-ordered {branch pc: target}.
+        self._branches: List[List[Dict[int, int]]] = \
+            [[{} for _ in range(ways)] for _ in range(nsets)]
+
+    # ------------------------------------------------------------------
+    def block_of(self, pc: int) -> int:
+        """The fetch-block base address containing ``pc``."""
+        return pc & ~(self.block_bytes - 1)
+
+    def _set_index(self, block: int) -> int:
+        return (block // self.block_bytes) % self.config.num_sets
+
+    # ------------------------------------------------------------------
+    def lookup(self, pc: int) -> Optional[int]:
+        block = self.block_of(pc)
+        s = self._set_index(block)
+        for way in range(self.config.ways):
+            if self._blocks[s][way] == block:
+                return self._branches[s][way].get(pc)
+        return None
+
+    def contains(self, pc: int) -> bool:
+        return self.lookup(pc) is not None
+
+    def access(self, pc: int, target: int = 0, index: int = 0) -> bool:
+        """Demand access by a taken branch at ``pc``; True on hit."""
+        block = self.block_of(pc)
+        s = self._set_index(block)
+        blocks = self._blocks[s]
+        self.stats.accesses += 1
+        for way in range(self.config.ways):
+            if blocks[way] == block:
+                branches = self._branches[s][way]
+                if pc in branches:
+                    self.stats.hits += 1
+                    branches[pc] = target
+                    self.policy.on_hit(s, way, block, index)
+                    return True
+                # Block resident, branch slot missing.
+                self.stats.misses += 1
+                self.stats.branch_misses += 1
+                if len(branches) >= self.branches_per_entry:
+                    oldest = next(iter(branches))
+                    del branches[oldest]
+                    self.stats.slot_evictions += 1
+                branches[pc] = target
+                self.policy.on_hit(s, way, block, index)
+                return False
+        # Block miss.
+        self.stats.misses += 1
+        for way in range(self.config.ways):
+            if blocks[way] == _INVALID:
+                blocks[way] = block
+                self._branches[s][way] = {pc: target}
+                self.stats.compulsory_fills += 1
+                self.policy.on_fill(s, way, block, index)
+                return False
+        victim = self.policy.choose_victim(s, blocks, block, index)
+        if victim == BYPASS:
+            self.stats.bypasses += 1
+            self.policy.on_bypass(s, block, index)
+            return False
+        if not 0 <= victim < self.config.ways:
+            raise ValueError(f"invalid victim way {victim}")
+        self.stats.evictions += 1
+        self.policy.on_evict(s, victim, blocks[victim],
+                             bool(self._branches[s][victim]))
+        blocks[victim] = block
+        self._branches[s][victim] = {pc: target}
+        self.policy.on_fill(s, victim, block, index)
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_blocks(self) -> int:
+        return sum(1 for set_blocks in self._blocks
+                   for b in set_blocks if b != _INVALID)
+
+    @property
+    def resident_branches(self) -> int:
+        return sum(len(slot) for set_slots in self._branches
+                   for slot in set_slots)
+
+    @property
+    def sharing_factor(self) -> float:
+        """Mean branches stored per resident block entry (>1 means the
+        tag amortization is paying off)."""
+        blocks = self.resident_blocks
+        return self.resident_branches / blocks if blocks else 0.0
+
+    def __repr__(self) -> str:
+        return (f"BlockBTB(blocks={self.config.entries}, "
+                f"ways={self.config.ways}, "
+                f"branches/entry={self.branches_per_entry}, "
+                f"sharing={self.sharing_factor:.2f})")
+
+
+def run_block_btb(trace: BranchTrace, btb: BlockBTB) -> BlockBTBStats:
+    """Replay a trace's BTB access stream through a block BTB."""
+    pcs, targets = btb_access_stream(trace)
+    access = btb.access
+    for i in range(len(pcs)):
+        access(int(pcs[i]), int(targets[i]), i)
+    return btb.stats

@@ -1,0 +1,263 @@
+"""Set-associative BTB model and trace replay helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.btb.entry import BTBEntry
+from repro.btb.replacement.base import BYPASS, ReplacementPolicy
+from repro.trace.record import BranchKind, BranchTrace
+
+__all__ = ["BTB", "BTBStats", "IndirectBTB", "btb_access_stream", "run_btb"]
+
+_INVALID = -1
+
+
+@dataclass
+class BTBStats:
+    """Access counters for one BTB replay."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+    #: Misses that filled a previously-invalid way (cold-start fills).
+    compulsory_fills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, num_instructions: int) -> float:
+        """Misses per kilo-instruction given the trace's instruction count."""
+        if num_instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / num_instructions
+
+    def __add__(self, other: "BTBStats") -> "BTBStats":
+        return BTBStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            bypasses=self.bypasses + other.bypasses,
+            compulsory_fills=self.compulsory_fills + other.compulsory_fills)
+
+
+class BTB:
+    """A set-associative branch target buffer with a pluggable policy.
+
+    The hot path stores tags/targets in flat per-set lists; the richer
+    :class:`BTBEntry` view is materialized on demand for inspection.
+    """
+
+    def __init__(self, config: BTBConfig = DEFAULT_BTB_CONFIG,
+                 policy: Optional[ReplacementPolicy] = None):
+        from repro.btb.replacement.lru import LRUPolicy
+        self.config = config
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.policy.bind(config.num_sets, config.ways)
+        self.stats = BTBStats()
+        nsets, ways = config.num_sets, config.ways
+        self._tags: List[List[int]] = [[_INVALID] * ways for _ in range(nsets)]
+        self._targets: List[List[int]] = [[0] * ways for _ in range(nsets)]
+        self._reused: List[List[bool]] = [[False] * ways for _ in range(nsets)]
+        self._fill_index: List[List[int]] = [[0] * ways for _ in range(nsets)]
+        #: Optional callable ``(set_idx, victim_pc, incoming_pc, index)``
+        #: invoked on every eviction — used by replacement-accuracy probes.
+        self.eviction_listener = None
+
+    # ------------------------------------------------------------------
+    def lookup(self, pc: int) -> Optional[int]:
+        """Non-mutating probe: the stored target for ``pc``, or None."""
+        s = self.config.set_index(pc)
+        tags = self._tags[s]
+        for way in range(self.config.ways):
+            if tags[way] == pc:
+                return self._targets[s][way]
+        return None
+
+    def contains(self, pc: int) -> bool:
+        return self.lookup(pc) is not None
+
+    def access(self, pc: int, target: int = 0, index: int = 0) -> bool:
+        """One demand access by a taken branch; returns True on hit.
+
+        On a miss the branch is inserted (possibly evicting a victim chosen
+        by the policy, or bypassing if the policy so decides).
+        """
+        cfg = self.config
+        s = cfg.set_index(pc)
+        tags = self._tags[s]
+        self.stats.accesses += 1
+        for way in range(cfg.ways):
+            if tags[way] == pc:
+                self.stats.hits += 1
+                self._reused[s][way] = True
+                self._targets[s][way] = target
+                self.policy.on_hit(s, way, pc, index)
+                return True
+        self.stats.misses += 1
+        self._insert(s, pc, target, index)
+        return False
+
+    def insert(self, pc: int, target: int = 0, index: int = 0) -> bool:
+        """Insert without a demand access (prefetch fill).
+
+        Returns True if the entry was actually installed (not already
+        present and not bypassed).  Prefetch fills do not count as demand
+        accesses in :attr:`stats`.
+        """
+        s = self.config.set_index(pc)
+        tags = self._tags[s]
+        for way in range(self.config.ways):
+            if tags[way] == pc:
+                self._targets[s][way] = target
+                return False
+        self.policy.prefetch_fill_in_progress = True
+        try:
+            return self._insert(s, pc, target, index)
+        finally:
+            self.policy.prefetch_fill_in_progress = False
+
+    def _insert(self, s: int, pc: int, target: int, index: int) -> bool:
+        cfg = self.config
+        tags = self._tags[s]
+        for way in range(cfg.ways):
+            if tags[way] == _INVALID:
+                tags[way] = pc
+                self._targets[s][way] = target
+                self._reused[s][way] = False
+                self._fill_index[s][way] = index
+                self.stats.compulsory_fills += 1
+                self.policy.on_fill(s, way, pc, index)
+                return True
+        victim = self.policy.choose_victim(s, tags, pc, index)
+        if victim == BYPASS:
+            self.stats.bypasses += 1
+            self.policy.on_bypass(s, pc, index)
+            return False
+        if not 0 <= victim < cfg.ways:
+            raise ValueError(
+                f"policy {self.policy.name!r} returned invalid victim way "
+                f"{victim} (ways={cfg.ways})")
+        self.stats.evictions += 1
+        if self.eviction_listener is not None:
+            self.eviction_listener(s, tags[victim], pc, index)
+        self.policy.on_evict(s, victim, tags[victim], self._reused[s][victim])
+        tags[victim] = pc
+        self._targets[s][victim] = target
+        self._reused[s][victim] = False
+        self._fill_index[s][victim] = index
+        self.policy.on_fill(s, victim, pc, index)
+        return True
+
+    # ------------------------------------------------------------------
+    def entry(self, set_idx: int, way: int) -> Optional[BTBEntry]:
+        """Materialize the entry stored at ``(set_idx, way)``, if valid."""
+        if self._tags[set_idx][way] == _INVALID:
+            return None
+        return BTBEntry(pc=self._tags[set_idx][way],
+                        target=self._targets[set_idx][way],
+                        fill_index=self._fill_index[set_idx][way],
+                        reused=self._reused[set_idx][way])
+
+    def resident_pcs(self) -> List[int]:
+        """All valid tags currently stored (unordered)."""
+        return [tag for set_tags in self._tags for tag in set_tags
+                if tag != _INVALID]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.resident_pcs())
+
+    def __repr__(self) -> str:
+        return (f"BTB(entries={self.config.entries}, ways={self.config.ways}, "
+                f"policy={self.policy.name}, occupancy={self.occupancy})")
+
+
+class IndirectBTB:
+    """The separate indirect-target buffer of Table 1 (4096-entry).
+
+    Direct-mapped on (pc, path-history) like a simple ITTAGE-free IBTB; only
+    used by the frontend timing model to decide whether an indirect branch's
+    *target* was predicted correctly (the main BTB still tracks presence of
+    the branch itself).
+    """
+
+    def __init__(self, entries: int = 4096, history_bits: int = 8):
+        if entries < 1:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._table: Dict[int, int] = {}
+        self._history = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) % self.entries
+
+    def predict_and_update(self, pc: int, actual_target: int) -> bool:
+        """Predict ``pc``'s target, then train with the actual target."""
+        idx = self._index(pc)
+        predicted = self._table.get(idx)
+        correct = predicted == actual_target
+        if correct:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._table[idx] = actual_target
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 1) ^ (actual_target >> 2)) & mask
+        return correct
+
+
+# ----------------------------------------------------------------------
+# Trace replay
+# ----------------------------------------------------------------------
+
+def btb_access_stream(trace: BranchTrace) -> Tuple[np.ndarray, np.ndarray]:
+    """The (pcs, targets) of the BTB demand-access stream of a trace.
+
+    Taken branches only; returns are excluded because they are served by the
+    return address stack, not the BTB (DESIGN.md §5).
+    """
+    mask = trace.taken & (trace.kinds != int(BranchKind.RETURN))
+    return trace.pcs[mask], trace.targets[mask]
+
+
+def run_btb(trace: BranchTrace, btb: BTB,
+            record_per_branch: bool = False):
+    """Replay a trace's BTB access stream through ``btb``.
+
+    Returns the BTB's stats; with ``record_per_branch`` also returns a dict
+    pc → [accesses, hits] used by the profiling pipeline.
+    """
+    pcs, targets = btb_access_stream(trace)
+    access = btb.access
+    if not record_per_branch:
+        for i in range(len(pcs)):
+            access(int(pcs[i]), int(targets[i]), i)
+        return btb.stats
+    per_branch: Dict[int, List[int]] = {}
+    for i in range(len(pcs)):
+        pc = int(pcs[i])
+        hit = access(pc, int(targets[i]), i)
+        counts = per_branch.get(pc)
+        if counts is None:
+            counts = [0, 0]
+            per_branch[pc] = counts
+        counts[0] += 1
+        if hit:
+            counts[1] += 1
+    return btb.stats, per_branch

@@ -1,0 +1,31 @@
+"""BTB entry record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BTBEntry"]
+
+
+@dataclass
+class BTBEntry:
+    """One BTB way's contents.
+
+    Real BTB entries hold a partial tag, the predicted target, and branch
+    metadata; this model keeps the full pc as tag (aliasing is not the
+    phenomenon under study) plus the fields the replacement experiments
+    need.
+    """
+
+    pc: int
+    target: int
+    #: Index (into the BTB access stream) of the access that filled this
+    #: entry; used for lifetime statistics.
+    fill_index: int = 0
+    #: Whether the entry has hit since it was filled (dead-on-eviction
+    #: bookkeeping for GHRP-style policies and lifetime stats).
+    reused: bool = False
+
+    def __repr__(self) -> str:
+        return (f"BTBEntry(pc={self.pc:#x}, target={self.target:#x}, "
+                f"reused={self.reused})")

@@ -1,0 +1,105 @@
+"""Two-level BTB hierarchy (related-work §5: multi-level organizations).
+
+Commercial frontends increasingly split the BTB into a small, fast L1 and a
+large, slower L2 (e.g. the paper's references to BTB-X and two-level
+designs).  This model lets the replacement experiments ask a natural
+extension question: where do temperature hints help most — the contended
+small level, the capacity level, or both?
+
+Semantics: a demand access probes L1; on an L1 miss the L2 is probed, and
+an L2 hit promotes the entry into L1 (charging ``l2_latency_penalty``
+rather than a full miss).  Entries evicted from L1 are written back to L2
+(victim-buffer style), so the pair behaves exclusively-ish like real
+two-level BTBs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.btb.btb import BTB
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.base import ReplacementPolicy
+
+__all__ = ["TwoLevelBTB", "TwoLevelStats"]
+
+
+@dataclass
+class TwoLevelStats:
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    misses: int = 0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def overall_hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return (self.l1_hits + self.l2_hits) / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TwoLevelBTB:
+    """A small L1 BTB backed by a large L2 BTB."""
+
+    def __init__(self, l1: BTB, l2: BTB):
+        if l1.config.capacity >= l2.config.capacity:
+            raise ValueError(
+                "expected a small L1 in front of a larger L2 "
+                f"(got {l1.config.capacity} >= {l2.config.capacity})")
+        self.l1 = l1
+        self.l2 = l2
+        self.stats = TwoLevelStats()
+        # Victim path: evictions from L1 are installed into L2.
+        self.l1.eviction_listener = self._on_l1_evict
+        self._victim_target: dict = {}
+
+    @classmethod
+    def build(cls, l1_entries: int = 1024, l2_entries: int = 8192,
+              ways: int = 4,
+              l1_policy: Optional[ReplacementPolicy] = None,
+              l2_policy: Optional[ReplacementPolicy] = None
+              ) -> "TwoLevelBTB":
+        from repro.btb.replacement.lru import LRUPolicy
+        l1 = BTB(BTBConfig(entries=l1_entries, ways=ways),
+                 l1_policy or LRUPolicy())
+        l2 = BTB(BTBConfig(entries=l2_entries, ways=ways),
+                 l2_policy or LRUPolicy())
+        return cls(l1, l2)
+
+    # ------------------------------------------------------------------
+    def _on_l1_evict(self, set_idx: int, victim_pc: int, incoming_pc: int,
+                     index: int) -> None:
+        target = self._victim_target.get(victim_pc, 0)
+        self.l2.insert(victim_pc, target, index)
+
+    def access(self, pc: int, target: int = 0, index: int = 0) -> str:
+        """One demand access; returns ``'l1'``, ``'l2'``, or ``'miss'``."""
+        self.stats.accesses += 1
+        self._victim_target[pc] = target
+        if self.l1.access(pc, target, index):
+            self.stats.l1_hits += 1
+            return "l1"
+        # The L1 access above already inserted pc into L1 on its miss path;
+        # now classify whether the L2 had it (promotion) or not (true miss).
+        if self.l2.access(pc, target, index):
+            self.stats.l2_hits += 1
+            return "l2"
+        self.stats.misses += 1
+        return "miss"
+
+    def contains(self, pc: int) -> bool:
+        return self.l1.contains(pc) or self.l2.contains(pc)
+
+    def __repr__(self) -> str:
+        return (f"TwoLevelBTB(l1={self.l1.config.entries}, "
+                f"l2={self.l2.config.entries}, "
+                f"hit_rate={self.stats.overall_hit_rate:.3f})")

@@ -1,0 +1,39 @@
+"""Replacement policies for the BTB."""
+
+from repro.btb.replacement.base import BYPASS, ReplacementPolicy
+from repro.btb.replacement.dip import DIPPolicy
+from repro.btb.replacement.fifo import FIFOPolicy, RandomPolicy
+from repro.btb.replacement.ghrp import GHRPPolicy
+from repro.btb.replacement.hawkeye import HawkeyePolicy
+from repro.btb.replacement.lru import LRUPolicy, MRUPolicy
+from repro.btb.replacement.online_thermometer import OnlineThermometerPolicy
+from repro.btb.replacement.opt import (NEVER, BeladyOptimalPolicy,
+                                       compute_next_use)
+from repro.btb.replacement.plru import TreePLRUPolicy
+from repro.btb.replacement.ship import SHiPPolicy
+from repro.btb.replacement.srrip import BRRIPPolicy, SRRIPPolicy
+from repro.btb.replacement.thermometer import ThermometerPolicy
+from repro.btb.replacement.registry import make_policy, policy_names
+
+__all__ = [
+    "BYPASS",
+    "NEVER",
+    "BRRIPPolicy",
+    "DIPPolicy",
+    "OnlineThermometerPolicy",
+    "SHiPPolicy",
+    "TreePLRUPolicy",
+    "BeladyOptimalPolicy",
+    "FIFOPolicy",
+    "GHRPPolicy",
+    "HawkeyePolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "ThermometerPolicy",
+    "compute_next_use",
+    "make_policy",
+    "policy_names",
+]

@@ -1,0 +1,97 @@
+"""Set-dueling Thermometer: hint-guided replacement with an adaptive
+LRU fallback.
+
+Motivated by a regression this reproduction's Fig. 19 sweep exposes: on a
+BTB several times smaller than the hot working set, Algorithm 1's bypass
+can *lose* to plain LRU (bypassed "cold" branches still had short-range
+reuse that recency would have caught).  The classic cure is DIP-style set
+dueling: dedicate a few leader sets to pure Thermometer and a few to pure
+LRU, count their misses in a PSEL counter, and let the follower sets copy
+whichever leader group is currently missing less.
+
+When hints help (the common case), followers run Algorithm 1 unchanged;
+when hints hurt, the structure degrades gracefully to LRU instead of
+underperforming it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.btb.replacement.base import ReplacementPolicy
+from repro.btb.replacement.thermometer import ThermometerPolicy
+
+__all__ = ["DuelingThermometerPolicy"]
+
+_THERMO_LEADER = 1
+_LRU_LEADER = 2
+
+
+class DuelingThermometerPolicy(ThermometerPolicy):
+    """Thermometer with DIP-style dueling against an LRU fallback."""
+
+    name = "thermometer-dueling"
+
+    def __init__(self, hints: Mapping[int, int], default_category: int = 0,
+                 bypass_enabled: bool = True, leader_spacing: int = 32,
+                 psel_bits: int = 10):
+        super().__init__(hints, default_category=default_category,
+                         bypass_enabled=bypass_enabled)
+        if leader_spacing < 2:
+            raise ValueError("leader_spacing must be >= 2")
+        self.leader_spacing = leader_spacing
+        self.psel_max = (1 << psel_bits) - 1
+
+    def _allocate(self) -> None:
+        super()._allocate()
+        self._psel = self.psel_max // 2
+        self._role = [0] * self.num_sets
+        for s in range(0, self.num_sets, self.leader_spacing):
+            self._role[s] = _THERMO_LEADER
+        for s in range(self.leader_spacing // 2, self.num_sets,
+                       self.leader_spacing):
+            if self._role[s] == 0:
+                self._role[s] = _LRU_LEADER
+
+    # ------------------------------------------------------------------
+    def _uses_hints(self, set_idx: int) -> bool:
+        role = self._role[set_idx]
+        if role == _THERMO_LEADER:
+            return True
+        if role == _LRU_LEADER:
+            return False
+        # Followers copy the leader group that misses less: PSEL above the
+        # midpoint means the LRU leaders are missing more.
+        return self._psel <= self.psel_max // 2
+
+    def _train_psel(self, set_idx: int) -> None:
+        """A fill implies a miss; leader misses move PSEL."""
+        role = self._role[set_idx]
+        if role == _THERMO_LEADER and self._psel < self.psel_max:
+            self._psel += 1
+        elif role == _LRU_LEADER and self._psel > 0:
+            self._psel -= 1
+
+    def on_fill(self, set_idx: int, way: int, pc: int, index: int) -> None:
+        super().on_fill(set_idx, way, pc, index)
+        if not self.prefetch_fill_in_progress:
+            self._train_psel(set_idx)
+
+    def on_bypass(self, set_idx: int, pc: int, index: int) -> None:
+        # A bypass is also a miss for dueling purposes.
+        self._train_psel(set_idx)
+
+    def choose_victim(self, set_idx: int, resident_pcs: Sequence[int],
+                      incoming_pc: int, index: int) -> int:
+        if self._uses_hints(set_idx):
+            return super().choose_victim(set_idx, resident_pcs,
+                                         incoming_pc, index)
+        stamps = self._stamps[set_idx]
+        return min(range(self.num_ways), key=stamps.__getitem__)
+
+    @property
+    def hint_share(self) -> float:
+        """Fraction of the PSEL range currently favoring hints."""
+        if self.psel_max == 0:
+            return 0.0
+        return 1.0 - self._psel / self.psel_max

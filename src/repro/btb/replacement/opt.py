@@ -1,0 +1,146 @@
+"""Belady's optimal replacement (OPT/MIN) with bypass.
+
+OPT evicts the entry whose next use lies furthest in the future; if the
+*incoming* branch's next use is furthest of all, it bypasses the BTB (the
+MIN variant).  This requires future knowledge, so the policy is constructed
+from the full BTB access stream: :func:`compute_next_use` precomputes, for
+every access, the stream index of the next access to the same pc.
+
+OPT serves three roles in the reproduction, as in the paper:
+
+* the unreachable upper bound in every speedup figure;
+* the oracle that defines *branch temperature* (hit-to-taken percentage under
+  OPT, §3.2) — see :mod:`repro.core.profiler`;
+* the reference for Hawkeye-style training.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.btb.replacement.base import BYPASS, ReplacementPolicy, new_grid
+
+__all__ = ["BeladyOptimalPolicy", "compute_next_use", "compute_occurrences",
+           "NEVER"]
+
+#: Sentinel next-use index meaning "never accessed again".
+NEVER = np.iinfo(np.int64).max
+
+
+def compute_next_use(pcs: Sequence[int]) -> np.ndarray:
+    """For each position ``i`` in ``pcs``, the next position ``j > i`` with
+    ``pcs[j] == pcs[i]``, or :data:`NEVER`.
+
+    Single reverse pass, O(n) time and O(unique pcs) extra space.
+    """
+    n = len(pcs)
+    next_use = np.full(n, NEVER, dtype=np.int64)
+    last_seen: dict = {}
+    for i in range(n - 1, -1, -1):
+        pc = pcs[i]
+        nxt = last_seen.get(pc)
+        if nxt is not None:
+            next_use[i] = nxt
+        last_seen[pc] = i
+    return next_use
+
+
+def compute_occurrences(pcs: Sequence[int]) -> Dict[int, List[int]]:
+    """pc → sorted list of positions in the stream.
+
+    Needed to resolve the next use of a branch *other than* the one at the
+    current stream index — which happens when a prefetcher inserts entries
+    (the Confluence-OPT/Shotgun-OPT configurations of Fig. 4).
+    """
+    occurrences: Dict[int, List[int]] = {}
+    for i, pc in enumerate(pcs):
+        occurrences.setdefault(int(pc), []).append(i)
+    return occurrences
+
+
+class BeladyOptimalPolicy(ReplacementPolicy):
+    """Future-knowledge optimal replacement over a fixed access stream.
+
+    The ``index`` argument threaded through the policy hooks must be the
+    position of the current access in the same stream the policy was built
+    from; :func:`repro.btb.btb.run_btb` does this automatically.
+    """
+
+    name = "opt"
+    supports_bypass = True
+
+    def __init__(self, next_use: np.ndarray, bypass_enabled: bool = True,
+                 stream_pcs: Optional[Sequence[int]] = None,
+                 occurrences: Optional[Dict[int, List[int]]] = None):
+        super().__init__()
+        self._next_use = np.asarray(next_use, dtype=np.int64)
+        self.bypass_enabled = bypass_enabled
+        self._stream = stream_pcs
+        self._occurrences = occurrences
+
+    @classmethod
+    def from_stream(cls, pcs: Sequence[int],
+                    bypass_enabled: bool = True) -> "BeladyOptimalPolicy":
+        """Build the policy from the BTB access stream (pcs of taken,
+        non-return branches in order)."""
+        pcs_list = [int(pc) for pc in pcs]
+        return cls(compute_next_use(pcs_list), bypass_enabled=bypass_enabled,
+                   stream_pcs=pcs_list,
+                   occurrences=compute_occurrences(pcs_list))
+
+    # ------------------------------------------------------------------
+    def _allocate(self) -> None:
+        # Next-use distance of the entry resident in each way.
+        self._resident_next = new_grid(self.num_sets, self.num_ways, NEVER)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._next_use):
+            raise IndexError(
+                f"access index {index} outside the stream this OPT policy "
+                f"was built from (length {len(self._next_use)}); OPT must "
+                f"replay exactly the stream given to from_stream()")
+
+    def _next_use_of(self, pc: int, index: int) -> int:
+        """Next use of ``pc`` strictly after stream position ``index``.
+
+        Fast path: when ``pc`` is the branch at ``index`` (every demand
+        access), the precomputed array answers directly.  Otherwise (a
+        prefetch fill) fall back to bisecting the pc's occurrence list.
+        """
+        if self._stream is not None and self._stream[index] == pc:
+            return int(self._next_use[index])
+        if self._occurrences is None:
+            return NEVER
+        occ = self._occurrences.get(pc)
+        if not occ:
+            return NEVER
+        j = bisect_right(occ, index)
+        return occ[j] if j < len(occ) else NEVER
+
+    def on_hit(self, set_idx: int, way: int, pc: int, index: int) -> None:
+        self._check_index(index)
+        self._resident_next[set_idx][way] = self._next_use_of(pc, index)
+
+    def on_fill(self, set_idx: int, way: int, pc: int, index: int) -> None:
+        self._check_index(index)
+        self._resident_next[set_idx][way] = self._next_use_of(pc, index)
+
+    def choose_victim(self, set_idx: int, resident_pcs: Sequence[int],
+                      incoming_pc: int, index: int) -> int:
+        self._check_index(index)
+        nexts = self._resident_next[set_idx]
+        victim_way = 0
+        victim_next = nexts[0]
+        for way in range(1, self.num_ways):
+            if nexts[way] > victim_next:
+                victim_next = nexts[way]
+                victim_way = way
+        incoming_next = self._next_use_of(incoming_pc, index)
+        if self.bypass_enabled and incoming_next >= victim_next:
+            # The incoming branch is re-used no sooner than every resident:
+            # inserting it cannot reduce misses, so bypass.
+            return BYPASS
+        return victim_way

@@ -1,0 +1,82 @@
+"""Name-based policy construction for the experiment harness.
+
+Policies differ in what they need at construction time: OPT needs the full
+access stream, Thermometer needs a hint map.  :func:`make_policy` hides that
+behind a uniform call so sweeps can be written as lists of names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.btb.replacement.base import ReplacementPolicy
+from repro.btb.replacement.fifo import FIFOPolicy, RandomPolicy
+from repro.btb.replacement.ghrp import GHRPPolicy
+from repro.btb.replacement.hawkeye import HawkeyePolicy
+from repro.btb.replacement.lru import LRUPolicy, MRUPolicy
+from repro.btb.replacement.dip import DIPPolicy
+from repro.btb.replacement.online_thermometer import OnlineThermometerPolicy
+from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.btb.replacement.plru import TreePLRUPolicy
+from repro.btb.replacement.ship import SHiPPolicy
+from repro.btb.replacement.srrip import BRRIPPolicy, SRRIPPolicy
+from repro.btb.replacement.thermometer import ThermometerPolicy
+
+__all__ = ["make_policy", "policy_names", "register_policy"]
+
+_SIMPLE_POLICIES: Dict[str, Callable[[], ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "mru": MRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "brrip": BRRIPPolicy,
+    "ghrp": GHRPPolicy,
+    "hawkeye": HawkeyePolicy,
+    "plru": TreePLRUPolicy,
+    "ship": SHiPPolicy,
+    "dip": DIPPolicy,
+    "thermometer-online": OnlineThermometerPolicy,
+}
+
+
+def policy_names() -> List[str]:
+    """All constructible policy names."""
+    return sorted([*_SIMPLE_POLICIES, "opt", "thermometer"])
+
+
+def register_policy(name: str,
+                    factory: Callable[[], ReplacementPolicy]) -> None:
+    """Register a custom zero-argument policy factory under ``name``.
+
+    Lets downstream users plug their own policies into the harness sweeps.
+    """
+    if name in ("opt", "thermometer") or name in _SIMPLE_POLICIES:
+        raise ValueError(f"policy name {name!r} is already registered")
+    _SIMPLE_POLICIES[name] = factory
+
+
+def make_policy(name: str, *, stream: Optional[Sequence[int]] = None,
+                hints: Optional[Mapping[int, int]] = None,
+                **kwargs) -> ReplacementPolicy:
+    """Construct a policy by name.
+
+    ``stream`` (the BTB access pcs) is required for ``"opt"``; ``hints``
+    (pc → temperature category) is required for ``"thermometer"``.  Extra
+    keyword arguments are forwarded to the policy constructor.
+    """
+    if name == "opt":
+        if stream is None:
+            raise ValueError("the 'opt' policy requires stream= (the BTB "
+                             "access pcs it will replay)")
+        return BeladyOptimalPolicy.from_stream(stream, **kwargs)
+    if name == "thermometer":
+        if hints is None:
+            raise ValueError("the 'thermometer' policy requires hints= "
+                             "(pc -> temperature category)")
+        return ThermometerPolicy(hints, **kwargs)
+    factory = _SIMPLE_POLICIES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown policy {name!r}; known policies: "
+                         f"{', '.join(policy_names())}")
+    return factory(**kwargs) if kwargs else factory()

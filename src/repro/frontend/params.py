@@ -1,0 +1,92 @@
+"""Machine parameters (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["FrontendParams", "DEFAULT_FRONTEND_PARAMS"]
+
+
+@dataclass(frozen=True)
+class FrontendParams:
+    """Timing-model configuration.
+
+    Structural parameters follow Table 1; penalty latencies follow common
+    ChampSim/industry values for a deep frontend.  ``backend_cpi`` folds the
+    out-of-order backend into a single base CPI term — adequate because every
+    experiment reports *relative* IPC between two frontend configurations on
+    the same backend.
+    """
+
+    # -- core (Table 1) --------------------------------------------------
+    width: int = 6
+    ftq_entries: int = 24
+    #: Instructions per FTQ entry (24 entries × 8 = 192-instruction
+    #: run-ahead, as in Table 1).
+    ftq_block_instructions: int = 8
+    decode_queue: int = 60
+    rob_entries: int = 352
+    reservation_stations: int = 128
+    ras_entries: int = 32
+
+    # -- caches (Table 1, instruction side) -------------------------------
+    line_bytes: int = 64
+    l1i_bytes: int = 32 * 1024
+    l1i_ways: int = 8
+    l2_bytes: int = 512 * 1024
+    l2_ways: int = 8
+    llc_bytes: int = 2 * 1024 * 1024
+    llc_ways: int = 16
+
+    # -- latencies / penalties (cycles) -----------------------------------
+    #: Average cost of an in-flight pipeline's base work per instruction.
+    backend_cpi: float = 0.35
+    #: Redirect penalty when a taken branch misses in the BTB: the decoupled
+    #: frontend fetched down the sequential (wrong) path and must re-steer.
+    btb_miss_penalty: float = 16.0
+    #: Full pipeline flush on a conditional direction mispredict.
+    mispredict_penalty: float = 15.0
+    #: Execute-time redirect on a wrong indirect target (IBTB miss).
+    indirect_penalty: float = 15.0
+    #: Redirect when the RAS has no (or a wrong) return address.
+    ras_penalty: float = 15.0
+    l2_latency: float = 12.0
+    llc_latency: float = 40.0
+    memory_latency: float = 150.0
+
+    # -- FDIP behavior -----------------------------------------------------
+    #: Fetch bandwidth headroom: how many cycles of run-ahead credit the
+    #: prefetch engine gains per cycle of demand while the BTB is supplying
+    #: correct targets.  The fetch engine processes ~2 FTQ blocks (16
+    #: instructions) per cycle against a ~3-instructions-per-cycle demand
+    #: stream, so credit builds several times faster than it drains.
+    runahead_gain: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be positive")
+        if self.ftq_entries < 1 or self.ftq_block_instructions < 1:
+            raise ValueError("FTQ dimensions must be positive")
+        for label in ("l1i_bytes", "l2_bytes", "llc_bytes", "line_bytes"):
+            if getattr(self, label) < 1:
+                raise ValueError(f"{label} must be positive")
+
+    @property
+    def ftq_runahead_instructions(self) -> int:
+        """Maximum run-ahead distance of the decoupled frontend."""
+        return self.ftq_entries * self.ftq_block_instructions
+
+    @property
+    def ftq_runahead_cycles(self) -> float:
+        """Run-ahead capacity expressed in demand cycles: the time the
+        backend takes to consume a full FTQ's worth of instructions (this,
+        not fetch width, bounds how much fill latency run-ahead can hide)."""
+        return self.ftq_runahead_instructions * self.backend_cpi
+
+    def with_ftq_entries(self, entries: int) -> "FrontendParams":
+        """A copy with a different FTQ size (Fig. 20 sensitivity)."""
+        return replace(self, ftq_entries=entries)
+
+
+#: Table 1 defaults.
+DEFAULT_FRONTEND_PARAMS = FrontendParams()

@@ -1,0 +1,51 @@
+"""Return address stack (Table 1: 32 entries)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["ReturnAddressStack"]
+
+
+class ReturnAddressStack:
+    """A bounded LIFO of return addresses.
+
+    On overflow the oldest entry is discarded (circular behavior), as in
+    hardware; an empty-stack pop or a mismatched return address is a
+    frontend redirect.
+    """
+
+    def __init__(self, entries: int = 32):
+        if entries < 1:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.mispredictions = 0
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        self.pushes += 1
+        if len(self._stack) == self.entries:
+            # Discard the oldest frame; its eventual return will mispredict.
+            del self._stack[0]
+            self.overflows += 1
+        self._stack.append(return_address)
+
+    def pop(self, actual_target: int) -> bool:
+        """Pop a prediction and compare; returns True if correct."""
+        self.pops += 1
+        predicted: Optional[int] = self._stack.pop() if self._stack else None
+        correct = predicted == actual_target
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def __repr__(self) -> str:
+        return (f"ReturnAddressStack(entries={self.entries}, "
+                f"depth={self.depth}, mispredictions={self.mispredictions})")

@@ -1,0 +1,34 @@
+"""Experiment harness: one function per paper figure/table.
+
+Typical use::
+
+    from repro.harness import Harness, experiments
+    h = Harness()                       # default: all 13 apps, paper config
+    result = experiments.fig11(h)       # main speedup comparison
+    print(result.render())
+
+``python -m repro.harness.reproduce`` regenerates every figure.
+"""
+
+from repro.harness.runner import Harness, HarnessConfig
+from repro.harness.reporting import ExperimentResult, format_table
+from repro.harness.charts import (bar_chart, grouped_bar_chart,
+                                  result_chart, sparkline)
+from repro.harness.stats import (ReplicationResult, replicate,
+                                 speedup_replication)
+from repro.harness import experiments
+
+__all__ = [
+    "ExperimentResult",
+    "Harness",
+    "HarnessConfig",
+    "ReplicationResult",
+    "bar_chart",
+    "experiments",
+    "format_table",
+    "grouped_bar_chart",
+    "replicate",
+    "result_chart",
+    "sparkline",
+    "speedup_replication",
+]

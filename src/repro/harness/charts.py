@@ -1,0 +1,111 @@
+"""Plain-text chart rendering for experiment results.
+
+The paper's figures are bar charts and line plots; in an offline terminal
+environment the closest faithful rendering is a labelled horizontal bar
+chart (one row per label) or a sampled line as a column profile.  These
+renderers work directly on :class:`~repro.harness.reporting.ExperimentResult`
+tables so any figure can be eyeballed without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.harness.reporting import ExperimentResult
+
+__all__ = ["bar_chart", "grouped_bar_chart", "result_chart", "sparkline"]
+
+_BLOCKS = "▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar of ``value`` at ``scale`` units per ``width``
+    cells, with 1/8-cell resolution."""
+    if scale <= 0:
+        return ""
+    eighths = int(round(abs(value) / scale * width * 8))
+    full, rem = divmod(eighths, 8)
+    full = min(full, width)
+    bar = "█" * full
+    if rem and full < width:
+        bar += _BLOCKS[rem - 1]
+    return bar
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, unit: str = "") -> str:
+    """One horizontal bar per label, scaled to the largest magnitude."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(empty chart)"
+    peak = max((abs(v) for v in values), default=0.0)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = _bar(value, peak or 1.0, width)
+        sign = "-" if value < 0 else ""
+        lines.append(f"{str(label):<{label_width}}  "
+                     f"{sign}{bar:<{width}}  {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(labels: Sequence[str],
+                      series: Sequence[Sequence[float]],
+                      series_names: Sequence[str],
+                      width: int = 36, unit: str = "") -> str:
+    """Several bars per label (one per series), like the paper's grouped
+    figures."""
+    if len(series) != len(series_names):
+        raise ValueError("series and series_names must align")
+    for values in series:
+        if len(values) != len(labels):
+            raise ValueError("every series needs one value per label")
+    peak = max((abs(v) for values in series for v in values), default=0.0)
+    label_width = max([len(str(label)) for label in labels]
+                      + [len(name) for name in series_names])
+    lines = []
+    for i, label in enumerate(labels):
+        lines.append(str(label))
+        for name, values in zip(series_names, series):
+            bar = _bar(values[i], peak or 1.0, width)
+            lines.append(f"  {name:<{label_width}}  {bar:<{width}} "
+                         f"{values[i]:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line profile of a numeric series (for curve figures)."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARKS[0] * len(values)
+    return "".join(
+        _SPARKS[min(7, int((v - lo) / span * 8))] for v in values)
+
+
+def result_chart(result: ExperimentResult,
+                 columns: Optional[Sequence[str]] = None,
+                 width: int = 36, unit: str = "%",
+                 skip_rows: Sequence[str] = ()) -> str:
+    """Render an :class:`ExperimentResult` as a grouped bar chart.
+
+    ``columns`` selects the numeric columns to plot (default: all but the
+    first).  Rows whose label appears in ``skip_rows`` are omitted.
+    """
+    if columns is None:
+        columns = result.columns[1:]
+    rows = [row for row in result.rows if row[0] not in skip_rows]
+    labels = [row[0] for row in rows]
+    series: List[List[float]] = []
+    for name in columns:
+        idx = result.columns.index(name)
+        series.append([float(row[idx]) for row in rows])
+    header = f"{result.experiment}: {result.title}"
+    chart = grouped_bar_chart(labels, series, list(columns), width=width,
+                              unit=unit)
+    return f"{header}\n{chart}"

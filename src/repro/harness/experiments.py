@@ -1,0 +1,719 @@
+"""One function per paper figure/table (see DESIGN.md §4 for the index).
+
+Every function takes a :class:`~repro.harness.runner.Harness` (constructed
+with defaults when omitted) and returns an
+:class:`~repro.harness.reporting.ExperimentResult`.  Fig. 10 is the design
+diagram and Table 1 is the configuration (tested in ``tests/test_frontend_params``);
+everything else is here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.bypass import bypass_ratio_by_class
+from repro.analysis.correlation import branch_property_correlations
+from repro.analysis.hit_to_taken import temperature_regions
+from repro.analysis.reuse import (forward_set_reuse_distances,
+                                  variance_summary)
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.registry import make_policy
+from repro.btb.replacement.thermometer import ThermometerPolicy
+from repro.core.crossval import cross_validate_thresholds
+from repro.core.hints import ThresholdQuantizer
+from repro.core.pipeline import ThermometerPipeline
+from repro.core.temperature import TemperatureProfile
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Harness, PRIOR_POLICIES
+from repro.prefetch.confluence import ConfluencePrefetcher
+from repro.prefetch.shotgun import ShotgunPrefetcher, shotgun_btb_config
+from repro.prefetch.twig import TwigPrefetcher
+from repro.trace.record import BranchTrace
+from repro.workloads.suites import make_cbp5_suite, make_ipc1_suite
+
+__all__ = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+           "fig9", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+           "fig17", "fig18", "fig19", "fig20", "fig21", "ALL_EXPERIMENTS"]
+
+#: The three applications the paper zooms in on for distribution figures.
+CURVE_APPS = ("drupal", "kafka", "verilator")
+#: The three applications used in the sensitivity studies.
+SWEEP_APPS = ("cassandra", "drupal", "tomcat")
+
+
+def _mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def _append_average(result: ExperimentResult, label: str = "Avg",
+                    skip_rows: Sequence[str] = ()) -> None:
+    rows = [r for r in result.rows if r[0] not in skip_rows]
+    avg = [label]
+    for col in range(1, len(result.columns)):
+        avg.append(_mean(r[col] for r in rows))
+    result.rows.append(avg)
+
+
+# ----------------------------------------------------------------------
+# §2 characterization
+# ----------------------------------------------------------------------
+
+def fig1(h: Optional[Harness] = None) -> ExperimentResult:
+    """Prior replacement policies vs. the optimal policy over LRU."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig1", "IPC speedup (%) of prior policies and OPT over LRU",
+        ["app", "srrip", "ghrp", "hawkeye", "opt"],
+        notes=("Paper: priors average 1.5% (SRRIP best) while OPT averages "
+               "10.4% — a large gap for a profile-guided design to close."))
+    for app in h.config.apps:
+        trace = h.trace(app)
+        base = h.lru_sim(app)
+        row: List = [app]
+        for name in (*PRIOR_POLICIES, "opt"):
+            row.append(h.speedup_pct(h.run_sim(trace, name), base))
+        result.rows.append(row)
+    _append_average(result)
+    return result
+
+
+def fig2(h: Optional[Harness] = None) -> ExperimentResult:
+    """Limit study: perfect BTB / direction predictor / I-cache."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig2", "Limit study: speedup (%) of perfect frontend structures",
+        ["app", "perfect_btb", "perfect_bp", "perfect_icache"],
+        notes=("Paper: perfect BTB 63.2% ≫ perfect I-cache 21.5% > perfect "
+               "BP 11.3% on average; verilator is the extreme outlier."))
+    for app in h.config.apps:
+        trace = h.trace(app)
+        base = h.lru_sim(app)
+        perfect_btb = h.run_sim(trace, None, perfect_btb=True)
+        perfect_bp = h.run_sim(trace, "lru", perfect_bp=True)
+        perfect_ic = h.run_sim(trace, "lru", perfect_icache=True)
+        result.rows.append([app,
+                            h.speedup_pct(perfect_btb, base),
+                            h.speedup_pct(perfect_bp, base),
+                            h.speedup_pct(perfect_ic, base)])
+    _append_average(result)
+    return result
+
+
+def fig3(h: Optional[Harness] = None) -> ExperimentResult:
+    """L2 instruction MPKI per application."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig3", "L2 instruction MPKI (baseline machine)",
+        ["app", "l2i_mpki"],
+        notes=("Paper: verilator's L2iMPKI (42) is ≥300× every other "
+               "application's, making it the data-center proxy workload."))
+    for app in h.config.apps:
+        result.rows.append([app, h.lru_sim(app).l2_instruction_mpki])
+    return result
+
+
+def fig4(h: Optional[Harness] = None) -> ExperimentResult:
+    """BTB prefetching (Confluence/Shotgun) vs. optimal replacement."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig4", "Speedup (%) of BTB prefetchers and OPT over LRU",
+        ["app", "confluence_lru", "shotgun_lru", "opt",
+         "confluence_opt", "shotgun_opt", "perfect_btb"],
+        notes=("Paper: Confluence ~1.4% mean, Shotgun slightly negative "
+               "(metadata tax), both far from the 63.2% perfect-BTB limit; "
+               "optimal replacement also helps the prefetchers."))
+    shotgun_cfg = shotgun_btb_config(h.config.btb_config)
+    for app in h.config.apps:
+        trace = h.trace(app)
+        base = h.lru_sim(app)
+        row: List = [app]
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "lru", prefetcher=ConfluencePrefetcher()), base))
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "lru", btb_config=shotgun_cfg,
+                      prefetcher=ShotgunPrefetcher()), base))
+        row.append(h.speedup_pct(h.run_sim(trace, "opt"), base))
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "opt", prefetcher=ConfluencePrefetcher()), base))
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "opt", btb_config=shotgun_cfg,
+                      prefetcher=ShotgunPrefetcher()), base))
+        row.append(h.speedup_pct(
+            h.run_sim(trace, None, perfect_btb=True), base))
+        result.rows.append(row)
+    _append_average(result)
+    return result
+
+
+def fig5(h: Optional[Harness] = None) -> ExperimentResult:
+    """Transient vs. holistic reuse-distance variance."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig5", "Average reuse-distance variance (log2 scale distances)",
+        ["app", "transient", "holistic", "ratio"],
+        notes=("Paper: transient variance is more than 2× holistic variance "
+               "on average — recency is a noisy signal."))
+    for app in h.config.apps:
+        summary = variance_summary(h.trace(app), h.config.btb_config)
+        result.rows.append([app, summary.transient, summary.holistic,
+                            summary.ratio])
+    _append_average(result)
+    return result
+
+
+def _curve_rows(h: Harness, apps: Sequence[str],
+                dynamic: bool) -> List[List]:
+    sample_points = list(range(10, 101, 10))
+    rows = []
+    for app in apps:
+        temps = h.temperatures(app)
+        xs, ys = temps.dynamic_cdf() if dynamic else temps.sorted_curve()
+        row: List = [app]
+        for pct in sample_points:
+            idx = min(len(ys) - 1, max(0, int(len(ys) * pct / 100) - 1))
+            row.append(float(ys[idx]) if len(ys) else 0.0)
+        rows.append(row)
+    return rows
+
+
+def fig6(h: Optional[Harness] = None,
+         apps: Sequence[str] = CURVE_APPS) -> ExperimentResult:
+    """Hit-to-taken distribution under OPT (sampled at unique-branch
+    deciles)."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig6", "Hit-to-taken %% at x%% of unique branches (descending)",
+        ["app"] + [f"{p}%" for p in range(10, 101, 10)],
+        notes=("Paper: ~half of unique branches are hot (>80%), ~20% cold "
+               "(<50%), with sharp cliffs between the regions."))
+    result.rows = _curve_rows(h, apps, dynamic=False)
+    for app in apps:
+        xs, ys = h.temperatures(app).sorted_curve()
+        hot_pct, warm_pct = temperature_regions(xs, ys,
+                                                h.config.thresholds[::-1])
+        result.notes += (f"\n{app}: hot region ends at {hot_pct:.0f}% of "
+                         f"unique branches, warm at {warm_pct:.0f}%.")
+    return result
+
+
+def fig7(h: Optional[Harness] = None,
+         apps: Sequence[str] = CURVE_APPS) -> ExperimentResult:
+    """Cumulative dynamic execution vs. unique branches (hottest first)."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig7", "Dynamic-execution CDF (%%) at x%% of unique branches",
+        ["app"] + [f"{p}%" for p in range(10, 101, 10)],
+        notes=("Paper: hot branches (~half of unique) cover ~90% of all "
+               "dynamic BTB accesses — retaining them is almost the whole "
+               "game."))
+    result.rows = _curve_rows(h, apps, dynamic=True)
+    return result
+
+
+def fig8(h: Optional[Harness] = None) -> ExperimentResult:
+    """Correlation between branch properties and temperature."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig8", "|Pearson r| of branch properties vs. temperature",
+        ["app", "branch_type", "target_distance", "bias",
+         "avg_reuse_distance"],
+        notes=("Paper: only the holistic (average) reuse distance correlates "
+               "strongly with temperature; cheap static properties do not — "
+               "hence the need for OPT simulation on a profile."))
+    for app in h.config.apps:
+        corr = branch_property_correlations(
+            h.trace(app), h.config.btb_config, profile=h.profile(app))
+        result.rows.append([app, corr.branch_type, corr.target_distance,
+                            corr.bias, corr.avg_reuse_distance])
+    _append_average(result)
+    return result
+
+
+def fig9(h: Optional[Harness] = None) -> ExperimentResult:
+    """Bypass ratio by temperature class under OPT."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig9", "Bypass %% of all OPT misses, by temperature class",
+        ["app", "cold", "warm", "hot"],
+        notes=("Paper: OPT declines to insert cold branches in >50% of "
+               "their misses; hot branches almost always get inserted."))
+    for app in h.config.apps:
+        ratios = bypass_ratio_by_class(
+            h.trace(app), h.config.btb_config,
+            thresholds=h.config.thresholds, profile=h.profile(app))
+        result.rows.append([app] + [100.0 * r for r in ratios])
+    _append_average(result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# §4 evaluation
+# ----------------------------------------------------------------------
+
+def fig11(h: Optional[Harness] = None) -> ExperimentResult:
+    """Main result: Thermometer vs. priors vs. OPT (IPC speedup over LRU)."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig11", "IPC speedup (%) over LRU (with FDIP)",
+        ["app", "srrip", "ghrp", "hawkeye", "thermometer",
+         "thermometer_7979", "opt"],
+        notes=("Paper: Thermometer 8.7% average (0.4–64.9%), 83.6% of OPT's "
+               "10.4%; priors at most 1.5%.  The 7979-entry variant pays "
+               "for its 2 hint bits per entry with capacity."))
+    for app in h.config.apps:
+        trace = h.trace(app)
+        base = h.lru_sim(app)
+        hints = h.hints(app)
+        row: List = [app]
+        for name in PRIOR_POLICIES:
+            row.append(h.speedup_pct(h.run_sim(trace, name), base))
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "thermometer", hints=hints), base))
+        hints_7979 = h.hints(app, btb_config=BTBConfig(entries=7979, ways=4))
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "thermometer-7979", hints=hints_7979), base))
+        row.append(h.speedup_pct(h.run_sim(trace, "opt"), base))
+        result.rows.append(row)
+    _append_average(result, "Avg_no_verilator", skip_rows=("verilator",))
+    _append_average(result, "Avg", skip_rows=("Avg_no_verilator",))
+    return result
+
+
+def fig12(h: Optional[Harness] = None) -> ExperimentResult:
+    """BTB miss reduction over LRU."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig12", "BTB miss reduction (%) over LRU",
+        ["app", "srrip", "ghrp", "hawkeye", "thermometer", "opt"],
+        notes=("Paper: Thermometer removes 21.3% of all BTB misses vs 34% "
+               "for OPT (62.6% of optimal); priors reach at most 6.7%."))
+    for app in h.config.apps:
+        trace = h.trace(app)
+        base = h.run_misses(trace, "lru")
+        hints = h.hints(app)
+        row: List = [app]
+        for name in PRIOR_POLICIES:
+            row.append(h.miss_reduction_pct(h.run_misses(trace, name), base))
+        row.append(h.miss_reduction_pct(
+            h.run_misses(trace, "thermometer", hints=hints), base))
+        row.append(h.miss_reduction_pct(h.run_misses(trace, "opt"), base))
+        result.rows.append(row)
+    _append_average(result)
+    return result
+
+
+def fig13(h: Optional[Harness] = None,
+          inputs: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
+    """Generalization across inputs: training profile vs. same-input
+    profile, as % of the optimal policy's speedup."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig13", "% of OPT speedup, profiles from training vs. same input",
+        ["app_input", "srrip", "therm_training_profile",
+         "therm_same_input_profile"],
+        notes=("Paper: the training-input profile (input #0) retains most "
+               "of Thermometer's benefit on unseen inputs because ~81% of "
+               "branches keep their temperature class across inputs."))
+    agreements: List[float] = []
+    for app in h.config.apps:
+        train_hints = h.hints(app, input_id=0)
+        train_temps = h.temperatures(app, input_id=0)
+        for input_id in inputs:
+            trace = h.trace(app, input_id)
+            base = h.lru_sim(app, input_id)
+            opt = h.run_sim(trace, "opt")
+            opt_speedup = h.speedup_pct(opt, base)
+            if opt_speedup <= 0.3:
+                # Percent-of-OPT is meaningless when OPT itself gains
+                # nothing (python-style BTB-resident apps).
+                continue
+            srrip = h.speedup_pct(h.run_sim(trace, "srrip"), base)
+            training = h.speedup_pct(
+                h.run_sim(trace, "thermometer", hints=train_hints), base)
+            same = h.speedup_pct(
+                h.run_sim(trace, "thermometer",
+                          hints=h.hints(app, input_id)), base)
+            result.rows.append(
+                [f"{app}#{input_id}",
+                 100.0 * srrip / opt_speedup,
+                 100.0 * training / opt_speedup,
+                 100.0 * same / opt_speedup])
+            agreements.append(train_temps.agreement_with(
+                h.temperatures(app, input_id), h.config.thresholds))
+    _append_average(result)
+    result.notes += (f"\nMean cross-input temperature-class agreement: "
+                     f"{100.0 * _mean(agreements):.1f}% (paper: 81%).")
+    return result
+
+
+def fig14(h: Optional[Harness] = None) -> ExperimentResult:
+    """Offline OPT-simulation (profiling) cost."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig14", "Offline optimal-policy simulation time (seconds)",
+        ["app", "seconds", "branch_records"],
+        notes=("Paper: 4.18–167 s (23.53 s average) on full production "
+               "traces — comparable to routine post-link-optimizer runs. "
+               "Times here are for the synthetic traces' lengths."))
+    for app in h.config.apps:
+        profile = h.profile(app)
+        result.rows.append([app, profile.elapsed_seconds,
+                            profile.stats.accesses])
+    _append_average(result)
+    return result
+
+
+def fig15(h: Optional[Harness] = None) -> ExperimentResult:
+    """Replacement coverage: how often hints narrow the victim choice."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig15", "Thermometer replacement coverage (%)",
+        ["app", "coverage"],
+        notes=("Paper: 61.4% average — the remaining decisions see all "
+               "candidates in one temperature class and fall back to LRU."))
+    for app in h.config.apps:
+        trace = h.trace(app)
+        btb = h.build_btb("thermometer", trace, hints=h.hints(app))
+        run_btb(trace, btb)
+        result.rows.append([app, 100.0 * btb.policy.coverage])
+    _append_average(result)
+    return result
+
+
+class _AccuracyProbe:
+    """Judges each eviction by the victim's reuse distance *from the
+    eviction point* (Fig. 16).
+
+    A replacement is accurate when at least ``ways`` distinct branches of
+    the same set are accessed between the eviction and the victim's next
+    access (or the victim never returns): keeping the victim could not
+    have produced a hit in a ``ways``-associative set.
+    """
+
+    #: Scan budget per verdict; a gap this long with fewer than ``ways``
+    #: distinct pcs is vanishingly rare and treated as accurate.
+    SCAN_CAP = 1024
+
+    def __init__(self, btb: BTB):
+        self._ways = btb.config.ways
+        self._events: Dict[int, List[int]] = {}
+        self._pending: Dict[int, Dict[int, int]] = {}
+        self.accurate = 0
+        self.total = 0
+        btb.eviction_listener = self._on_evict
+
+    def _on_evict(self, set_idx: int, victim_pc: int, incoming_pc: int,
+                  index: int) -> None:
+        events = self._events.setdefault(set_idx, [])
+        self._pending.setdefault(set_idx, {})[victim_pc] = len(events)
+
+    def observe_access(self, set_idx: int, pc: int) -> None:
+        """Call after every demand access (post ``btb.access``)."""
+        events = self._events.setdefault(set_idx, [])
+        pending = self._pending.get(set_idx)
+        if pending is not None:
+            start = pending.pop(pc, None)
+            if start is not None:
+                self.total += 1
+                distinct: set = set()
+                for other in events[start:start + self.SCAN_CAP]:
+                    distinct.add(other)
+                    if len(distinct) >= self._ways:
+                        break
+                scanned_all = len(events) - start <= self.SCAN_CAP
+                if len(distinct) >= self._ways or not scanned_all:
+                    self.accurate += 1
+        events.append(pc)
+
+    def finish(self) -> None:
+        """Evictions whose victims never returned were free — accurate."""
+        for pending in self._pending.values():
+            self.accurate += len(pending)
+            self.total += len(pending)
+
+    @property
+    def accuracy_pct(self) -> float:
+        return 100.0 * self.accurate / self.total if self.total else 100.0
+
+
+def fig16(h: Optional[Harness] = None) -> ExperimentResult:
+    """Replacement accuracy: transient-only, holistic-only, combined."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig16", "Replacement accuracy (%): victim not reusable within "
+                 "associativity after eviction",
+        ["app", "transient", "holistic", "thermometer"],
+        notes=("Paper: transient-only 46.1%, holistic-only 63.7%, "
+               "Thermometer (both) 68.2%.  A decision is accurate when at "
+               "least `ways` distinct branches hit the set between the "
+               "eviction and the victim's return.  Known deviation: on the "
+               "synthetic streams, within-class reuse is more cyclic than "
+               "in production traces, so the holistic-only probe (whose "
+               "static tie-break degenerates into pinning) scores highest "
+               "and the combined policy lands between the two instead of "
+               "above both."))
+    config = h.config.btb_config
+    for app in h.config.apps:
+        trace = h.trace(app)
+        pcs, targets = btb_access_stream(trace)
+        hints = h.hints(app)
+        policies = {
+            "transient": make_policy("lru"),
+            "holistic": ThermometerPolicy(
+                hints, default_category=h.config.default_category,
+                tiebreak="static"),
+            "thermometer": ThermometerPolicy(
+                hints, default_category=h.config.default_category),
+        }
+        row: List = [app]
+        for policy in policies.values():
+            btb = BTB(config, policy)
+            probe = _AccuracyProbe(btb)
+            for i in range(len(pcs)):
+                pc = int(pcs[i])
+                btb.access(pc, int(targets[i]), i)
+                probe.observe_access(config.set_index(pc), pc)
+            probe.finish()
+            row.append(probe.accuracy_pct)
+        result.rows.append(row)
+    _append_average(result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Trace-suite validation
+# ----------------------------------------------------------------------
+
+#: Compact threshold grid for per-trace two-fold cross-validation.
+_FIG17_GRID = ((10.0, 40.0), (30.0, 60.0), (50.0, 80.0), (70.0, 95.0))
+
+
+def fig17(h: Optional[Harness] = None, count: int = 40,
+          length: int = 120_000) -> ExperimentResult:
+    """CBP-5 suite: Thermometer's miss reduction over GHRP."""
+    h = h or Harness()
+    pipeline = ThermometerPipeline(
+        config=h.config.btb_config,
+        quantizer=ThresholdQuantizer(h.config.thresholds),
+        default_category=h.config.default_category)
+    original: List[float] = []
+    twofold: List[float] = []
+    high_mpki: List[float] = []
+    wins = losses = ties = 0
+    for trace in make_cbp5_suite(count, length=length):
+        ghrp = run_btb(trace, BTB(h.config.btb_config, make_policy("ghrp")))
+        therm = pipeline.run(trace)
+        reduction = (100.0 * (ghrp.misses - therm.misses) / ghrp.misses
+                     if ghrp.misses else 0.0)
+        original.append(reduction)
+        cv = cross_validate_thresholds(trace, h.config.btb_config,
+                                       grid=_FIG17_GRID)
+        cv_pipeline = ThermometerPipeline(
+            config=h.config.btb_config,
+            quantizer=ThresholdQuantizer(cv.thresholds),
+            default_category=h.config.default_category)
+        therm_cv = cv_pipeline.run(trace)
+        twofold.append(100.0 * (ghrp.misses - therm_cv.misses) / ghrp.misses
+                       if ghrp.misses else 0.0)
+        # Filter on *non-compulsory* MPKI: first-touch misses dominate
+        # short synthetic traces and say nothing about replacement.
+        non_compulsory = max(0, ghrp.misses - len(trace.unique_taken_pcs()))
+        mpki = 1000.0 * non_compulsory / max(1, trace.num_instructions)
+        if mpki >= 1.0:
+            high_mpki.append(reduction)
+        if abs(ghrp.misses - therm.misses) <= 0.001 * ghrp.misses:
+            ties += 1
+        elif therm.misses < ghrp.misses:
+            wins += 1
+        else:
+            losses += 1
+    result = ExperimentResult(
+        "fig17", f"CBP-5-like suite ({len(original)} traces): BTB miss "
+                 "reduction (%) over GHRP",
+        ["metric", "value"],
+        notes=("Paper (663 traces): mean 2.25% over GHRP, 11.48% among "
+               "traces with BTB MPKI ≥ 1; 306 wins / 59 losses / 298 "
+               "compulsory-only ties, and two-fold threshold tuning "
+               "removes most losses."))
+    result.rows = [
+        ["mean_reduction_pct", _mean(original)],
+        ["mean_reduction_pct_twofold", _mean(twofold)],
+        ["mean_reduction_pct_mpki_ge_1", _mean(high_mpki)],
+        ["wins_vs_ghrp", wins],
+        ["losses_vs_ghrp", losses],
+        ["ties", ties],
+    ]
+    return result
+
+
+def fig18(h: Optional[Harness] = None, count: int = 15,
+          length: int = 120_000) -> ExperimentResult:
+    """IPC-1 suite: IPC speedups of all policies over LRU."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig18", f"IPC-1-like suite: IPC speedup (%) over LRU",
+        ["trace", "srrip", "ghrp", "hawkeye", "thermometer", "opt"],
+        notes=("Paper (50 traces): Thermometer 1.07% mean (85.7% of OPT's "
+               "1.25%), best prior (SRRIP) 0.45%; most traces fit the BTB "
+               "so only a tail benefits."))
+    pipeline = ThermometerPipeline(
+        config=h.config.btb_config,
+        quantizer=ThresholdQuantizer(h.config.thresholds),
+        default_category=h.config.default_category)
+    for trace in make_ipc1_suite(count, length=length):
+        base = h.run_sim(trace, "lru")
+        row: List = [trace.name]
+        for name in PRIOR_POLICIES:
+            row.append(h.speedup_pct(h.run_sim(trace, name), base))
+        hints = pipeline.build_hints(trace)
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "thermometer", hints=hints), base))
+        row.append(h.speedup_pct(h.run_sim(trace, "opt"), base))
+        result.rows.append(row)
+    _append_average(result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sensitivity studies
+# ----------------------------------------------------------------------
+
+def _pct_of_opt(h: Harness, trace: BranchTrace, hints, btb_config,
+                params=None) -> Optional[Tuple[float, float]]:
+    """(thermometer, srrip) speedups as % of OPT's, for one config.
+
+    Returns None when OPT itself gains under 0.3% — percent-of-nothing is
+    noise (e.g. a 32K-entry BTB that already holds the whole footprint).
+    """
+    base = h.run_sim(trace, "lru", btb_config=btb_config, params=params)
+    opt = h.speedup_pct(
+        h.run_sim(trace, "opt", btb_config=btb_config, params=params), base)
+    if opt <= 0.3:
+        return None
+    therm = h.speedup_pct(
+        h.run_sim(trace, "thermometer", hints=hints, btb_config=btb_config,
+                  params=params), base)
+    srrip = h.speedup_pct(
+        h.run_sim(trace, "srrip", btb_config=btb_config, params=params),
+        base)
+    return 100.0 * therm / opt, 100.0 * srrip / opt
+
+
+def fig19(h: Optional[Harness] = None,
+          apps: Sequence[str] = SWEEP_APPS,
+          entry_sweep: Sequence[int] = (1024, 2048, 4096, 8192, 16384,
+                                        32768),
+          way_sweep: Sequence[int] = (4, 8, 16, 32, 64, 128)
+          ) -> ExperimentResult:
+    """Sensitivity to BTB size (entries) and associativity (ways)."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig19", "% of OPT speedup while sweeping BTB entries / ways",
+        ["config", "app", "thermometer", "srrip"],
+        notes=("Paper: Thermometer beats SRRIP at every size and "
+               "associativity, capturing more of OPT as the BTB grows.  "
+               "At severely undersized BTBs the profile disables bypass "
+               "(bypass_recommended: the not-coldest population exceeds "
+               "capacity, so bypassing forfeits short-range reuse).  "
+               "Configurations where OPT itself gains <0.3% are omitted."))
+    for app in apps:
+        trace = h.trace(app)
+        for entries in entry_sweep:
+            cfg = BTBConfig(entries=entries, ways=h.config.btb_config.ways)
+            hints = h.hints(app, btb_config=cfg)
+            pair = _pct_of_opt(h, trace, hints, cfg)
+            if pair is not None:
+                result.rows.append([f"entries={entries}", app, *pair])
+        for ways in way_sweep:
+            cfg = BTBConfig(entries=h.config.btb_config.entries, ways=ways)
+            hints = h.hints(app, btb_config=cfg)
+            pair = _pct_of_opt(h, trace, hints, cfg)
+            if pair is not None:
+                result.rows.append([f"ways={ways}", app, *pair])
+    return result
+
+
+def _thresholds_for_categories(k: int) -> Tuple[float, ...]:
+    """Threshold vector for ``k`` temperature categories.
+
+    Keeps the paper's empirically best (50, 80) for 3 categories; other
+    counts use evenly spaced percentage cuts.
+    """
+    if k == 3:
+        return (50.0, 80.0)
+    return tuple(round(100.0 * i / k, 1) for i in range(1, k))
+
+
+def fig20(h: Optional[Harness] = None,
+          apps: Sequence[str] = SWEEP_APPS,
+          category_sweep: Sequence[int] = (2, 3, 4, 8, 16),
+          ftq_sweep: Sequence[int] = (64, 128, 192, 256)
+          ) -> ExperimentResult:
+    """Sensitivity to hint categories and FTQ (run-ahead) size."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig20", "% of OPT speedup while sweeping hint categories / FTQ",
+        ["config", "app", "thermometer", "srrip"],
+        notes=("Paper: 3–4 categories (a 2-bit hint) are the sweet spot — "
+               "fewer lose coverage, more fragment similar branches; the "
+               "benefit is stable across FTQ run-ahead depths."))
+    for app in apps:
+        trace = h.trace(app)
+        temps = h.temperatures(app)
+        for k in category_sweep:
+            quantizer = ThresholdQuantizer(_thresholds_for_categories(k))
+            hints = quantizer.quantize(
+                temps, default_category=min(1, k - 1))
+            pair = _pct_of_opt(h, trace, hints, h.config.btb_config)
+            if pair is not None:
+                result.rows.append([f"categories={k}", app, *pair])
+        hints = h.hints(app)
+        for ftq in ftq_sweep:
+            params = h.config.params.with_ftq_entries(
+                ftq // h.config.params.ftq_block_instructions)
+            pair = _pct_of_opt(h, trace, hints, h.config.btb_config,
+                               params=params)
+            if pair is not None:
+                result.rows.append([f"ftq={ftq}", app, *pair])
+    return result
+
+
+def fig21(h: Optional[Harness] = None) -> ExperimentResult:
+    """Thermometer under state-of-the-art BTB prefetching (Twig)."""
+    h = h or Harness()
+    result = ExperimentResult(
+        "fig21", "IPC speedup (%) over LRU+Twig baseline",
+        ["app", "srrip", "thermometer", "opt"],
+        notes=("Paper: Thermometer+Twig gains 30.9% over LRU+Twig (95.9% "
+               "of OPT's 32.2%); prefetch fills make replacement quality "
+               "matter even more."))
+    for app in h.config.apps:
+        trace = h.trace(app)
+        twig = TwigPrefetcher.train(trace, h.config.btb_config)
+        base = h.run_sim(trace, "lru", prefetcher=twig)
+        hints = h.hints(app)
+        row: List = [app]
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "srrip", prefetcher=twig), base))
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "thermometer", hints=hints, prefetcher=twig),
+            base))
+        row.append(h.speedup_pct(
+            h.run_sim(trace, "opt", prefetcher=twig), base))
+        result.rows.append(row)
+    _append_average(result, "Avg_no_verilator", skip_rows=("verilator",))
+    _append_average(result, "Avg", skip_rows=("Avg_no_verilator",))
+    return result
+
+
+#: Every experiment, in paper order, for the reproduce driver.
+ALL_EXPERIMENTS = {
+    "fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5,
+    "fig6": fig6, "fig7": fig7, "fig8": fig8, "fig9": fig9,
+    "fig11": fig11, "fig12": fig12, "fig13": fig13, "fig14": fig14,
+    "fig15": fig15, "fig16": fig16, "fig17": fig17, "fig18": fig18,
+    "fig19": fig19, "fig20": fig20, "fig21": fig21,
+}

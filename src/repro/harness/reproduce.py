@@ -1,0 +1,141 @@
+"""Regenerate every paper figure: ``python -m repro.harness.reproduce``.
+
+Presets trade fidelity for runtime (pure-Python simulation on synthetic
+traces):
+
+* ``--preset quick`` — short traces, small suites; minutes.  For smoke runs.
+* ``--preset full``  — the lengths EXPERIMENTS.md was produced with.
+
+Select a subset with ``--only fig11,fig12``; write markdown with
+``--output results.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.runner import Harness, HarnessConfig
+
+__all__ = ["main", "run_experiments", "PRESETS"]
+
+PRESETS: Dict[str, dict] = {
+    # length: per-app trace records; cbp/ipc: suite sizes.
+    "quick": {"length": 50_000, "cbp_count": 12, "ipc_count": 6,
+              "suite_length": 50_000, "inputs": (1,)},
+    "full": {"length": None, "cbp_count": 60, "ipc_count": 15,
+             "suite_length": 120_000, "inputs": (1, 2, 3)},
+}
+
+
+def _experiment_kwargs(name: str, settings: dict) -> dict:
+    if name == "fig13":
+        return {"inputs": settings["inputs"]}
+    if name == "fig17":
+        return {"count": settings["cbp_count"],
+                "length": settings["suite_length"]}
+    if name == "fig18":
+        return {"count": settings["ipc_count"],
+                "length": settings["suite_length"]}
+    return {}
+
+
+def _run_one(name: str, preset: str, apps: Optional[List[str]]):
+    """Worker entry point (must be module-level for process pools)."""
+    settings = PRESETS[preset]
+    config = HarnessConfig(length=settings["length"])
+    if apps:
+        config = HarnessConfig(apps=tuple(apps), length=settings["length"])
+    start = time.perf_counter()
+    result = ALL_EXPERIMENTS[name](Harness(config),
+                                   **_experiment_kwargs(name, settings))
+    return name, result, time.perf_counter() - start
+
+
+def run_experiments(names: Optional[List[str]] = None,
+                    preset: str = "full",
+                    apps: Optional[List[str]] = None,
+                    stream=sys.stdout,
+                    jobs: int = 1) -> Dict[str, "ExperimentResult"]:
+    """Run the named experiments (all by default) and stream their tables.
+
+    ``jobs > 1`` runs whole figures in parallel worker processes (each with
+    its own harness; per-process caching still amortizes within a figure).
+    """
+    settings = PRESETS[preset]
+    config = HarnessConfig(length=settings["length"])
+    if apps:
+        config = HarnessConfig(apps=tuple(apps), length=settings["length"])
+    names = names or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}; available: "
+                         f"{list(ALL_EXPERIMENTS)}")
+    results = {}
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_one, name, preset, apps)
+                       for name in names]
+            for future in futures:
+                name, result, elapsed = future.result()
+                results[name] = result
+                print(result.render(), file=stream)
+                print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
+                stream.flush()
+        return results
+    harness = Harness(config)
+    for name in names:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](
+            harness, **_experiment_kwargs(name, settings))
+        elapsed = time.perf_counter() - start
+        results[name] = result
+        print(result.render(), file=stream)
+        print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
+        stream.flush()
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.reproduce",
+        description="Regenerate the Thermometer paper's figures.")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="full")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated experiment names (e.g. "
+                             "fig11,fig12)")
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated subset of the 13 applications")
+    parser.add_argument("--output", default=None,
+                        help="also write results as markdown to this file")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run figures in N parallel processes")
+    parser.add_argument("--validate", action="store_true",
+                        help="check the reproduction claims against the "
+                             "results and exit non-zero on failures")
+    args = parser.parse_args(argv)
+    names = args.only.split(",") if args.only else None
+    apps = args.apps.split(",") if args.apps else None
+    results = run_experiments(names=names, preset=args.preset, apps=apps,
+                              jobs=args.jobs)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            for result in results.values():
+                fh.write(result.to_markdown())
+                fh.write("\n\n")
+        print(f"wrote {args.output}")
+    if args.validate:
+        from repro.harness.validate import render_report, validate_results
+        outcomes = validate_results(results)
+        print(render_report(outcomes))
+        if any(o.status == "FAIL" for o in outcomes):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Shared experiment machinery: trace/profile caches and simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.btb.btb import BTB, BTBStats, btb_access_stream, run_btb
+from repro.btb.config import (BTBConfig, DEFAULT_BTB_CONFIG,
+                              THERMOMETER_7979_CONFIG)
+from repro.btb.replacement.registry import make_policy
+from repro.btb.replacement.thermometer import ThermometerPolicy
+from repro.core.hints import HintMap, ThresholdQuantizer
+from repro.core.pipeline import bypass_recommended
+from repro.core.profiler import OptProfile, profile_trace
+from repro.core.temperature import TemperatureProfile
+from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
+from repro.frontend.simulator import FrontendSimulator, SimResult
+from repro.trace.record import BranchTrace
+from repro.workloads.datacenter import app_names, make_app_trace
+
+__all__ = ["Harness", "HarnessConfig", "PRIOR_POLICIES"]
+
+#: The prior replacement policies the paper compares against (Fig. 1).
+PRIOR_POLICIES = ("srrip", "ghrp", "hawkeye")
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Configuration shared by every experiment run by one harness."""
+
+    apps: Tuple[str, ...] = field(default_factory=lambda: tuple(app_names()))
+    #: Dynamic trace length per app; None keeps each app's default.
+    length: Optional[int] = None
+    btb_config: BTBConfig = DEFAULT_BTB_CONFIG
+    params: FrontendParams = DEFAULT_FRONTEND_PARAMS
+    thresholds: Tuple[float, float] = (50.0, 80.0)
+    #: Category for unprofiled branches (warm: no evidence either way).
+    default_category: int = 1
+    warmup_fraction: float = 0.2
+
+    def scaled(self, length: int) -> "HarnessConfig":
+        return replace(self, length=length)
+
+
+class Harness:
+    """Caches traces, profiles, hints, and baseline runs across experiments.
+
+    One harness = one machine configuration; experiments that sweep a
+    parameter (BTB size, FTQ depth, ...) construct variant configs
+    explicitly and bypass the caches where the variant matters.
+    """
+
+    def __init__(self, config: HarnessConfig = HarnessConfig()):
+        self.config = config
+        self._traces: Dict[Tuple[str, int], BranchTrace] = {}
+        self._profiles: Dict[Tuple[str, int, BTBConfig], OptProfile] = {}
+        self._lru_sims: Dict[Tuple[str, int], SimResult] = {}
+
+    def lru_sim(self, app: str, input_id: int = 0) -> SimResult:
+        """Cached LRU-baseline timing run (the denominator of every
+        speedup figure)."""
+        key = (app, input_id)
+        cached = self._lru_sims.get(key)
+        if cached is None:
+            cached = self.run_sim(self.trace(app, input_id), "lru")
+            self._lru_sims[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Cached artifacts
+    # ------------------------------------------------------------------
+    def trace(self, app: str, input_id: int = 0) -> BranchTrace:
+        key = (app, input_id)
+        cached = self._traces.get(key)
+        if cached is None:
+            cached = make_app_trace(app, input_id=input_id,
+                                    length=self.config.length)
+            self._traces[key] = cached
+        return cached
+
+    def profile(self, app: str, input_id: int = 0,
+                btb_config: Optional[BTBConfig] = None) -> OptProfile:
+        btb_config = btb_config or self.config.btb_config
+        key = (app, input_id, btb_config)
+        cached = self._profiles.get(key)
+        if cached is None:
+            cached = profile_trace(self.trace(app, input_id), btb_config)
+            self._profiles[key] = cached
+        return cached
+
+    def temperatures(self, app: str, input_id: int = 0,
+                     btb_config: Optional[BTBConfig] = None
+                     ) -> TemperatureProfile:
+        return TemperatureProfile.from_opt_profile(
+            self.profile(app, input_id, btb_config))
+
+    def hints(self, app: str, input_id: int = 0,
+              btb_config: Optional[BTBConfig] = None,
+              thresholds: Optional[Sequence[float]] = None) -> HintMap:
+        quantizer = ThresholdQuantizer(thresholds or self.config.thresholds)
+        return quantizer.quantize(
+            self.temperatures(app, input_id, btb_config),
+            default_category=self.config.default_category)
+
+    # ------------------------------------------------------------------
+    # Policy / BTB construction
+    # ------------------------------------------------------------------
+    def build_btb(self, policy_name: str, trace: BranchTrace,
+                  btb_config: Optional[BTBConfig] = None,
+                  hints: Optional[HintMap] = None) -> BTB:
+        """A fresh BTB running ``policy_name`` for ``trace``.
+
+        ``'thermometer'`` requires ``hints``; ``'thermometer-7979'`` uses
+        the iso-storage configuration of Fig. 11.
+        """
+        btb_config = btb_config or self.config.btb_config
+        if policy_name == "thermometer-7979":
+            btb_config = THERMOMETER_7979_CONFIG
+            policy_name = "thermometer"
+        if policy_name == "thermometer":
+            if hints is None:
+                raise ValueError("thermometer needs hints")
+            policy = ThermometerPolicy(
+                hints, default_category=self.config.default_category,
+                bypass_enabled=bypass_recommended(hints, btb_config))
+        elif policy_name == "opt":
+            pcs, _ = btb_access_stream(trace)
+            policy = make_policy("opt", stream=pcs)
+        else:
+            policy = make_policy(policy_name)
+        return BTB(btb_config, policy)
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def run_misses(self, trace: BranchTrace, policy_name: str,
+                   btb_config: Optional[BTBConfig] = None,
+                   hints: Optional[HintMap] = None) -> BTBStats:
+        """Replay only the BTB (no timing) — fast path for miss figures."""
+        btb = self.build_btb(policy_name, trace, btb_config, hints)
+        return run_btb(trace, btb)
+
+    def run_sim(self, trace: BranchTrace, policy_name: Optional[str] = "lru",
+                btb_config: Optional[BTBConfig] = None,
+                hints: Optional[HintMap] = None,
+                params: Optional[FrontendParams] = None,
+                prefetcher=None, **oracle_flags) -> SimResult:
+        """Full timing simulation; ``policy_name=None`` with
+        ``perfect_btb=True`` runs the perfect-BTB oracle."""
+        params = params or self.config.params
+        btb = None
+        if not oracle_flags.get("perfect_btb"):
+            btb = self.build_btb(policy_name, trace, btb_config, hints)
+        sim = FrontendSimulator(params=params, btb=btb,
+                                prefetcher=prefetcher, **oracle_flags)
+        return sim.simulate(trace,
+                            warmup_fraction=self.config.warmup_fraction)
+
+    def speedup_pct(self, result: SimResult, baseline: SimResult) -> float:
+        """IPC speedup in percent."""
+        return 100.0 * result.speedup_over(baseline)
+
+    def miss_reduction_pct(self, stats: BTBStats,
+                           baseline: BTBStats) -> float:
+        if baseline.misses == 0:
+            return 0.0
+        return 100.0 * (baseline.misses - stats.misses) / baseline.misses

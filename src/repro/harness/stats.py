@@ -1,0 +1,143 @@
+"""Replication statistics: run experiments across seeds, report CIs.
+
+The synthetic workload generator is seeded, so every headline number can be
+replicated across independent trace draws.  This module provides the
+machinery: :func:`replicate` runs any metric across seeds and returns a
+mean with a Student-t confidence interval; :func:`speedup_replication`
+packages the common case — per-policy IPC speedup over LRU for one
+application — as an :class:`~repro.harness.reporting.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
+from repro.btb.replacement.registry import make_policy
+from repro.core.hints import ThresholdQuantizer
+from repro.core.pipeline import ThermometerPipeline
+from repro.frontend.simulator import simulate
+from repro.harness.reporting import ExperimentResult
+from repro.workloads.datacenter import make_app_trace
+
+__all__ = ["ReplicationResult", "replicate", "speedup_replication"]
+
+#: Two-sided 95% Student-t critical values by degrees of freedom (1-30);
+#: beyond 30 the normal value is used.
+_T95 = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042]
+
+
+def _t95(dof: int) -> float:
+    if dof < 1:
+        raise ValueError("need at least 2 samples for an interval")
+    return _T95[dof - 1] if dof <= len(_T95) else 1.96
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Mean and 95% confidence interval of a replicated metric."""
+
+    metric: str
+    values: tuple
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1)."""
+        if self.n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((v - mean) ** 2 for v in self.values)
+                         / (self.n - 1))
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the two-sided 95% Student-t interval."""
+        if self.n < 2:
+            return 0.0
+        return _t95(self.n - 1) * self.std / math.sqrt(self.n)
+
+    @property
+    def ci95(self) -> tuple:
+        half = self.ci95_halfwidth
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        return (f"{self.metric}: {self.mean:.3f} ± "
+                f"{self.ci95_halfwidth:.3f} (n={self.n})")
+
+
+def replicate(metric_fn: Callable[[int], float], seeds: Sequence[int],
+              metric: str = "metric") -> ReplicationResult:
+    """Evaluate ``metric_fn(seed)`` for every seed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return ReplicationResult(metric=metric,
+                             values=tuple(metric_fn(seed)
+                                          for seed in seeds))
+
+
+def speedup_replication(app: str,
+                        policies: Sequence[str] = ("srrip", "thermometer",
+                                                   "opt"),
+                        seeds: Sequence[int] = (0, 1, 2),
+                        length: Optional[int] = None,
+                        config: BTBConfig = DEFAULT_BTB_CONFIG,
+                        use_ipc: bool = False) -> ExperimentResult:
+    """Per-policy gains over LRU for ``app``, replicated across seeds.
+
+    By default reports BTB **miss reduction** (fast); with ``use_ipc`` the
+    full timing model runs and the metric is IPC speedup.  Both in percent.
+    """
+    samples: dict = {name: [] for name in policies}
+    for seed in seeds:
+        trace = make_app_trace(app, length=length, seed=seed)
+        pcs, _ = btb_access_stream(trace)
+        pipeline = ThermometerPipeline(config=config,
+                                       quantizer=ThresholdQuantizer())
+        hints = pipeline.build_hints(trace)
+
+        def build(name):
+            if name == "thermometer":
+                return BTB(config, pipeline.policy(hints))
+            if name == "opt":
+                return BTB(config, make_policy("opt", stream=pcs))
+            return BTB(config, make_policy(name))
+
+        if use_ipc:
+            base = simulate(trace, btb=build("lru"))
+            for name in policies:
+                result = simulate(trace, btb=build(name))
+                samples[name].append(100.0 * result.speedup_over(base))
+        else:
+            base = run_btb(trace, build("lru"))
+            for name in policies:
+                stats = run_btb(trace, build(name))
+                reduction = (100.0 * (base.misses - stats.misses)
+                             / base.misses if base.misses else 0.0)
+                samples[name].append(reduction)
+
+    metric = "ipc_speedup_pct" if use_ipc else "miss_reduction_pct"
+    result = ExperimentResult(
+        "replication", f"{app}: {metric} over LRU across "
+                       f"{len(seeds)} seeds",
+        ["policy", "mean", "std", "ci95_half", "n"],
+        notes="95% Student-t interval over independent trace draws.")
+    for name in policies:
+        rep = ReplicationResult(metric=name, values=tuple(samples[name]))
+        result.rows.append([name, rep.mean, rep.std, rep.ci95_halfwidth,
+                            rep.n])
+    return result

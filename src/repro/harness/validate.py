@@ -1,0 +1,245 @@
+"""Executable reproduction claims.
+
+EXPERIMENTS.md records paper-vs-measured verdicts; this module turns the
+qualitative claims into code so a fresh run can be checked mechanically:
+
+    results = run_experiments(...)            # or any subset
+    report = validate_results(results)
+    print(render_report(report))
+
+Each :class:`Claim` names the paper finding it guards, the figures it needs,
+and a predicate over their tables.  Claims whose figures are absent from the
+result set are reported as SKIPPED, so partial runs validate cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.harness.reporting import ExperimentResult
+
+__all__ = ["Claim", "ClaimOutcome", "CLAIMS", "validate_results",
+           "render_report"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper finding and the predicate that checks it."""
+
+    name: str
+    description: str
+    requires: tuple
+    check: Callable[[Mapping[str, ExperimentResult]], str]
+    # ``check`` returns a detail string on success and raises
+    # AssertionError (with detail) on failure.
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    claim: Claim
+    status: str               # "PASS" | "FAIL" | "SKIP"
+    detail: str
+
+
+def _avg(results, fig, column, row="Avg"):
+    return float(results[fig].row(row)[results[fig].columns.index(column)])
+
+
+# ----------------------------------------------------------------------
+# Claim predicates
+# ----------------------------------------------------------------------
+
+def _check_priors_gap(results):
+    opt = _avg(results, "fig1", "opt")
+    best_prior = max(_avg(results, "fig1", name)
+                     for name in ("srrip", "ghrp", "hawkeye"))
+    assert opt > 2 * max(best_prior, 0.1), \
+        f"OPT {opt:.2f}% not >> best prior {best_prior:.2f}%"
+    return f"OPT {opt:.2f}% vs best prior {best_prior:.2f}%"
+
+
+def _check_perfect_btb_dominates(results):
+    btb = _avg(results, "fig2", "perfect_btb")
+    bp = _avg(results, "fig2", "perfect_bp")
+    assert btb > bp, f"perfect BTB {btb:.1f}% <= perfect BP {bp:.1f}%"
+    return f"perfect BTB {btb:.1f}% > perfect BP {bp:.1f}%"
+
+
+def _check_verilator_outlier(results):
+    rows = {row[0]: row[1] for row in results["fig3"].rows}
+    others = [v for k, v in rows.items() if k != "verilator"]
+    assert rows["verilator"] > max(others), "verilator not the L2iMPKI peak"
+    return (f"verilator {rows['verilator']:.1f} MPKI vs next "
+            f"{max(others):.2f}")
+
+
+def _check_variance_ratio(results):
+    ratio = _avg(results, "fig5", "ratio")
+    assert ratio > 1.5, f"transient/holistic ratio {ratio:.2f} <= 1.5"
+    return f"transient/holistic variance ratio {ratio:.2f}"
+
+
+def _check_reuse_correlation(results):
+    reuse = _avg(results, "fig8", "avg_reuse_distance")
+    rest = max(_avg(results, "fig8", c)
+               for c in ("branch_type", "target_distance", "bias"))
+    assert reuse > rest, \
+        f"reuse corr {reuse:.2f} not dominant (next {rest:.2f})"
+    return f"reuse |r|={reuse:.2f} vs next property {rest:.2f}"
+
+
+def _check_cold_bypass(results):
+    cold = _avg(results, "fig9", "cold")
+    hot = _avg(results, "fig9", "hot")
+    assert cold > 10 * max(hot, 0.1), \
+        f"cold bypass {cold:.1f}% not >> hot {hot:.2f}%"
+    return f"cold bypass {cold:.1f}% vs hot {hot:.2f}%"
+
+
+def _check_main_result(results):
+    fig = results["fig11"]
+    col = fig.columns.index
+    avg = fig.row("Avg")
+    therm, opt = avg[col("thermometer")], avg[col("opt")]
+    priors = max(avg[col(n)] for n in ("srrip", "ghrp", "hawkeye"))
+    assert opt >= therm > priors, \
+        f"ordering broken: opt {opt:.2f}, therm {therm:.2f}, " \
+        f"priors {priors:.2f}"
+    assert therm > 0.4 * opt, \
+        f"thermometer {therm:.2f}% captures <40% of OPT {opt:.2f}%"
+    return (f"thermometer {therm:.2f}% = {100 * therm / opt:.0f}% of OPT, "
+            f"best prior {priors:.2f}%")
+
+
+def _check_miss_reduction_share(results):
+    fig = results["fig12"]
+    col = fig.columns.index
+    avg = fig.row("Avg")
+    share = avg[col("thermometer")] / avg[col("opt")]
+    assert 0.4 < share <= 1.0, f"miss-reduction share {share:.2f} off"
+    return f"thermometer removes {100 * share:.0f}% of OPT's misses " \
+           f"(paper: 62.6%)"
+
+
+def _check_training_profile_transfers(results):
+    fig = results["fig13"]
+    col = fig.columns.index
+    avg = fig.row("Avg")
+    training = avg[col("therm_training_profile")]
+    srrip = avg[col("srrip")]
+    assert training > 2 * max(srrip, 1.0), \
+        f"training profile {training:.1f}% not >> srrip {srrip:.1f}%"
+    return f"training-input profile {training:.1f}% of OPT vs " \
+           f"srrip {srrip:.1f}%"
+
+
+def _check_cbp5(results):
+    rows = {row[0]: row[1] for row in results["fig17"].rows}
+    assert rows["wins_vs_ghrp"] > 3 * max(rows["losses_vs_ghrp"], 1), \
+        "wins/losses ratio below the paper's ~5x"
+    assert rows["mean_reduction_pct"] > 0
+    return (f"{rows['wins_vs_ghrp']:.0f} wins / "
+            f"{rows['losses_vs_ghrp']:.0f} losses / "
+            f"{rows['ties']:.0f} ties; mean "
+            f"{rows['mean_reduction_pct']:.2f}%")
+
+
+def _check_ipc1(results):
+    fig = results["fig18"]
+    col = fig.columns.index
+    avg = fig.row("Avg")
+    assert avg[col("opt")] >= avg[col("thermometer")] > avg[col("srrip")]
+    return (f"thermometer {avg[col('thermometer')]:.2f}% vs srrip "
+            f"{avg[col('srrip')]:.2f}% (paper: 1.07 vs 0.45)")
+
+
+def _check_geometry_sweep(results):
+    fig = results["fig19"]
+    col = fig.columns.index
+    rows = fig.rows
+    better = sum(row[col("thermometer")] >= row[col("srrip")]
+                 for row in rows)
+    assert better >= 0.8 * len(rows), \
+        f"thermometer >= srrip in only {better}/{len(rows)} geometries"
+    worst = min(row[col("thermometer")] for row in rows)
+    assert worst > -5.0, f"thermometer collapses at some geometry: {worst}"
+    return f"thermometer >= srrip in {better}/{len(rows)} geometries"
+
+
+def _check_twig_composition(results):
+    fig = results["fig21"]
+    col = fig.columns.index
+    avg = fig.row("Avg")
+    assert avg[col("thermometer")] > avg[col("srrip")]
+    assert avg[col("thermometer")] > 0
+    return (f"thermometer+Twig {avg[col('thermometer')]:.2f}% vs "
+            f"srrip+Twig {avg[col('srrip')]:.2f}%")
+
+
+CLAIMS: List[Claim] = [
+    Claim("priors-gap", "OPT far exceeds every prior policy (Fig. 1)",
+          ("fig1",), _check_priors_gap),
+    Claim("perfect-btb-dominates",
+          "Perfect BTB worth more than perfect BP (Fig. 2)",
+          ("fig2",), _check_perfect_btb_dominates),
+    Claim("verilator-outlier", "verilator is the L2iMPKI outlier (Fig. 3)",
+          ("fig3",), _check_verilator_outlier),
+    Claim("variance-ratio",
+          "Transient variance ≫ holistic variance (Fig. 5)",
+          ("fig5",), _check_variance_ratio),
+    Claim("reuse-correlation",
+          "Only holistic reuse distance predicts temperature (Fig. 8)",
+          ("fig8",), _check_reuse_correlation),
+    Claim("cold-bypass", "OPT bypasses cold, inserts hot (Fig. 9)",
+          ("fig9",), _check_cold_bypass),
+    Claim("main-result",
+          "Thermometer beats all priors, near OPT (Fig. 11)",
+          ("fig11",), _check_main_result),
+    Claim("miss-share",
+          "Thermometer removes ~60% of OPT's miss reduction (Fig. 12)",
+          ("fig12",), _check_miss_reduction_share),
+    Claim("profile-transfer",
+          "Training-input profiles transfer to unseen inputs (Fig. 13)",
+          ("fig13",), _check_training_profile_transfers),
+    Claim("cbp5", "CBP-5: wins ≫ losses vs GHRP (Fig. 17)",
+          ("fig17",), _check_cbp5),
+    Claim("ipc1", "IPC-1: Thermometer > priors (Fig. 18)",
+          ("fig18",), _check_ipc1),
+    Claim("geometry", "Robust across BTB geometries (Fig. 19)",
+          ("fig19",), _check_geometry_sweep),
+    Claim("twig", "Composes with Twig prefetching (Fig. 21)",
+          ("fig21",), _check_twig_composition),
+]
+
+
+def validate_results(results: Mapping[str, ExperimentResult],
+                     claims: Optional[List[Claim]] = None
+                     ) -> List[ClaimOutcome]:
+    """Check every claim whose required figures are present."""
+    outcomes = []
+    for claim in claims or CLAIMS:
+        if any(fig not in results for fig in claim.requires):
+            missing = [f for f in claim.requires if f not in results]
+            outcomes.append(ClaimOutcome(claim, "SKIP",
+                                         f"missing {missing}"))
+            continue
+        try:
+            detail = claim.check(results)
+        except AssertionError as exc:
+            outcomes.append(ClaimOutcome(claim, "FAIL", str(exc)))
+        else:
+            outcomes.append(ClaimOutcome(claim, "PASS", detail))
+    return outcomes
+
+
+def render_report(outcomes: List[ClaimOutcome]) -> str:
+    lines = ["reproduction claims:"]
+    for outcome in outcomes:
+        lines.append(f"  [{outcome.status}] {outcome.claim.name}: "
+                     f"{outcome.detail}")
+    passed = sum(o.status == "PASS" for o in outcomes)
+    failed = sum(o.status == "FAIL" for o in outcomes)
+    skipped = sum(o.status == "SKIP" for o in outcomes)
+    lines.append(f"{passed} passed, {failed} failed, {skipped} skipped")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""BTB prefetching mechanisms (prior work reproduced for Figs. 4 and 21).
+
+These are deliberately compact models that capture each design's first-order
+benefit and first-order cost (DESIGN.md §2):
+
+* :class:`ConfluencePrefetcher` — temporal record-and-replay of BTB miss
+  streams (Kaynak et al., MICRO 2015);
+* :class:`ShotgunPrefetcher` — BTB-directed region prefetching with the
+  static-partitioning capacity tax that the paper identifies as its failure
+  mode (Kumar et al., ASPLOS 2018);
+* :class:`TwigPrefetcher` — profile-guided BTB prefetch injection (Khan et
+  al., MICRO 2021), the state-of-the-art mechanism Thermometer composes with
+  in Fig. 21.
+"""
+
+from repro.prefetch.base import BTBPrefetcher, NullPrefetcher
+from repro.prefetch.confluence import ConfluencePrefetcher
+from repro.prefetch.shotgun import ShotgunPrefetcher, shotgun_btb_config
+from repro.prefetch.twig import TwigPrefetcher
+
+__all__ = [
+    "BTBPrefetcher",
+    "ConfluencePrefetcher",
+    "NullPrefetcher",
+    "ShotgunPrefetcher",
+    "TwigPrefetcher",
+    "shotgun_btb_config",
+]

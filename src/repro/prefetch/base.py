@@ -1,0 +1,46 @@
+"""Prefetcher interface used by the frontend simulator."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.btb.btb import BTB
+
+__all__ = ["BTBPrefetcher", "NullPrefetcher"]
+
+
+class BTBPrefetcher(ABC):
+    """Observes demand BTB accesses and may insert entries ahead of use.
+
+    The simulator calls :meth:`on_access` after every demand access; the
+    prefetcher inserts predictions with ``btb.insert`` (which respects the
+    replacement policy, so prefetch-induced evictions behave exactly like
+    the paper describes).
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.issued = 0
+        self.installed = 0
+
+    @abstractmethod
+    def on_access(self, pc: int, target: int, hit: bool, btb: BTB,
+                  index: int) -> None:
+        """React to a demand access (hit or miss) at stream ``index``."""
+
+    def prefetch(self, btb: BTB, pc: int, target: int, index: int) -> None:
+        """Issue one prefetch insertion, keeping statistics."""
+        self.issued += 1
+        if btb.insert(pc, target, index):
+            self.installed += 1
+
+
+class NullPrefetcher(BTBPrefetcher):
+    """No prefetching (the baseline configuration)."""
+
+    name = "none"
+
+    def on_access(self, pc: int, target: int, hit: bool, btb: BTB,
+                  index: int) -> None:
+        pass

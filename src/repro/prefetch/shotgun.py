@@ -1,0 +1,88 @@
+"""Shotgun-style BTB-directed prefetching.
+
+Shotgun (Kumar et al.) partitions the BTB statically: a U-BTB for
+unconditional branches whose entries carry *region footprint* metadata, a
+C-BTB for conditional branches, and a return buffer.  On a taken
+unconditional branch, it prefetches the branches of the target region
+recorded in the footprint.
+
+The paper under reproduction identifies why this fails for data center
+applications (§2.2): the static partition rarely matches the conditional /
+unconditional working-set split, and footprint metadata consumes precious
+BTB storage.  We model both costs: :func:`shotgun_btb_config` shrinks the
+effective BTB (metadata tax), and region prefetching brings in branches
+whether or not they will be used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.btb.btb import BTB
+from repro.btb.config import BTBConfig
+from repro.prefetch.base import BTBPrefetcher
+
+__all__ = ["ShotgunPrefetcher", "shotgun_btb_config"]
+
+#: Fraction of BTB storage consumed by Shotgun's footprint metadata and
+#: partition imbalance (the paper reports 26-45% of conditional branches not
+#: fitting; 35% sits inside that band).
+METADATA_TAX = 0.35
+
+
+def shotgun_btb_config(config: BTBConfig,
+                       metadata_tax: float = METADATA_TAX) -> BTBConfig:
+    """The effective BTB left after Shotgun's metadata/partition overheads."""
+    if not 0.0 <= metadata_tax < 1.0:
+        raise ValueError("metadata_tax must be in [0, 1)")
+    entries = max(config.ways, int(config.entries * (1.0 - metadata_tax)))
+    return replace(config, entries=entries)
+
+
+class ShotgunPrefetcher(BTBPrefetcher):
+    """Region-footprint prefetching triggered by unconditional branches."""
+
+    name = "shotgun"
+
+    def __init__(self, region_bytes: int = 512, footprint_branches: int = 8,
+                 table_entries: int = 1024):
+        super().__init__()
+        self.region_bytes = region_bytes
+        self.footprint_branches = footprint_branches
+        self.table_entries = table_entries
+        # region id -> recently observed branches inside the region.
+        self._footprints: Dict[int, List[Tuple[int, int]]] = {}
+        self._order: List[int] = []
+
+    def _region(self, address: int) -> int:
+        return address // self.region_bytes
+
+    def _record(self, pc: int, target: int) -> None:
+        region = self._region(pc)
+        footprint = self._footprints.get(region)
+        if footprint is None:
+            if len(self._order) >= self.table_entries:
+                oldest = self._order.pop(0)
+                self._footprints.pop(oldest, None)
+            footprint = []
+            self._footprints[region] = footprint
+            self._order.append(region)
+        for i, (existing_pc, _) in enumerate(footprint):
+            if existing_pc == pc:
+                footprint[i] = (pc, target)
+                return
+        footprint.append((pc, target))
+        if len(footprint) > self.footprint_branches:
+            footprint.pop(0)
+
+    def on_access(self, pc: int, target: int, hit: bool, btb: BTB,
+                  index: int) -> None:
+        # Every observed taken branch trains its region's footprint.
+        self._record(pc, target)
+        # Unconditional control transfers trigger target-region prefetch.
+        footprint = self._footprints.get(self._region(target))
+        if footprint:
+            for branch_pc, branch_target in footprint:
+                if branch_pc != pc:
+                    self.prefetch(btb, branch_pc, branch_target, index)

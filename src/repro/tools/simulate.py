@@ -1,0 +1,95 @@
+"""Replay a trace under a replacement policy (hardware side, step 4).
+
+Examples::
+
+    python -m repro.tools.simulate t.btrc.gz --policy srrip
+    python -m repro.tools.simulate t.btrc --policy thermometer \\
+        --hints hints.json --baseline lru
+    python -m repro.tools.simulate t.btrc --policy opt --ipc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.registry import make_policy, policy_names
+from repro.core.hints import HintMap
+from repro.frontend.simulator import simulate as run_timing
+from repro.trace.formats import read_trace
+
+__all__ = ["main"]
+
+
+def _build_policy(name: str, trace, hints_path: Optional[str]):
+    if name == "opt":
+        pcs, _ = btb_access_stream(trace)
+        return make_policy("opt", stream=pcs)
+    if name == "thermometer":
+        if not hints_path:
+            raise ValueError("--policy thermometer requires --hints "
+                             "(from repro.tools.profile)")
+        return make_policy("thermometer", hints=HintMap.from_json(hints_path))
+    return make_policy(name)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.simulate",
+        description="Replay a branch trace through the BTB (and optionally "
+                    "the frontend timing model).")
+    parser.add_argument("trace", help="trace file (.btrc/.btxt[.gz])")
+    parser.add_argument("--policy", default="lru",
+                        help=f"one of: {', '.join(policy_names())}")
+    parser.add_argument("--hints", default=None,
+                        help="hint JSON (required for thermometer)")
+    parser.add_argument("--entries", type=int, default=8192)
+    parser.add_argument("--ways", type=int, default=4)
+    parser.add_argument("--baseline", default=None, metavar="POLICY",
+                        help="also run POLICY and report relative numbers")
+    parser.add_argument("--ipc", action="store_true",
+                        help="run the frontend timing model too")
+    args = parser.parse_args(argv)
+
+    trace = read_trace(args.trace)
+    config = BTBConfig(entries=args.entries, ways=args.ways)
+
+    def run(policy_name: str):
+        policy = _build_policy(policy_name, trace, args.hints)
+        stats = run_btb(trace, BTB(config, policy))
+        timing = None
+        if args.ipc:
+            policy = _build_policy(policy_name, trace, args.hints)
+            timing = run_timing(trace, btb=BTB(config, policy))
+        return stats, timing
+
+    try:
+        stats, timing = run(args.policy)
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(f"{args.policy}: accesses={stats.accesses} hits={stats.hits} "
+          f"misses={stats.misses} bypasses={stats.bypasses} "
+          f"hit_rate={stats.hit_rate:.4f}")
+    if timing is not None:
+        print(f"  IPC {timing.ipc:.3f} "
+              f"({timing.instructions} instructions, "
+              f"{timing.cycles:.0f} cycles)")
+
+    if args.baseline:
+        base_stats, base_timing = run(args.baseline)
+        reduction = (100.0 * (base_stats.misses - stats.misses)
+                     / base_stats.misses if base_stats.misses else 0.0)
+        print(f"{args.baseline} (baseline): misses={base_stats.misses} "
+              f"hit_rate={base_stats.hit_rate:.4f}")
+        print(f"  miss reduction vs {args.baseline}: {reduction:.2f}%")
+        if timing is not None and base_timing is not None:
+            speedup = 100.0 * timing.speedup_over(base_timing)
+            print(f"  IPC speedup vs {args.baseline}: {speedup:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

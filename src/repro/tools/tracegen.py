@@ -1,0 +1,79 @@
+"""Generate workload traces to files.
+
+Examples::
+
+    python -m repro.tools.tracegen cassandra -o cassandra.btrc.gz
+    python -m repro.tools.tracegen cbp5:17 --length 50000 -o t.btrc
+    python -m repro.tools.tracegen kafka --input-id 2 --stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.trace.formats import write_trace
+from repro.trace.record import BranchTrace
+from repro.trace.stats import TraceStats
+from repro.workloads.datacenter import app_names, make_app_trace
+from repro.workloads.suites import make_suite_trace
+
+__all__ = ["main", "generate"]
+
+
+def generate(workload: str, input_id: int = 0,
+             length: Optional[int] = None, seed: int = 0) -> BranchTrace:
+    """Resolve a workload spec string to a trace.
+
+    ``workload`` is either an application name (``cassandra``) or a suite
+    trace reference (``cbp5:17`` / ``ipc1:3``).
+    """
+    if ":" in workload:
+        suite, _, index = workload.partition(":")
+        try:
+            index = int(index)
+        except ValueError:
+            raise ValueError(f"bad suite index in {workload!r}") from None
+        return make_suite_trace(suite, index,
+                                length=length or 120_000)
+    return make_app_trace(workload, input_id=input_id, length=length,
+                          seed=seed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.tracegen",
+        description="Generate a synthetic branch trace to a file.")
+    parser.add_argument("workload",
+                        help="application name (one of: "
+                             f"{', '.join(app_names())}) or suite trace "
+                             "like cbp5:17 / ipc1:3")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (.btrc/.btxt, optionally .gz); "
+                             "default <workload>.btrc.gz")
+    parser.add_argument("--length", type=int, default=None,
+                        help="dynamic branch records (default: workload's)")
+    parser.add_argument("--input-id", type=int, default=0,
+                        help="input configuration (paper inputs #0-#3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--stats", action="store_true",
+                        help="print trace statistics")
+    args = parser.parse_args(argv)
+
+    try:
+        trace = generate(args.workload, input_id=args.input_id,
+                         length=args.length, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc))
+    output = args.output or f"{args.workload.replace(':', '_')}.btrc.gz"
+    write_trace(trace, output)
+    print(f"wrote {output}: {len(trace)} records, "
+          f"{trace.num_instructions} instructions")
+    if args.stats:
+        print(TraceStats.from_trace(trace).summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

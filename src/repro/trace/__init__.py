@@ -1,0 +1,20 @@
+"""Branch-trace substrate.
+
+The paper collects basic-block execution traces with Intel PT.  This package
+provides the equivalent data model: a compact, numpy-backed stream of dynamic
+branch records (:class:`BranchTrace`), file formats for persisting traces, and
+summary statistics.
+"""
+
+from repro.trace.record import BranchKind, BranchRecord, BranchTrace
+from repro.trace.formats import read_trace, write_trace
+from repro.trace.stats import TraceStats
+
+__all__ = [
+    "BranchKind",
+    "BranchRecord",
+    "BranchTrace",
+    "TraceStats",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,173 @@
+"""Trace persistence.
+
+Two interchangeable on-disk representations:
+
+* **binary** (``.btrc`` / ``.btrc.gz``) — a small header followed by the raw
+  numpy arrays; compact and fast, the preferred format.
+* **text** (``.btxt`` / ``.btxt.gz``) — one whitespace-separated record per
+  line (``pc target kind taken ilen``), handy for eyeballing and for
+  interoperating with external tooling.
+
+Both round-trip exactly (verified by property tests).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from repro.trace.record import BranchKind, BranchTrace
+
+__all__ = ["read_trace", "write_trace", "TraceFormatError",
+           "MAGIC", "FORMAT_VERSION"]
+
+MAGIC = b"BTRC"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<4sHIQ")  # magic, version, name length, record count
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or has the wrong version."""
+
+
+PathLike = Union[str, Path]
+
+
+def _open(path: PathLike, mode: str) -> BinaryIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def _is_text_format(path: PathLike) -> bool:
+    name = Path(path).name
+    if name.endswith(".gz"):
+        name = name[:-3]
+    return name.endswith(".btxt") or name.endswith(".txt")
+
+
+def write_trace(trace: BranchTrace, path: PathLike) -> None:
+    """Write ``trace`` to ``path``; format chosen from the file extension."""
+    if _is_text_format(path):
+        _write_text(trace, path)
+    else:
+        _write_binary(trace, path)
+
+
+def read_trace(path: PathLike) -> BranchTrace:
+    """Read a trace previously written by :func:`write_trace`."""
+    if _is_text_format(path):
+        return _read_text(path)
+    return _read_binary(path)
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+
+def _write_binary(trace: BranchTrace, path: PathLike) -> None:
+    name_bytes = trace.name.encode("utf-8")
+    meta_bytes = json.dumps(trace.metadata, sort_keys=True).encode("utf-8")
+    with _open(path, "wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, FORMAT_VERSION, len(name_bytes),
+                              len(trace)))
+        fh.write(name_bytes)
+        fh.write(struct.pack("<I", len(meta_bytes)))
+        fh.write(meta_bytes)
+        for arr in (trace.pcs, trace.targets, trace.kinds,
+                    trace.taken, trace.ilens):
+            fh.write(np.ascontiguousarray(arr).tobytes())
+
+
+def _read_exact(fh: BinaryIO, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise TraceFormatError(
+            f"truncated trace file: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def _read_binary(path: PathLike) -> BranchTrace:
+    with _open(path, "rb") as fh:
+        magic, version, name_len, count = _HEADER.unpack(
+            _read_exact(fh, _HEADER.size))
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}; not a .btrc file")
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {version} "
+                f"(this library reads version {FORMAT_VERSION})")
+        name = _read_exact(fh, name_len).decode("utf-8")
+        (meta_len,) = struct.unpack("<I", _read_exact(fh, 4))
+        metadata = json.loads(_read_exact(fh, meta_len).decode("utf-8"))
+        pcs = np.frombuffer(_read_exact(fh, 8 * count), dtype=np.int64)
+        targets = np.frombuffer(_read_exact(fh, 8 * count), dtype=np.int64)
+        kinds = np.frombuffer(_read_exact(fh, count), dtype=np.uint8)
+        taken = np.frombuffer(_read_exact(fh, count), dtype=np.bool_)
+        ilens = np.frombuffer(_read_exact(fh, 4 * count), dtype=np.int32)
+    trace = BranchTrace(pcs=pcs.copy(), targets=targets.copy(),
+                        kinds=kinds.copy(), taken=taken.copy(),
+                        ilens=ilens.copy(), name=name, metadata=metadata)
+    trace.validate()
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
+
+def _write_text(trace: BranchTrace, path: PathLike) -> None:
+    with _open(path, "wb") as raw:
+        fh = io.TextIOWrapper(raw, encoding="utf-8")
+        fh.write(f"# trace {trace.name}\n")
+        fh.write("# pc target kind taken ilen\n")
+        for rec in trace:
+            fh.write(f"{rec.pc:#x} {rec.target:#x} {rec.kind.name} "
+                     f"{int(rec.taken)} {rec.ilen}\n")
+        fh.flush()
+        fh.detach()
+
+
+def _read_text(path: PathLike) -> BranchTrace:
+    pcs, targets, kinds, taken, ilens = [], [], [], [], []
+    name = "trace"
+    with _open(path, "rb") as raw:
+        fh = io.TextIOWrapper(raw, encoding="utf-8")
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# trace "):
+                    name = line[len("# trace "):].strip()
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected 5 fields, got {len(parts)}")
+            try:
+                pcs.append(int(parts[0], 0))
+                targets.append(int(parts[1], 0))
+                kinds.append(int(BranchKind[parts[2]]))
+                taken.append(bool(int(parts[3])))
+                ilens.append(int(parts[4]))
+            except (ValueError, KeyError) as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: malformed record: {exc}") from exc
+    trace = BranchTrace(
+        pcs=np.array(pcs, dtype=np.int64),
+        targets=np.array(targets, dtype=np.int64),
+        kinds=np.array(kinds, dtype=np.uint8),
+        taken=np.array(taken, dtype=np.bool_),
+        ilens=np.array(ilens, dtype=np.int32),
+        name=name)
+    trace.validate()
+    return trace

@@ -1,0 +1,93 @@
+"""Summary statistics over branch traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.trace.record import BranchKind, BranchTrace
+
+__all__ = ["TraceStats"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics for a :class:`BranchTrace`.
+
+    ``branch_mpki`` counts dynamic branches per thousand instructions;
+    ``taken_mpki`` counts only taken branches (the BTB access rate).
+    """
+
+    name: str
+    num_branches: int
+    num_taken: int
+    num_instructions: int
+    unique_branches: int
+    unique_taken_branches: int
+    kind_counts: Dict[BranchKind, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_trace(cls, trace: BranchTrace) -> "TraceStats":
+        kinds, counts = np.unique(trace.kinds, return_counts=True)
+        kind_counts = {BranchKind(int(k)): int(c)
+                       for k, c in zip(kinds, counts)}
+        return cls(
+            name=trace.name,
+            num_branches=len(trace),
+            num_taken=int(trace.taken.sum()),
+            num_instructions=trace.num_instructions,
+            unique_branches=len(trace.unique_pcs()),
+            unique_taken_branches=len(trace.unique_taken_pcs()),
+            kind_counts=kind_counts)
+
+    @property
+    def taken_ratio(self) -> float:
+        """Fraction of dynamic branches that were taken."""
+        if self.num_branches == 0:
+            return 0.0
+        return self.num_taken / self.num_branches
+
+    @property
+    def branch_mpki(self) -> float:
+        if self.num_instructions == 0:
+            return 0.0
+        return 1000.0 * self.num_branches / self.num_instructions
+
+    @property
+    def taken_mpki(self) -> float:
+        if self.num_instructions == 0:
+            return 0.0
+        return 1000.0 * self.num_taken / self.num_instructions
+
+    @property
+    def avg_block_length(self) -> float:
+        """Mean basic-block length in instructions."""
+        if self.num_branches == 0:
+            return 0.0
+        return self.num_instructions / self.num_branches
+
+    def kind_fraction(self, kind: BranchKind) -> float:
+        """Fraction of dynamic branches of the given kind."""
+        if self.num_branches == 0:
+            return 0.0
+        return self.kind_counts.get(kind, 0) / self.num_branches
+
+    def summary(self) -> str:
+        """A short multi-line human-readable report."""
+        lines = [
+            f"trace               {self.name}",
+            f"dynamic branches    {self.num_branches}",
+            f"taken branches      {self.num_taken} "
+            f"({100.0 * self.taken_ratio:.1f}%)",
+            f"instructions        {self.num_instructions}",
+            f"unique branch pcs   {self.unique_branches}",
+            f"unique taken pcs    {self.unique_taken_branches}",
+            f"avg block length    {self.avg_block_length:.2f}",
+        ]
+        for kind in BranchKind:
+            count = self.kind_counts.get(kind, 0)
+            if count:
+                lines.append(f"  {kind.name:<17} {count}")
+        return "\n".join(lines)

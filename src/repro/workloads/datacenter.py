@@ -1,0 +1,142 @@
+"""Models of the paper's 13 data center applications.
+
+Each entry is a :class:`~repro.workloads.generator.WorkloadSpec` tuned to
+reproduce the qualitative traits the paper reports for that application:
+
+* **branch footprint** relative to the 8K-entry BTB (drives the OPT-vs-LRU
+  gap in Figs. 1/11/12);
+* **code footprint** via region spacing (drives the L2 instruction MPKI axis
+  of Fig. 3 and the perfect-I-cache limit of Fig. 2) — ``verilator`` is the
+  deliberate outlier with a footprint two orders of magnitude beyond the
+  rest, as in the paper;
+* **conditional bias spread** (drives the perfect-branch-predictor limit);
+* dynamic mixture (call intensity, cold-burst frequency, loop trip counts).
+
+The absolute speedups of the reproduction depend on the synthetic substrate
+and the cycle-approximate frontend model; the *ordering* across applications
+and policies is the target (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.record import BranchTrace
+from repro.workloads.generator import (LayoutParams, MixParams,
+                                       SyntheticWorkload, WorkloadSpec)
+
+__all__ = ["APPLICATIONS", "app_names", "app_spec", "make_app_workload",
+           "make_app_trace", "DEFAULT_TRACE_LENGTH"]
+
+#: Default dynamic trace length (branch records) used by the harness when the
+#: caller does not override it.  Long enough for steady-state BTB behavior,
+#: short enough for a pure-Python simulation campaign.
+DEFAULT_TRACE_LENGTH = 200_000
+
+
+def _spec(name: str, *, loops: int, loop_branches, active: int, core: int,
+          funcs: int, cold: int, gap: int, p_call: float, p_cold: float,
+          burst, trips: int, bias, zipf: float = 0.8, indirect: float = 0.25,
+          phase_len: int = 20_000, revisit: float = 0.15,
+          length: int = DEFAULT_TRACE_LENGTH) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        layout=LayoutParams(
+            n_hot_loops=loops, hot_loop_branches=loop_branches,
+            n_warm_funcs=funcs, n_cold_branches=cold,
+            region_gap_bytes=gap, cond_bias=bias, loop_trips_max=trips,
+            indirect_loop_fraction=indirect, loop_zipf_s=zipf),
+        mix=MixParams(
+            active_loops=active, core_loops=core, phase_len=phase_len,
+            p_call=p_call, p_cold_burst=p_cold,
+            cold_burst_len=burst, cold_revisit=revisit),
+        default_length=length)
+
+
+#: The 13 applications of §2.1, keyed by the paper's names.
+APPLICATIONS: Dict[str, WorkloadSpec] = {
+    "cassandra": _spec(
+        "cassandra", loops=500, loop_branches=(12, 28), active=140, core=12,
+        funcs=400, cold=6000, gap=8, p_call=0.20, p_cold=0.05,
+        burst=(30, 150), trips=18, bias=(0.68, 0.97), indirect=0.30),
+    "clang": _spec(
+        "clang", loops=800, loop_branches=(10, 24), active=230, core=14,
+        funcs=700, cold=12000, gap=8, p_call=0.25, p_cold=0.06,
+        burst=(40, 180), trips=14, bias=(0.62, 0.96), indirect=0.15),
+    "drupal": _spec(
+        "drupal", loops=450, loop_branches=(10, 22), active=120, core=10,
+        funcs=500, cold=5000, gap=8, p_call=0.22, p_cold=0.045,
+        burst=(25, 130), trips=16, bias=(0.66, 0.97), indirect=0.35),
+    "finagle-chirper": _spec(
+        "finagle-chirper", loops=350, loop_branches=(10, 22), active=100,
+        core=8, funcs=320, cold=4000, gap=8, p_call=0.18, p_cold=0.04,
+        burst=(25, 120), trips=20, bias=(0.70, 0.97), indirect=0.30),
+    "finagle-http": _spec(
+        "finagle-http", loops=320, loop_branches=(10, 20), active=90, core=8,
+        funcs=300, cold=3600, gap=8, p_call=0.18, p_cold=0.04,
+        burst=(25, 110), trips=22, bias=(0.70, 0.97), indirect=0.30),
+    "kafka": _spec(
+        "kafka", loops=520, loop_branches=(12, 26), active=150, core=12,
+        funcs=420, cold=6500, gap=8, p_call=0.20, p_cold=0.05,
+        burst=(30, 150), trips=18, bias=(0.68, 0.97), indirect=0.30),
+    "mediawiki": _spec(
+        "mediawiki", loops=380, loop_branches=(10, 20), active=90, core=8,
+        funcs=360, cold=4500, gap=8, p_call=0.20, p_cold=0.04,
+        burst=(25, 120), trips=20, bias=(0.64, 0.96), indirect=0.35),
+    "mysql": _spec(
+        "mysql", loops=600, loop_branches=(10, 24), active=170, core=12,
+        funcs=550, cold=8000, gap=8, p_call=0.22, p_cold=0.055,
+        burst=(35, 160), trips=16, bias=(0.66, 0.97), indirect=0.20),
+    "postgresql": _spec(
+        "postgresql", loops=400, loop_branches=(10, 22), active=100, core=10,
+        funcs=380, cold=5000, gap=8, p_call=0.20, p_cold=0.045,
+        burst=(25, 130), trips=18, bias=(0.68, 0.97), indirect=0.20),
+    "python": _spec(
+        "python", loops=150, loop_branches=(8, 18), active=40, core=8,
+        funcs=150, cold=1200, gap=8, p_call=0.15, p_cold=0.02,
+        burst=(15, 60), trips=30, bias=(0.72, 0.98), indirect=0.40),
+    "tomcat": _spec(
+        "tomcat", loops=300, loop_branches=(10, 20), active=70, core=8,
+        funcs=280, cold=3000, gap=8, p_call=0.18, p_cold=0.035,
+        burst=(20, 100), trips=22, bias=(0.70, 0.97), indirect=0.30),
+    "verilator": _spec(
+        "verilator", loops=900, loop_branches=(14, 30), active=450, core=16,
+        funcs=800, cold=24000, gap=16, p_call=0.12, p_cold=0.06,
+        burst=(80, 300), trips=20, bias=(0.72, 0.98), indirect=0.05,
+        zipf=0.9, phase_len=40_000, revisit=0.02, length=300_000),
+    "wordpress": _spec(
+        "wordpress", loops=420, loop_branches=(10, 22), active=110, core=10,
+        funcs=420, cold=5000, gap=8, p_call=0.22, p_cold=0.045,
+        burst=(25, 130), trips=18, bias=(0.66, 0.97), indirect=0.35),
+}
+
+
+def app_names() -> List[str]:
+    """The 13 application names in the paper's (alphabetical) order."""
+    return list(APPLICATIONS)
+
+
+def app_spec(name: str) -> WorkloadSpec:
+    """Look up an application spec by name; raises ``KeyError`` with the
+    available names on a miss."""
+    try:
+        return APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; available: "
+                       f"{', '.join(APPLICATIONS)}") from None
+
+
+def make_app_workload(name: str) -> SyntheticWorkload:
+    """Instantiate (and lay out) the named application workload."""
+    return SyntheticWorkload(app_spec(name))
+
+
+def make_app_trace(name: str, input_id: int = 0, length: int | None = None,
+                   seed: int = 0) -> BranchTrace:
+    """Generate a dynamic trace for the named application.
+
+    ``input_id`` selects the input configuration (paper inputs '#0'–'#3');
+    the static layout is shared across inputs.
+    """
+    return make_app_workload(name).generate(
+        input_id=input_id, length=length, seed=seed)

@@ -1,0 +1,531 @@
+"""Parameterized synthetic branch-trace generator.
+
+A workload is laid out once (deterministically from its name) as a set of
+code regions, then *emitted* any number of times with different dynamic
+mixture parameters.  Keeping layout and emission separate mirrors how a real
+binary behaves across inputs: the static branches (pcs, targets, biases) stay
+fixed while the dynamic mixture shifts — which is exactly what the paper's
+cross-input experiment (Fig. 13) relies on.
+
+Layout structure
+----------------
+* **Hot loops** — compact regions whose branches execute in tight iteration;
+  they produce the ``hot`` temperature class (high hit-to-taken under OPT).
+* **Warm functions** — small callees invoked from hot code at moderate
+  frequency; medium reuse distance, the ``warm`` class.
+* **Cold chain** — a long run of once-in-a-while branches (initialization,
+  error paths, rarely-taken handlers) executed in sequential *bursts*.  The
+  bursts sweep the BTB like a scan, thrashing LRU while an optimal policy
+  bypasses them; this is the ``cold`` class and the source of the paper's
+  transient-variance observation (Fig. 5).
+
+Emission walks phases; each phase activates a subset of hot loops, giving
+branches time-varying transient reuse distances while their holistic (whole
+execution) behavior stays stable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.trace.record import (INSTRUCTION_BYTES, BranchKind, BranchRecord,
+                                BranchTrace)
+
+__all__ = ["LayoutParams", "MixParams", "StaticBranch", "SyntheticWorkload",
+           "WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class StaticBranch:
+    """One static branch site produced by the layout stage."""
+
+    pc: int
+    target: int
+    kind: BranchKind
+    bias: float
+    ilen: int
+    #: Candidate targets for indirect branches (empty for direct branches).
+    targets: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class LayoutParams:
+    """Static code-layout knobs: how big the binary is and how it is shaped.
+
+    The branch footprint (``n_hot_loops * hot_loop_branches`` plus warm and
+    cold counts) relative to the BTB capacity determines how much pressure
+    the replacement policy is under; ``region_gap_bytes`` spreads code across
+    the address space and therefore controls the instruction-cache footprint
+    (the paper's L2iMPKI axis, Fig. 3).
+    """
+
+    n_hot_loops: int = 24
+    hot_loop_branches: Tuple[int, int] = (8, 24)
+    n_warm_funcs: int = 64
+    warm_func_branches: Tuple[int, int] = (3, 8)
+    n_cold_branches: int = 4000
+    block_len: Tuple[int, int] = (3, 8)
+    #: Taken-probability range for *hard* conditional branches (the ones a
+    #: direction predictor actually mispredicts).
+    cond_bias: Tuple[float, float] = (0.70, 0.98)
+    #: Fraction of conditional branches that are hard; the rest are strongly
+    #: biased (taken probability in ``easy_bias``) and nearly free for any
+    #: direction predictor — matching how TAGE-class predictors behave on
+    #: real code.
+    hard_branch_fraction: float = 0.08
+    easy_bias: Tuple[float, float] = (0.96, 0.998)
+    #: Fraction of hot loops that contain one indirect dispatch branch
+    #: (interpreter/vtable style).
+    indirect_loop_fraction: float = 0.25
+    indirect_fanout: int = 8
+    #: Gap between consecutive code regions, in bytes.  Larger gaps inflate
+    #: the I-cache footprint without changing branch behavior.
+    region_gap_bytes: int = 256
+    #: Base address of the code segment.
+    text_base: int = 0x400000
+    #: Maximum trip count per loop visit, granted to the highest-weight
+    #: loops; the tail of the loop distribution gets 1-2 trips per visit.
+    loop_trips_max: int = 24
+    #: Zipf exponent for hot-loop visit weights.  Loop ``i`` is visited with
+    #: probability proportional to ``1 / (i + 1) ** loop_zipf_s``, so early
+    #: loops are revisited often (short holistic reuse distance → hot) and
+    #: the tail is revisited rarely (→ warm/cold).
+    loop_zipf_s: float = 0.8
+
+
+@dataclass(frozen=True)
+class MixParams:
+    """Dynamic mixture knobs: how the laid-out code is exercised."""
+
+    #: Number of hot loops simultaneously active within a phase (on top of
+    #: the always-active core).
+    active_loops: int = 6
+    #: Number of highest-weight loops that stay active in every phase.
+    #: These form the stable hot core of the application.
+    core_loops: int = 4
+    #: Dynamic branch records per phase before the active set rotates.
+    phase_len: int = 20_000
+    #: Multiplier on per-loop trip counts (input-dependent load level).
+    trip_scale: float = 1.0
+    #: Probability that the next loop visit returns to the same loop
+    #: (bursty temporal locality; gives recency-based tie-breaking real
+    #: signal, as in actual request-processing phases).
+    p_revisit_loop: float = 0.4
+    #: Probability of calling a warm function after a loop iteration.
+    p_call: float = 0.15
+    #: Probability of a cold burst after a loop iteration.
+    p_cold_burst: float = 0.04
+    cold_burst_len: Tuple[int, int] = (20, 120)
+    #: Probability that a cold burst replays a recently visited stretch of
+    #: the cold chain instead of advancing the cursor (creates the medium
+    #: reuse-distance tail).
+    cold_revisit: float = 0.15
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Complete description of a synthetic workload."""
+
+    name: str
+    layout: LayoutParams = field(default_factory=LayoutParams)
+    mix: MixParams = field(default_factory=MixParams)
+    #: Default dynamic length (branch records) when none is requested.
+    default_length: int = 200_000
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """A spec with the dynamic length scaled by ``factor``."""
+        return replace(self,
+                       default_length=max(1, int(self.default_length * factor)))
+
+
+class SyntheticWorkload:
+    """Lays out a synthetic binary and emits dynamic branch traces from it."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self._lay = _Layout(spec.layout, seed=_stable_seed(spec.name))
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def static_branches(self) -> List[StaticBranch]:
+        """Every static branch site in the laid-out binary."""
+        out: List[StaticBranch] = []
+        for loop in self._lay.loops:
+            out.extend(loop.body)
+            out.append(loop.backedge)
+        for func in self._lay.funcs:
+            out.extend(func.body)
+            out.append(func.ret)
+        out.extend(self._lay.cold)
+        return out
+
+    def generate(self, input_id: int = 0, length: Optional[int] = None,
+                 seed: int = 0) -> BranchTrace:
+        """Emit a dynamic trace.
+
+        ``input_id`` selects an input configuration: it perturbs the dynamic
+        mixture (active loop rotation, call/cold probabilities, trip counts)
+        while leaving the static layout untouched, modeling running the same
+        binary on a different input.
+        """
+        if length is None:
+            length = self.spec.default_length
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        mix = _perturb_mix(self.spec.mix, input_id)
+        rng = random.Random(_stable_seed(self.spec.name, input_id, seed))
+        emitter = _Emitter(self._lay, mix, rng)
+        records = emitter.emit(length)
+        trace = BranchTrace.from_records(
+            records, name=f"{self.spec.name}#{input_id}")
+        trace.metadata.update({"workload": self.spec.name,
+                               "input_id": input_id, "seed": seed})
+        return trace
+
+
+# ----------------------------------------------------------------------
+# Layout stage
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Loop:
+    base: int
+    body: List[StaticBranch]
+    backedge: StaticBranch
+    #: Trip-count range for one visit; correlated with the loop's visit
+    #: weight (hot inner loops iterate more), which is what separates the
+    #: hot/warm/cold hit-to-taken regimes.
+    trips: Tuple[int, int] = (1, 2)
+
+
+@dataclass
+class _Func:
+    base: int
+    body: List[StaticBranch]
+    ret: StaticBranch
+
+
+class _Layout:
+    """Deterministic static code layout for one workload."""
+
+    def __init__(self, params: LayoutParams, seed: int):
+        rng = random.Random(seed)
+        self.params = params
+        self._trip_hi = params.loop_trips_max
+        self._cursor = params.text_base
+        self.loops: List[_Loop] = []
+        self.funcs: List[_Func] = []
+        self.cold: List[StaticBranch] = []
+        self._build_funcs(rng)
+        self._build_loops(rng)
+        self._build_cold(rng)
+        s = params.loop_zipf_s
+        self.loop_weights = [1.0 / (i + 1) ** s
+                             for i in range(len(self.loops))]
+        self.func_weights = [1.0 / (i + 1) ** 1.2
+                             for i in range(len(self.funcs))]
+
+    # -- helpers -------------------------------------------------------
+    def _alloc_region(self, n_instructions: int) -> int:
+        base = self._cursor
+        self._cursor += (n_instructions * INSTRUCTION_BYTES
+                         + self.params.region_gap_bytes)
+        return base
+
+    def _draw_block(self, rng: random.Random) -> int:
+        lo, hi = self.params.block_len
+        return rng.randint(lo, hi)
+
+    def _draw_bias(self, rng: random.Random) -> float:
+        if rng.random() < self.params.hard_branch_fraction:
+            lo, hi = self.params.cond_bias
+        else:
+            lo, hi = self.params.easy_bias
+        return rng.uniform(lo, hi)
+
+    # -- regions -------------------------------------------------------
+    def _build_funcs(self, rng: random.Random) -> None:
+        lo, hi = self.params.warm_func_branches
+        for _ in range(self.params.n_warm_funcs):
+            n = rng.randint(lo, hi)
+            blocks = [self._draw_block(rng) for _ in range(n + 1)]
+            base = self._alloc_region(sum(blocks) + 4)
+            body: List[StaticBranch] = []
+            pc = base
+            for i in range(n):
+                pc += blocks[i] * INSTRUCTION_BYTES
+                # Forward skip over the next block.
+                target = pc + (blocks[i + 1] + 1) * INSTRUCTION_BYTES
+                body.append(StaticBranch(
+                    pc=pc, target=target, kind=BranchKind.COND_DIRECT,
+                    bias=self._draw_bias(rng), ilen=blocks[i]))
+            pc += blocks[n] * INSTRUCTION_BYTES
+            ret = StaticBranch(pc=pc, target=0, kind=BranchKind.RETURN,
+                               bias=1.0, ilen=blocks[n])
+            self.funcs.append(_Func(base=base, body=body, ret=ret))
+
+    def _build_loops(self, rng: random.Random) -> None:
+        lo, hi = self.params.hot_loop_branches
+        for loop_idx in range(self.params.n_hot_loops):
+            n = rng.randint(lo, hi)
+            blocks = [self._draw_block(rng) for _ in range(n + 1)]
+            base = self._alloc_region(sum(blocks) + 4)
+            has_indirect = (rng.random() < self.params.indirect_loop_fraction)
+            indirect_pos = rng.randrange(n) if has_indirect and n else -1
+            body: List[StaticBranch] = []
+            pc = base
+            for i in range(n):
+                pc += blocks[i] * INSTRUCTION_BYTES
+                if i == indirect_pos:
+                    fanout = max(2, self.params.indirect_fanout)
+                    targets = tuple(
+                        pc + (j + 2) * 4 * INSTRUCTION_BYTES
+                        for j in range(fanout))
+                    body.append(StaticBranch(
+                        pc=pc, target=targets[0],
+                        kind=BranchKind.UNCOND_INDIRECT, bias=1.0,
+                        ilen=blocks[i], targets=targets))
+                else:
+                    target = pc + (blocks[i + 1] + 1) * INSTRUCTION_BYTES
+                    body.append(StaticBranch(
+                        pc=pc, target=target, kind=BranchKind.COND_DIRECT,
+                        bias=self._draw_bias(rng), ilen=blocks[i]))
+            pc += blocks[n] * INSTRUCTION_BYTES
+            backedge = StaticBranch(
+                pc=pc, target=base, kind=BranchKind.COND_DIRECT,
+                bias=0.95, ilen=blocks[n])
+            self.loops.append(_Loop(base=base, body=body, backedge=backedge))
+        self._assign_trip_counts()
+
+    def _assign_trip_counts(self) -> None:
+        """Correlate per-loop trip counts with visit rank.
+
+        The highest-weight loops iterate many times per visit (hot inner
+        loops), the tail barely iterates (rarely-executed outer code).  The
+        resulting bimodal hit-to-taken distribution is the paper's Fig. 6
+        cliff structure.
+        """
+        n = len(self.loops)
+        if n == 0:
+            return
+        for i, loop in enumerate(self.loops):
+            frac = i / max(1, n - 1)
+            if frac <= 0.30:
+                # Hot tier: deep trip counts, scaled within the tier.
+                tier = frac / 0.30 if n > 1 else 0.0
+                hi = max(6, round(self._trip_hi - (self._trip_hi - 6) * tier))
+                loop.trips = (max(3, hi // 2), hi)
+            else:
+                # Tail tier: barely iterates — low hit-to-taken by design.
+                loop.trips = (1, 2)
+
+    def _build_cold(self, rng: random.Random) -> None:
+        """Cold branches form one long chain of taken branches.
+
+        Kinds are mixed (strongly-biased conditionals and unconditional
+        jumps) so that branch *type* carries no temperature signal — the
+        paper's Fig. 8 finding.
+        """
+        n = self.params.n_cold_branches
+        blocks = [self._draw_block(rng) for _ in range(n)]
+        pcs: List[int] = []
+        for blk in blocks:
+            base = self._alloc_region(blk + 1)
+            pcs.append(base + blk * INSTRUCTION_BYTES)
+        for i in range(n):
+            target = pcs[(i + 1) % n] - blocks[(i + 1) % n] * INSTRUCTION_BYTES
+            kind = (BranchKind.COND_DIRECT if rng.random() < 0.6
+                    else BranchKind.UNCOND_DIRECT)
+            self.cold.append(StaticBranch(
+                pc=pcs[i], target=target, kind=kind,
+                bias=1.0, ilen=blocks[i]))
+
+
+# ----------------------------------------------------------------------
+# Emission stage
+# ----------------------------------------------------------------------
+
+def _perturb_mix(mix: MixParams, input_id: int) -> MixParams:
+    """Derive the dynamic mixture for a given input configuration.
+
+    Perturbations are modest (±25% on probabilities, shifted trip counts) so
+    that most static branches keep their temperature class across inputs —
+    the paper reports 81% category stability (Fig. 13).
+    """
+    if input_id == 0:
+        return mix
+    rng = random.Random(_stable_seed("mix", input_id))
+    scale = rng.uniform(0.75, 1.25)
+    return replace(
+        mix,
+        p_call=min(0.9, mix.p_call * rng.uniform(0.75, 1.25)),
+        p_cold_burst=min(0.5, mix.p_cold_burst * scale),
+        trip_scale=mix.trip_scale * rng.uniform(0.9, 1.2),
+        cold_revisit=min(0.9, mix.cold_revisit * rng.uniform(0.6, 1.4)),
+    )
+
+
+class _Emitter:
+    """Walks the layout, producing dynamic branch records."""
+
+    def __init__(self, lay: _Layout, mix: MixParams, rng: random.Random):
+        self._lay = lay
+        self._mix = mix
+        self._rng = rng
+        self._cold_cursor = 0
+        self._phase_index = 0
+        self._last_loop = None
+        self._records: List[BranchRecord] = []
+        self._limit = 0
+
+    # -- record constructors -------------------------------------------
+    def _emit(self, br: StaticBranch, taken: bool,
+              target: Optional[int] = None) -> None:
+        if target is None:
+            target = br.target
+        self._records.append(BranchRecord(
+            pc=br.pc, target=target, kind=br.kind, taken=taken,
+            ilen=br.ilen))
+
+    def _full(self) -> bool:
+        return len(self._records) >= self._limit
+
+    # -- structure ------------------------------------------------------
+    def _active_loops(self) -> Tuple[Sequence[_Loop], Sequence[float]]:
+        """The loops active in the current phase, with visit weights.
+
+        The top-weight core loops are always active; the remainder of the
+        active set is a window over the other loops that rotates each phase.
+        """
+        loops = self._lay.loops
+        weights = self._lay.loop_weights
+        n = len(loops)
+        core = min(self._mix.core_loops, n)
+        k = min(self._mix.active_loops, n - core)
+        chosen = list(range(core))
+        if k > 0 and n > core:
+            span = n - core
+            start = (self._phase_index * max(1, k // 2)) % span
+            chosen.extend(core + (start + i) % span for i in range(k))
+        return ([loops[i] for i in chosen],
+                [weights[i] for i in chosen])
+
+    def _emit_warm_call(self, callsite: StaticBranch) -> None:
+        func = self._rng.choices(self._lay.funcs,
+                                 weights=self._lay.func_weights)[0]
+        # The call itself: reuse the callsite pc but as a direct call.
+        self._records.append(BranchRecord(
+            pc=callsite.pc, target=func.base, kind=BranchKind.CALL_DIRECT,
+            taken=True, ilen=callsite.ilen))
+        for br in func.body:
+            if self._full():
+                return
+            self._emit(br, taken=(self._rng.random() < br.bias))
+        if not self._full():
+            self._emit(func.ret, taken=True,
+                       target=callsite.pc + INSTRUCTION_BYTES)
+
+    def _emit_cold_burst(self) -> None:
+        lo, hi = self._mix.cold_burst_len
+        burst = self._rng.randint(lo, hi)
+        cold = self._lay.cold
+        if not cold:
+            return
+        if self._rng.random() < self._mix.cold_revisit:
+            # Replay a recent stretch rather than advancing.
+            back = self._rng.randint(burst, 4 * burst)
+            start = (self._cold_cursor - back) % len(cold)
+        else:
+            start = self._cold_cursor
+            self._cold_cursor = (self._cold_cursor + burst) % len(cold)
+        for i in range(burst):
+            if self._full():
+                return
+            self._emit(cold[(start + i) % len(cold)], taken=True)
+
+    def _emit_loop_visit(self, loop: _Loop) -> None:
+        lo, hi = loop.trips
+        iters = max(1, round(self._rng.randint(lo, hi)
+                             * self._mix.trip_scale))
+        # Indirect dispatch targets are sticky for the duration of a visit
+        # (batches of same-typed work), which is what makes real indirect
+        # branches predictable by a history-based IBTB.
+        visit_targets = {
+            br.pc: self._rng.choice(br.targets)
+            for br in loop.body if br.kind is BranchKind.UNCOND_INDIRECT}
+        for it in range(iters):
+            for br in loop.body:
+                if self._full():
+                    return
+                if br.kind is BranchKind.UNCOND_INDIRECT:
+                    self._emit(br, taken=True, target=visit_targets[br.pc])
+                else:
+                    self._emit(br, taken=(self._rng.random() < br.bias))
+            if self._full():
+                return
+            last_iteration = (it == iters - 1)
+            self._emit(loop.backedge, taken=not last_iteration)
+            if self._full():
+                return
+            if self._rng.random() < self._mix.p_call:
+                self._emit_warm_call(loop.backedge)
+                if self._full():
+                    return
+            if self._rng.random() < self._mix.p_cold_burst:
+                self._emit_cold_burst()
+                if self._full():
+                    return
+
+    # -- driver ----------------------------------------------------------
+    def emit(self, length: int) -> List[BranchRecord]:
+        self._limit = length
+        self._records = []
+        if length == 0:
+            return self._records
+        phase_len = max(1, self._mix.phase_len)
+        while not self._full():
+            phase_end = len(self._records) + phase_len
+            active, weights = self._active_loops()
+            if not active:
+                # Degenerate layout with no hot loops: emit the cold chain.
+                if not self._lay.cold:
+                    raise ValueError(
+                        "workload layout has neither hot loops nor cold "
+                        "branches; nothing to emit")
+                self._emit_cold_burst()
+                continue
+            while len(self._records) < phase_end and not self._full():
+                if (self._last_loop is not None
+                        and self._last_loop in active
+                        and self._rng.random() < self._mix.p_revisit_loop):
+                    loop = self._last_loop
+                else:
+                    loop = self._rng.choices(active, weights=weights)[0]
+                self._last_loop = loop
+                self._emit_loop_visit(loop)
+            self._phase_index += 1
+        del self._records[length:]
+        return self._records
+
+
+# ----------------------------------------------------------------------
+
+def _stable_seed(*parts) -> int:
+    """A deterministic seed derived from arbitrary parts (no hash()
+    randomization)."""
+    acc = 0xCBF29CE484222325
+    for part in parts:
+        for byte in str(part).encode("utf-8"):
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        acc ^= 0xFF
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc

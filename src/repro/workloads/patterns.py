@@ -1,0 +1,114 @@
+"""Canonical access-pattern micro-workloads.
+
+Small, analytically understood branch streams used for policy unit studies
+and ablations — each isolates one classic replacement phenomenon:
+
+* :func:`cyclic_trace` — a working set swept in order; LRU scores zero hits
+  once the set exceeds capacity, OPT pins ``capacity - 1`` branches;
+* :func:`scan_trace` — a resident loop periodically interrupted by one-shot
+  scans (the paper's cold bursts in miniature);
+* :func:`zipf_trace` — skewed random reuse, the statistical model of a hot
+  core plus a long tail;
+* :func:`two_phase_trace` — an abrupt working-set change, the worst case
+  for stale profiles;
+* :func:`sawtooth_trace` — cyclic sweep with direction reversal, the
+  classic anti-LRU/anti-MRU pattern.
+
+All produce valid :class:`~repro.trace.record.BranchTrace` objects (taken
+unconditional branches, 4-byte spaced pcs) and are deterministic given a
+seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.trace.record import BranchKind, BranchRecord, BranchTrace
+
+__all__ = ["cyclic_trace", "scan_trace", "zipf_trace", "two_phase_trace",
+           "sawtooth_trace"]
+
+_BASE = 0x10000
+
+
+def _record(index: int) -> BranchRecord:
+    pc = _BASE + index * 4
+    return BranchRecord(pc=pc, target=pc + 64,
+                        kind=BranchKind.UNCOND_DIRECT, taken=True, ilen=4)
+
+
+def _trace(indices: List[int], name: str) -> BranchTrace:
+    return BranchTrace.from_records([_record(i) for i in indices],
+                                    name=name)
+
+
+def cyclic_trace(working_set: int, repetitions: int) -> BranchTrace:
+    """``working_set`` distinct branches accessed round-robin."""
+    if working_set < 1 or repetitions < 1:
+        raise ValueError("working_set and repetitions must be positive")
+    return _trace(list(range(working_set)) * repetitions,
+                  f"cyclic{working_set}x{repetitions}")
+
+
+def scan_trace(resident: int, scan_length: int, rounds: int,
+               resident_repeats: int = 4) -> BranchTrace:
+    """A small resident set re-accessed between one-shot scan bursts.
+
+    Each round: the resident branches repeat ``resident_repeats`` times,
+    then ``scan_length`` *fresh* branches stream through once.
+    """
+    if min(resident, scan_length, rounds, resident_repeats) < 1:
+        raise ValueError("all parameters must be positive")
+    indices: List[int] = []
+    scan_cursor = resident
+    for _ in range(rounds):
+        for _ in range(resident_repeats):
+            indices.extend(range(resident))
+        indices.extend(range(scan_cursor, scan_cursor + scan_length))
+        scan_cursor += scan_length
+    return _trace(indices, f"scan{resident}+{scan_length}x{rounds}")
+
+
+def zipf_trace(unique: int, length: int, s: float = 1.0,
+               seed: int = 0) -> BranchTrace:
+    """Independent draws from a Zipf(s) distribution over ``unique``
+    branches (rank 0 hottest)."""
+    if unique < 1 or length < 0:
+        raise ValueError("unique must be positive, length non-negative")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** s for rank in range(unique)]
+    indices = rng.choices(range(unique), weights=weights, k=length)
+    return _trace(indices, f"zipf{unique}s{s}")
+
+
+def two_phase_trace(working_set: int, phase_length: int,
+                    overlap: float = 0.0) -> BranchTrace:
+    """Two cyclic phases over (mostly) disjoint working sets.
+
+    ``overlap`` ∈ [0, 1] controls how many branches the second phase shares
+    with the first — the knob for stale-profile studies.
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must be in [0, 1]")
+    if working_set < 1 or phase_length < 1:
+        raise ValueError("working_set and phase_length must be positive")
+    shared = int(working_set * overlap)
+    phase1 = list(range(working_set))
+    phase2 = list(range(shared)) + list(
+        range(working_set, 2 * working_set - shared))
+    indices: List[int] = []
+    for phase in (phase1, phase2):
+        for i in range(phase_length):
+            indices.append(phase[i % len(phase)])
+    return _trace(indices, f"twophase{working_set}o{overlap}")
+
+
+def sawtooth_trace(working_set: int, repetitions: int) -> BranchTrace:
+    """Sweep up then down (0,1,...,n-1,n-2,...,1 repeated)."""
+    if working_set < 2 or repetitions < 1:
+        raise ValueError("working_set must be >= 2, repetitions >= 1")
+    up = list(range(working_set))
+    down = list(range(working_set - 2, 0, -1))
+    return _trace((up + down) * repetitions,
+                  f"sawtooth{working_set}x{repetitions}")

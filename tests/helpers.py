@@ -1,0 +1,21 @@
+"""Shared helpers for hand-written traces in unit tests."""
+
+from __future__ import annotations
+
+from repro.trace.record import BranchKind, BranchRecord, BranchTrace
+
+__all__ = ["branch", "trace_of_pcs"]
+
+
+def branch(pc, target=None, kind=BranchKind.UNCOND_DIRECT, taken=True,
+           ilen=4):
+    """Concise BranchRecord builder for hand-written traces."""
+    if target is None:
+        target = pc + 64
+    return BranchRecord(pc=pc, target=target, kind=kind, taken=taken,
+                        ilen=ilen)
+
+
+def trace_of_pcs(pcs, name="hand"):
+    """A trace of always-taken unconditional branches at the given pcs."""
+    return BranchTrace.from_records([branch(pc) for pc in pcs], name=name)

@@ -1,0 +1,115 @@
+"""Tests for phase analysis and SimPoint-style sampled profiling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import (PhaseSelection, basic_block_vectors,
+                                   kmeans, sampled_profile,
+                                   select_representatives)
+from repro.btb.config import BTBConfig
+from repro.core.profiler import profile_trace
+from repro.core.temperature import TemperatureProfile
+from repro.trace.record import BranchTrace
+from repro.workloads.patterns import two_phase_trace
+
+
+class TestBBV:
+    def test_shape_and_normalization(self, small_trace):
+        vectors = basic_block_vectors(small_trace, interval=1000,
+                                      dimensions=32)
+        assert vectors.shape == ((len(small_trace) + 999) // 1000, 32)
+        sums = vectors.sum(axis=1)
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+    def test_empty_trace(self):
+        assert basic_block_vectors(BranchTrace.empty(), 100).shape[0] == 0
+
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            basic_block_vectors(small_trace, interval=0)
+        with pytest.raises(ValueError):
+            basic_block_vectors(small_trace, dimensions=1)
+
+    def test_distinct_phases_have_distant_vectors(self):
+        trace = two_phase_trace(64, 4000, overlap=0.0)
+        vectors = basic_block_vectors(trace, interval=1000)
+        half = len(vectors) // 2
+        within = np.linalg.norm(vectors[0] - vectors[1])
+        across = np.linalg.norm(vectors[0] - vectors[half + 1])
+        assert across > within
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.05, size=(20, 4))
+        b = rng.normal(5.0, 0.05, size=(20, 4))
+        labels, centroids = kmeans(np.vstack([a, b]), k=2, seed=1)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+
+    def test_k_capped_by_points(self):
+        vectors = np.zeros((3, 2))
+        labels, centroids = kmeans(vectors, k=10)
+        assert centroids.shape[0] == 3
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        data = rng.random((30, 5))
+        a, _ = kmeans(data, 3, seed=7)
+        b, _ = kmeans(data, 3, seed=7)
+        assert (a == b).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 3)), 2)
+
+
+class TestSelection:
+    def test_two_phase_trace_yields_two_phases(self):
+        trace = two_phase_trace(64, 4000, overlap=0.0)
+        selection = select_representatives(trace, k=2, interval=1000)
+        half_label = selection.labels[0]
+        assert selection.labels[-1] != half_label
+        assert sum(selection.weights) == len(selection.labels)
+
+    def test_representatives_belong_to_their_cluster(self, small_trace):
+        selection = select_representatives(small_trace, k=4, interval=500)
+        for rep, _ in zip(selection.representatives, selection.weights):
+            assert 0 <= rep < len(selection.labels)
+
+    def test_sampled_fraction(self):
+        selection = PhaseSelection(interval=10, representatives=(0, 5),
+                                   weights=(5, 5),
+                                   labels=tuple([0] * 5 + [1] * 5))
+        assert selection.sampled_fraction == 0.2
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            select_representatives(BranchTrace.empty())
+
+
+class TestSampledProfile:
+    CONFIG = BTBConfig(entries=256, ways=4)
+
+    def test_counts_extrapolate_to_full_scale(self, small_app_trace):
+        full = profile_trace(small_app_trace, self.CONFIG)
+        sampled = sampled_profile(small_app_trace, self.CONFIG, k=6,
+                                  interval=2000)
+        full_taken = sum(b.taken for b in full.branches.values())
+        sampled_taken = sum(b.taken for b in sampled.branches.values())
+        assert sampled_taken == pytest.approx(full_taken, rel=0.25)
+
+    def test_temperatures_agree_with_full_profile(self, small_app_trace):
+        """The point of sampling: hints from ~1/4 of the simulation work
+        still classify most branches like the full profile."""
+        full = TemperatureProfile.from_opt_profile(
+            profile_trace(small_app_trace, self.CONFIG))
+        selection = select_representatives(small_app_trace, k=6,
+                                           interval=2000)
+        assert selection.sampled_fraction < 0.6
+        sampled = TemperatureProfile.from_opt_profile(
+            sampled_profile(small_app_trace, self.CONFIG,
+                            selection=selection))
+        assert full.agreement_with(sampled) > 0.6

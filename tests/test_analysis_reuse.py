@@ -1,0 +1,92 @@
+"""Unit tests for reuse-distance analysis (Fig. 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reuse import (INFINITE_DISTANCE,
+                                  forward_set_reuse_distances,
+                                  holistic_variance,
+                                  set_reuse_distance_sequences,
+                                  transient_variance, variance_summary)
+from repro.btb.config import BTBConfig
+
+
+class TestSequences:
+    def test_stack_distances(self):
+        # All in one set: A B A -> A's distance is 1 (B in between).
+        pcs = [1, 2, 1]
+        sets = [0, 0, 0]
+        seqs = set_reuse_distance_sequences(pcs, sets)
+        assert seqs == {1: [1]}
+
+    def test_immediate_reuse_is_zero(self):
+        seqs = set_reuse_distance_sequences([1, 1, 1], [0, 0, 0])
+        assert seqs == {1: [0, 0]}
+
+    def test_distance_counts_unique_only(self):
+        # A B B C A: unique pcs between A's accesses = {B, C} -> 2.
+        seqs = set_reuse_distance_sequences([1, 2, 2, 3, 1],
+                                            [0, 0, 0, 0, 0])
+        assert seqs[1] == [2]
+
+    def test_sets_are_independent(self):
+        seqs = set_reuse_distance_sequences([1, 2, 1], [0, 1, 0])
+        assert seqs[1] == [0]      # pc 2 lives in another set
+
+
+class TestForwardDistances:
+    def test_forward_mirrors_backward(self):
+        pcs = [1, 2, 1]
+        out = forward_set_reuse_distances(pcs, [0, 0, 0])
+        assert out[0] == 1                     # 1's next reuse at depth 1
+        assert out[1] == INFINITE_DISTANCE
+        assert out[2] == INFINITE_DISTANCE
+
+    def test_chain(self):
+        pcs = [1, 1, 2, 1]
+        out = forward_set_reuse_distances(pcs, [0] * 4)
+        assert list(out[:3]) == [0, 1, INFINITE_DISTANCE]
+
+
+class TestVarianceFormulas:
+    def test_transient_formula(self):
+        # a = [2, 4, 2]: diffs (2-4)^2=4, (4-2)^2=4 -> sum 8 / (n-2)=1 -> 8.
+        assert transient_variance([2, 4, 2]) == pytest.approx(8.0)
+
+    def test_holistic_matches_numpy(self):
+        a = [2.0, 4.0, 2.0, 6.0]
+        assert holistic_variance(a) == pytest.approx(np.var(a, ddof=1))
+
+    def test_minimum_samples(self):
+        with pytest.raises(ValueError):
+            transient_variance([1, 2])
+        with pytest.raises(ValueError):
+            holistic_variance([1])
+
+    def test_constant_sequence_zero_variance(self):
+        assert transient_variance([3, 3, 3, 3]) == 0.0
+        assert holistic_variance([3, 3, 3]) == 0.0
+
+    def test_alternating_transient_exceeds_holistic(self):
+        """The paper's key observation on an alternating pattern."""
+        a = [1, 9] * 10
+        assert transient_variance(a) > 2 * holistic_variance(a)
+
+
+class TestSummary:
+    def test_summary_on_workload(self, small_trace, tiny_config):
+        summary = variance_summary(small_trace, tiny_config)
+        assert summary.branches_measured > 0
+        assert summary.transient > 0
+        assert summary.holistic > 0
+
+    def test_paper_claim_on_datacenter_model(self, small_app_trace):
+        """Transient variance exceeds holistic variance (Fig. 5)."""
+        summary = variance_summary(small_app_trace, BTBConfig())
+        assert summary.ratio > 1.5
+
+    def test_empty_trace(self, tiny_config):
+        from repro.trace.record import BranchTrace
+        summary = variance_summary(BranchTrace.empty(), tiny_config)
+        assert summary.branches_measured == 0
+        assert summary.ratio == 0.0

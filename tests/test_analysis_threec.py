@@ -1,0 +1,68 @@
+"""Unit tests for 3C BTB miss classification."""
+
+import pytest
+
+from repro.analysis.threec import classify_misses
+from repro.btb.config import BTBConfig
+
+from tests.helpers import trace_of_pcs
+
+
+def test_all_first_touches_are_compulsory(tiny_config):
+    trace = trace_of_pcs([0x4, 0x8, 0xC])
+    result = classify_misses(trace, config=tiny_config)
+    assert result.compulsory == 3
+    assert result.capacity == 0
+    assert result.conflict == 0
+
+
+def test_hits_counted(tiny_config):
+    trace = trace_of_pcs([0x4, 0x4, 0x4])
+    result = classify_misses(trace, config=tiny_config)
+    assert result.compulsory == 1
+    assert result.hits == 2
+
+
+def test_capacity_miss_detected():
+    # One set, 2 ways; cyclic footprint of 3 -> reuse distance 2 >= ways.
+    config = BTBConfig(entries=2, ways=2)
+    trace = trace_of_pcs([0x4, 0x8, 0xC] * 4)
+    result = classify_misses(trace, config=config)
+    assert result.compulsory == 3
+    assert result.capacity == 9
+    assert result.conflict == 0
+
+
+def test_conflict_miss_detected():
+    """A policy that evicts the MRU way creates conflict misses LRU
+    wouldn't."""
+    from repro.btb.replacement.lru import MRUPolicy
+    config = BTBConfig(entries=2, ways=2)
+    # A B A B ... : distances are 1 < ways, so all misses after the first
+    # touch are the policy's fault.
+    trace = trace_of_pcs([0x4, 0x8] * 10 + [0xC] + [0x4, 0x8] * 3)
+    result = classify_misses(trace, MRUPolicy(), config=config)
+    assert result.conflict > 0
+
+
+def test_fractions_and_summary(tiny_config):
+    trace = trace_of_pcs([0x4, 0x8, 0x4])
+    result = classify_misses(trace, config=tiny_config)
+    assert result.fraction("compulsory") == 1.0
+    assert "compulsory" in result.summary()
+    assert result.accesses == 3
+
+
+def test_lru_has_no_conflict_misses(small_trace, tiny_config):
+    """By construction, LRU misses are never 'conflict' under the
+    set-local stack-distance definition (its victim is always the
+    furthest-back entry)."""
+    result = classify_misses(small_trace, config=tiny_config)
+    assert result.conflict == 0
+    assert result.total_misses > 0
+
+
+def test_policy_name_recorded(small_trace, tiny_config):
+    from repro.btb.replacement.srrip import SRRIPPolicy
+    result = classify_misses(small_trace, SRRIPPolicy(), tiny_config)
+    assert result.policy_name == "srrip"

@@ -1,0 +1,103 @@
+"""Unit tests for the partial-tag (compressed) BTB."""
+
+import pytest
+
+from repro.btb.compressed import (PartialTagBTB,
+                                  iso_storage_compressed_config)
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.lru import LRUPolicy
+from repro.btb.storage import BTBEntryLayout
+
+
+def find_alias(btb, pc, limit=200_000):
+    """A different pc mapping to the same set with the same partial tag."""
+    s = btb.config.set_index(pc)
+    tag = btb.partial_tag(pc)
+    candidate = pc
+    for _ in range(limit):
+        candidate += 4 * btb.config.num_sets    # stay in the same set
+        if candidate != pc and btb.partial_tag(candidate) == tag:
+            assert btb.config.set_index(candidate) == s
+            return candidate
+    pytest.skip("no alias found within search limit")
+
+
+class TestPartialTagBTB:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartialTagBTB(BTBConfig(entries=8, ways=2), tag_bits=0)
+
+    def test_true_hit_still_works(self):
+        btb = PartialTagBTB(BTBConfig(entries=8, ways=2), LRUPolicy(),
+                            tag_bits=8)
+        assert not btb.access(0x40, 0x100)
+        assert btb.access(0x40, 0x100)
+        assert not btb.last_hit_was_false
+        assert btb.false_hits == 0
+
+    def test_alias_produces_false_hit(self):
+        btb = PartialTagBTB(BTBConfig(entries=8, ways=2), LRUPolicy(),
+                            tag_bits=4)
+        pc = 0x40
+        alias = find_alias(btb, pc)
+        btb.access(pc, 0x100)
+        assert btb.access(alias, 0x200)          # "hit" on the aliased entry
+        assert btb.last_hit_was_false
+        assert btb.false_hits == 1
+
+    def test_false_hit_rate(self):
+        btb = PartialTagBTB(BTBConfig(entries=8, ways=2), LRUPolicy(),
+                            tag_bits=4)
+        pc = 0x40
+        alias = find_alias(btb, pc)
+        btb.access(pc, 0)
+        btb.access(alias, 0)
+        btb.access(alias, 0)
+        assert btb.false_hit_rate == pytest.approx(1 / 2)
+
+    def test_wider_tags_reduce_false_hits(self, small_app_trace):
+        from repro.btb.btb import btb_access_stream
+        pcs, targets = btb_access_stream(small_app_trace)
+        rates = {}
+        for bits in (4, 8, 16):
+            btb = PartialTagBTB(BTBConfig(entries=256, ways=4),
+                                LRUPolicy(), tag_bits=bits)
+            for i in range(len(pcs)):
+                btb.access(int(pcs[i]), int(targets[i]), i)
+            rates[bits] = btb.false_hit_rate
+        assert rates[4] > rates[16]
+        assert rates[16] < 0.01
+
+    def test_simulator_charges_false_hits(self, small_app_trace):
+        from repro.frontend.simulator import simulate
+        btb = PartialTagBTB(BTBConfig(entries=256, ways=4), LRUPolicy(),
+                            tag_bits=3)
+        result = simulate(small_app_trace, btb=btb)
+        assert btb.false_hits > 0
+        assert result.indirect_mispredicts > 0
+
+
+class TestIsoStorageCompressed:
+    def test_smaller_tags_buy_entries(self):
+        base = BTBConfig(entries=8192, ways=4)
+        compressed = iso_storage_compressed_config(base, tag_bits=12)
+        assert compressed.entries > base.entries
+        assert compressed.entries % 4 == 0
+
+    def test_same_tags_same_entries(self):
+        base = BTBConfig(entries=8192, ways=4)
+        layout = BTBEntryLayout()
+        same = iso_storage_compressed_config(base, tag_bits=layout.tag_bits,
+                                             layout=layout)
+        assert same.entries == base.entries
+
+    def test_hint_bits_eat_into_gain(self):
+        base = BTBConfig(entries=8192, ways=4)
+        plain = iso_storage_compressed_config(base, tag_bits=12)
+        hinted = iso_storage_compressed_config(base, tag_bits=12,
+                                               hint_bits=2)
+        assert hinted.entries < plain.entries
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iso_storage_compressed_config(BTBConfig(), tag_bits=0)

@@ -1,0 +1,44 @@
+"""Unit tests for BTB geometry configuration."""
+
+import pytest
+
+from repro.btb.config import (BTBConfig, DEFAULT_BTB_CONFIG,
+                              THERMOMETER_7979_CONFIG)
+
+
+def test_table1_default():
+    assert DEFAULT_BTB_CONFIG.entries == 8192
+    assert DEFAULT_BTB_CONFIG.ways == 4
+    assert DEFAULT_BTB_CONFIG.num_sets == 2048
+    assert DEFAULT_BTB_CONFIG.capacity == 8192
+
+
+def test_7979_variant_rounds_sets_up():
+    assert THERMOMETER_7979_CONFIG.entries == 7979
+    assert THERMOMETER_7979_CONFIG.num_sets == 1995
+    assert THERMOMETER_7979_CONFIG.capacity == 1995 * 4
+
+
+def test_set_index_uses_word_address():
+    config = BTBConfig(entries=8, ways=2)   # 4 sets
+    # Consecutive 4-byte-aligned pcs must hit consecutive sets.
+    assert [config.set_index(pc) for pc in (0, 4, 8, 12, 16)] == \
+        [0, 1, 2, 3, 0]
+
+
+def test_set_index_in_range():
+    config = THERMOMETER_7979_CONFIG
+    for pc in (0, 4, 0x400000, 0x7FFFFFFC):
+        assert 0 <= config.set_index(pc) < config.num_sets
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"entries": 0}, {"ways": 0}, {"entries": 2, "ways": 4},
+])
+def test_invalid_geometry_rejected(kwargs):
+    with pytest.raises(ValueError):
+        BTBConfig(**{"entries": 8, "ways": 2, **kwargs})
+
+
+def test_config_hashable_for_cache_keys():
+    assert {BTBConfig(), BTBConfig()} == {BTBConfig()}

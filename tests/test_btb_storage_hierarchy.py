@@ -1,0 +1,101 @@
+"""Unit tests for the storage model and the two-level BTB."""
+
+import pytest
+
+from repro.btb.btb import BTB, btb_access_stream
+from repro.btb.config import BTBConfig
+from repro.btb.hierarchy import TwoLevelBTB
+from repro.btb.replacement.lru import LRUPolicy
+from repro.btb.storage import (BTBEntryLayout, BTBStorageModel,
+                               iso_storage_entries)
+
+
+class TestEntryLayout:
+    def test_default_bits(self):
+        layout = BTBEntryLayout()
+        assert layout.bits == 16 + 46 + 2 + 2
+
+    def test_hint_bits_add(self):
+        layout = BTBEntryLayout().with_hint_bits(2)
+        assert layout.bits == BTBEntryLayout().bits + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BTBEntryLayout(tag_bits=-1)
+        with pytest.raises(ValueError):
+            BTBEntryLayout(tag_bits=0, target_bits=0)
+
+
+class TestStorageModel:
+    def test_total_budget(self):
+        model = BTBStorageModel(BTBConfig(entries=8192, ways=4))
+        assert model.total_bits == 8192 * BTBEntryLayout().bits
+        assert model.total_kib == pytest.approx(
+            model.total_bits / 8 / 1024)
+
+    def test_hint_overhead_matches_paper(self):
+        """§3.4: +2 bits per entry on an 8K-entry BTB is ~2.7% storage."""
+        base = BTBStorageModel(BTBConfig(entries=8192, ways=4))
+        hinted = BTBStorageModel(BTBConfig(entries=8192, ways=4),
+                                 BTBEntryLayout().with_hint_bits(2))
+        assert hinted.overhead_vs(base) == pytest.approx(2 / 66, rel=0.01)
+
+
+class TestIsoStorage:
+    def test_reproduces_7979_entry_tradeoff(self):
+        """The Fig. 11 iso-storage variant: 8192 entries' budget buys
+        ~7979 entries once each carries 2 extra bits."""
+        entries = iso_storage_entries(8192, hint_bits=2)
+        assert 7900 <= entries <= 8000
+        assert entries % 4 == 0
+
+    def test_zero_hint_bits_is_identity_up_to_set_rounding(self):
+        assert iso_storage_entries(8192, hint_bits=0) == 8192
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iso_storage_entries(0)
+
+
+class TestTwoLevelBTB:
+    def test_requires_smaller_l1(self):
+        l1 = BTB(BTBConfig(entries=64, ways=4), LRUPolicy())
+        l2 = BTB(BTBConfig(entries=64, ways=4), LRUPolicy())
+        with pytest.raises(ValueError):
+            TwoLevelBTB(l1, l2)
+
+    def test_promotion_from_l2(self):
+        two = TwoLevelBTB.build(l1_entries=4, l2_entries=64, ways=4)
+        # Fill L1's single set beyond capacity so 0x4 falls to L2.
+        for pc in (0x4, 0x14, 0x24, 0x34, 0x44):
+            two.access(pc, 0x100)
+        assert not two.l1.contains(0x4)
+        assert two.l2.contains(0x4)                  # victim writeback
+        assert two.access(0x4, 0x100) == "l2"        # promoted
+        assert two.l1.contains(0x4)
+
+    def test_miss_classification(self):
+        two = TwoLevelBTB.build(l1_entries=4, l2_entries=64)
+        assert two.access(0x4, 0) == "miss"
+        assert two.access(0x4, 0) == "l1"
+        assert two.stats.misses == 1
+        assert two.stats.l1_hits == 1
+
+    def test_overall_hit_rate_beats_l1_alone(self, small_trace):
+        pcs, targets = btb_access_stream(small_trace)
+        two = TwoLevelBTB.build(l1_entries=64, l2_entries=2048)
+        l1_only = BTB(BTBConfig(entries=64, ways=4), LRUPolicy())
+        solo_hits = 0
+        for i in range(len(pcs)):
+            pc, tgt = int(pcs[i]), int(targets[i])
+            two.access(pc, tgt, i)
+            solo_hits += l1_only.access(pc, tgt, i)
+        assert (two.stats.l1_hits + two.stats.l2_hits) > solo_hits
+
+    def test_stats_rates(self):
+        two = TwoLevelBTB.build(l1_entries=4, l2_entries=64)
+        assert two.stats.overall_hit_rate == 0.0
+        two.access(0x4, 0)
+        two.access(0x4, 0)
+        assert two.stats.l1_hit_rate == 0.5
+        assert two.stats.miss_rate == 0.5

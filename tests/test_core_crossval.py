@@ -1,0 +1,40 @@
+"""Unit tests for two-fold threshold cross-validation."""
+
+import pytest
+
+from repro.core.crossval import (DEFAULT_THRESHOLD_GRID, CrossValResult,
+                                 cross_validate_thresholds)
+
+from tests.helpers import trace_of_pcs
+
+
+def test_default_grid_contains_paper_thresholds():
+    assert (50.0, 80.0) in DEFAULT_THRESHOLD_GRID
+    assert all(y1 <= y2 for y1, y2 in DEFAULT_THRESHOLD_GRID)
+
+
+def test_too_short_trace_rejected(tiny_config):
+    with pytest.raises(ValueError, match="too short"):
+        cross_validate_thresholds(trace_of_pcs([4, 8]), tiny_config)
+
+
+def test_result_never_worse_than_default(tiny_config, small_trace):
+    result = cross_validate_thresholds(
+        small_trace, tiny_config,
+        grid=((10.0, 40.0), (50.0, 80.0), (70.0, 95.0)))
+    assert isinstance(result, CrossValResult)
+    assert result.hit_rate >= result.default_hit_rate
+    assert len(result.thresholds) == 2
+
+
+def test_singleton_grid_returns_default(tiny_config, small_trace):
+    result = cross_validate_thresholds(small_trace, tiny_config,
+                                       grid=((50.0, 80.0),))
+    assert result.thresholds == (50.0, 80.0)
+    assert result.hit_rate == result.default_hit_rate
+
+
+def test_winning_threshold_comes_from_grid(tiny_config, small_trace):
+    grid = ((10.0, 40.0), (30.0, 60.0), (50.0, 80.0))
+    result = cross_validate_thresholds(small_trace, tiny_config, grid=grid)
+    assert result.thresholds in grid

@@ -1,0 +1,102 @@
+"""Unit tests for hint maps and quantizers."""
+
+import pytest
+
+from repro.core.hints import (DEFAULT_THRESHOLDS, HintMap,
+                              ThresholdQuantizer, UniformQuantizer)
+from repro.core.temperature import TemperatureProfile
+
+
+def profile_with(percentages):
+    return TemperatureProfile("t", dict(percentages))
+
+
+class TestHintMap:
+    def test_mapping_protocol(self):
+        hints = HintMap({0x4: 2, 0x8: 0}, num_categories=3,
+                        default_category=1)
+        assert hints[0x4] == 2
+        assert hints.get(0x8) == 0
+        assert hints.get(0xFF) == 1            # default
+        assert hints.get(0xFF, 0) == 0         # explicit default
+        assert 0x4 in hints and 0xFF not in hints
+        assert len(hints) == 2
+        assert set(iter(hints)) == {0x4, 0x8}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HintMap({}, num_categories=1)
+        with pytest.raises(ValueError):
+            HintMap({}, num_categories=3, default_category=3)
+        with pytest.raises(ValueError):
+            HintMap({0x4: 5}, num_categories=3)
+
+    def test_hint_bits(self):
+        assert HintMap({}, num_categories=2).hint_bits == 1
+        assert HintMap({}, num_categories=3).hint_bits == 2
+        assert HintMap({}, num_categories=4).hint_bits == 2
+        assert HintMap({}, num_categories=16).hint_bits == 4
+
+    def test_btb_storage_overhead(self):
+        """§3.4: 2 bits × 8K entries = 2KB (16384 bits)."""
+        hints = HintMap({}, num_categories=3)
+        assert hints.btb_storage_overhead_bits(8192) == 16384
+
+    def test_category_counts(self):
+        hints = HintMap({1: 0, 2: 2, 3: 2}, num_categories=3)
+        assert hints.category_counts() == [1, 0, 2]
+
+    def test_json_roundtrip(self, tmp_path):
+        hints = HintMap({0x400000: 2, 0x400004: 0}, num_categories=3,
+                        default_category=1)
+        path = tmp_path / "hints.json"
+        hints.to_json(path)
+        loaded = HintMap.from_json(path)
+        assert loaded.categories == hints.categories
+        assert loaded.num_categories == 3
+        assert loaded.default_category == 1
+
+
+class TestThresholdQuantizer:
+    def test_default_is_paper(self):
+        assert ThresholdQuantizer().thresholds == DEFAULT_THRESHOLDS
+
+    def test_category_boundaries(self):
+        q = ThresholdQuantizer((50.0, 80.0))
+        assert q.category(50.0) == 0
+        assert q.category(50.1) == 1
+        assert q.category(80.0) == 1
+        assert q.category(80.1) == 2
+        assert q.num_categories == 3
+
+    def test_quantize_profile(self):
+        hints = ThresholdQuantizer().quantize(
+            profile_with({1: 90.0, 2: 60.0, 3: 5.0}))
+        assert hints.categories == {1: 2, 2: 1, 3: 0}
+
+    def test_monotone_in_temperature(self):
+        q = ThresholdQuantizer((30.0, 60.0, 90.0))
+        categories = [q.category(y) for y in range(0, 101, 5)]
+        assert categories == sorted(categories)
+
+
+class TestUniformQuantizer:
+    def test_equal_population_bins(self):
+        profile = profile_with({i: float(i) for i in range(1, 91, 10)})
+        hints = UniformQuantizer(3).quantize(profile)
+        counts = hints.category_counts()
+        assert sum(counts) == 9
+        assert max(counts) - min(counts) <= 1
+
+    def test_empty_profile(self):
+        hints = UniformQuantizer(3).quantize(profile_with({}))
+        assert len(hints) == 0
+
+    def test_invalid_categories(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(1)
+
+    def test_categories_ordered_by_temperature(self):
+        profile = profile_with({1: 5.0, 2: 50.0, 3: 95.0})
+        hints = UniformQuantizer(3).quantize(profile)
+        assert hints[1] <= hints[2] <= hints[3]

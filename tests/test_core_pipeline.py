@@ -1,0 +1,71 @@
+"""Unit/integration tests for the end-to-end Thermometer pipeline."""
+
+import pytest
+
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.lru import LRUPolicy
+from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.btb.replacement.thermometer import ThermometerPolicy
+from repro.core.hints import ThresholdQuantizer, UniformQuantizer
+from repro.core.pipeline import ThermometerPipeline, thermometer_policy_for
+
+
+@pytest.fixture
+def pipeline(tiny_config):
+    return ThermometerPipeline(config=tiny_config, default_category=1)
+
+
+class TestStages:
+    def test_build_hints_covers_taken_branches(self, pipeline, small_trace):
+        hints = pipeline.build_hints(small_trace)
+        pcs, _ = btb_access_stream(small_trace)
+        assert set(hints.categories) == {int(pc) for pc in pcs}
+
+    def test_policy_construction(self, pipeline, small_trace):
+        policy = pipeline.policy(pipeline.build_hints(small_trace))
+        assert isinstance(policy, ThermometerPolicy)
+        assert policy.default_category == 1
+
+    def test_run_same_input(self, pipeline, small_trace, tiny_config):
+        stats = pipeline.run(small_trace)
+        lru = run_btb(small_trace, BTB(tiny_config, LRUPolicy()))
+        assert stats.accesses == lru.accesses
+
+    def test_run_with_prebuilt_hints(self, pipeline, small_trace):
+        hints = pipeline.build_hints(small_trace)
+        stats = pipeline.run(small_trace, hints=hints)
+        assert stats.accesses > 0
+
+
+class TestOrderingInvariants:
+    """The headline ordering must hold: OPT >= Thermometer >= LRU hits."""
+
+    def test_thermometer_between_lru_and_opt(self, pipeline, small_trace,
+                                             tiny_config):
+        therm = pipeline.run(small_trace)
+        lru = run_btb(small_trace, BTB(tiny_config, LRUPolicy()))
+        pcs, _ = btb_access_stream(small_trace)
+        opt = run_btb(small_trace, BTB(
+            tiny_config, BeladyOptimalPolicy.from_stream(pcs)))
+        assert opt.hits >= therm.hits
+        assert therm.hits >= lru.hits
+
+    def test_uniform_quantizer_supported(self, small_trace, tiny_config):
+        pipeline = ThermometerPipeline(config=tiny_config,
+                                       quantizer=UniformQuantizer(4),
+                                       default_category=1)
+        stats = pipeline.run(small_trace)
+        assert stats.accesses > 0
+
+
+class TestConvenience:
+    def test_thermometer_policy_for(self, small_trace, tiny_config):
+        policy = thermometer_policy_for(small_trace, tiny_config)
+        assert isinstance(policy, ThermometerPolicy)
+
+    def test_custom_thresholds(self, small_trace, tiny_config):
+        policy = thermometer_policy_for(small_trace, tiny_config,
+                                        thresholds=(30.0, 60.0))
+        categories = set(policy._hints.categories.values())
+        assert categories <= {0, 1, 2}

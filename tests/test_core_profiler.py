@@ -1,0 +1,73 @@
+"""Unit tests for the OPT-replay profiler."""
+
+import pytest
+
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.core.profiler import BranchProfile, profile_trace
+
+from tests.helpers import trace_of_pcs
+
+
+class TestBranchProfile:
+    def test_hit_to_taken(self):
+        record = BranchProfile(pc=4, taken=10, hits=7)
+        assert record.hit_to_taken == 70.0
+
+    def test_hit_to_taken_zero_taken(self):
+        assert BranchProfile(pc=4).hit_to_taken == 0.0
+
+    def test_bypass_ratio(self):
+        record = BranchProfile(pc=4, inserts=3, bypasses=1)
+        assert record.bypass_ratio == 0.25
+        assert BranchProfile(pc=4).bypass_ratio == 0.0
+
+
+class TestProfileTrace:
+    def test_counts_reconcile_with_opt_replay(self, tiny_config,
+                                              small_trace):
+        profile = profile_trace(small_trace, tiny_config)
+        pcs, _ = btb_access_stream(small_trace)
+        opt = run_btb(small_trace, BTB(
+            tiny_config, BeladyOptimalPolicy.from_stream(pcs)))
+        assert sum(b.taken for b in profile.branches.values()) == len(pcs)
+        assert sum(b.hits for b in profile.branches.values()) == opt.hits
+        assert sum(b.bypasses for b in profile.branches.values()) == \
+            opt.bypasses
+
+    def test_every_taken_branch_profiled(self, tiny_config, small_trace):
+        profile = profile_trace(small_trace, tiny_config)
+        pcs, _ = btb_access_stream(small_trace)
+        assert set(profile.branches) == {int(pc) for pc in pcs}
+
+    def test_hot_branch_identified(self, tiny_config):
+        # 0x4 re-accessed constantly; 0x100.. are one-shot cold.
+        pcs = []
+        for i in range(30):
+            pcs.extend([0x4, 0x1000 + 16 * i])
+        trace = trace_of_pcs(pcs)
+        profile = profile_trace(trace, tiny_config)
+        assert profile.branches[0x4].hit_to_taken > 90.0
+        assert profile.branches[0x1000].hit_to_taken == 0.0
+
+    def test_elapsed_time_recorded(self, tiny_config, small_trace):
+        profile = profile_trace(small_trace, tiny_config)
+        assert profile.elapsed_seconds > 0.0
+
+    def test_insert_plus_bypass_equals_misses(self, tiny_config,
+                                              small_trace):
+        profile = profile_trace(small_trace, tiny_config)
+        per_branch = sum(b.inserts + b.bypasses
+                         for b in profile.branches.values())
+        assert per_branch == profile.stats.misses
+
+    def test_prebuilt_policy_accepted(self, tiny_config, small_trace):
+        pcs, _ = btb_access_stream(small_trace)
+        policy = BeladyOptimalPolicy.from_stream(pcs)
+        profile = profile_trace(small_trace, tiny_config, policy=policy)
+        assert profile.num_branches > 0
+
+    def test_repr(self, tiny_config, small_trace):
+        text = repr(profile_trace(small_trace, tiny_config))
+        assert "OptProfile" in text

@@ -1,0 +1,91 @@
+"""Unit tests for branch temperature classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.temperature import (COLD, HOT, WARM, TemperatureProfile,
+                                    classify_temperature,
+                                    temperature_class_name)
+
+
+def make_profile():
+    return TemperatureProfile(
+        trace_name="t",
+        percentages={0x4: 95.0, 0x8: 65.0, 0xC: 10.0, 0x10: 50.0,
+                     0x14: 80.0},
+        taken_counts={0x4: 900, 0x8: 50, 0xC: 30, 0x10: 10, 0x14: 10})
+
+
+class TestClassify:
+    def test_paper_thresholds(self):
+        assert classify_temperature(10.0) == COLD
+        assert classify_temperature(50.0) == COLD       # boundary: <= y1
+        assert classify_temperature(65.0) == WARM
+        assert classify_temperature(80.0) == WARM       # boundary: <= y2
+        assert classify_temperature(95.0) == HOT
+
+    def test_custom_thresholds(self):
+        assert classify_temperature(25.0, (20.0, 40.0, 60.0)) == 1
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            classify_temperature(50.0, ())
+        with pytest.raises(ValueError):
+            classify_temperature(50.0, (80.0, 50.0))
+        with pytest.raises(ValueError):
+            classify_temperature(50.0, (-5.0, 120.0))
+
+    def test_class_names(self):
+        assert temperature_class_name(COLD) == "cold"
+        assert temperature_class_name(WARM) == "warm"
+        assert temperature_class_name(HOT) == "hot"
+        with pytest.raises(ValueError):
+            temperature_class_name(7)
+
+
+class TestProfile:
+    def test_classify_map(self):
+        categories = make_profile().classify()
+        assert categories == {0x4: HOT, 0x8: WARM, 0xC: COLD, 0x10: COLD,
+                              0x14: WARM}
+
+    def test_class_fractions_sum_to_one(self):
+        fractions = make_profile().class_fractions()
+        assert sum(fractions) == pytest.approx(1.0)
+        assert fractions == [pytest.approx(0.4), pytest.approx(0.4),
+                             pytest.approx(0.2)]
+
+    def test_dynamic_fractions_weighted_by_taken(self):
+        fractions = make_profile().dynamic_fractions()
+        assert fractions[HOT] == pytest.approx(900 / 1000)
+
+    def test_sorted_curve_descending(self):
+        xs, ys = make_profile().sorted_curve()
+        assert list(ys) == sorted(ys, reverse=True)
+        assert xs[-1] == pytest.approx(100.0)
+
+    def test_dynamic_cdf_monotone(self):
+        xs, cdf = make_profile().dynamic_cdf()
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == pytest.approx(100.0)
+
+    def test_empty_profile_curves(self):
+        empty = TemperatureProfile("e", {})
+        assert len(empty.sorted_curve()[0]) == 0
+        assert len(empty.dynamic_cdf()[0]) == 0
+        assert len(empty) == 0
+
+    def test_agreement_identical(self):
+        profile = make_profile()
+        assert profile.agreement_with(profile) == 1.0
+
+    def test_agreement_partial(self):
+        a = make_profile()
+        b = TemperatureProfile(
+            "b", {0x4: 95.0, 0x8: 10.0, 0xFF: 50.0})   # 0x8 flips to cold
+        assert a.agreement_with(b) == pytest.approx(0.5)
+
+    def test_agreement_disjoint_is_zero(self):
+        a = make_profile()
+        b = TemperatureProfile("b", {0x999: 50.0})
+        assert a.agreement_with(b) == 0.0

@@ -1,0 +1,99 @@
+"""Tests for the dueling-Thermometer extension and the profile-time
+auto-bypass rule."""
+
+import pytest
+
+from repro.btb.btb import BTB, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.dueling_thermometer import \
+    DuelingThermometerPolicy
+from repro.btb.replacement.lru import LRUPolicy
+from repro.core.hints import HintMap
+from repro.core.pipeline import ThermometerPipeline, bypass_recommended
+
+
+def hints_with(hot, warm, cold):
+    categories = {}
+    pc = 0x1000
+    for count, cat in ((cold, 0), (warm, 1), (hot, 2)):
+        for _ in range(count):
+            categories[pc] = cat
+            pc += 4
+    return HintMap(categories, num_categories=3)
+
+
+class TestBypassRecommended:
+    def test_enabled_when_warm_and_hot_fit(self):
+        config = BTBConfig(entries=1024, ways=4)
+        assert bypass_recommended(hints_with(500, 400, 5000), config)
+
+    def test_disabled_when_population_far_exceeds_capacity(self):
+        config = BTBConfig(entries=1024, ways=4)
+        # 2x capacity of warm-and-hotter branches: bypass must turn off.
+        assert not bypass_recommended(hints_with(1500, 600, 100), config)
+
+    def test_slight_oversubscription_keeps_bypass(self):
+        config = BTBConfig(entries=1024, ways=4)
+        assert bypass_recommended(hints_with(900, 400, 100), config)
+
+    def test_pipeline_applies_rule(self, small_app_trace):
+        tiny = ThermometerPipeline(config=BTBConfig(entries=64, ways=4))
+        policy = tiny.policy(tiny.build_hints(small_app_trace))
+        assert not policy.bypass_enabled
+        big = ThermometerPipeline(config=BTBConfig(entries=32768, ways=4))
+        policy = big.policy(big.build_hints(small_app_trace))
+        assert policy.bypass_enabled
+
+    def test_explicit_override_wins(self, small_app_trace):
+        pipeline = ThermometerPipeline(config=BTBConfig(entries=64, ways=4),
+                                       bypass_enabled=True)
+        policy = pipeline.policy(pipeline.build_hints(small_app_trace))
+        assert policy.bypass_enabled
+
+    def test_undersized_btb_no_longer_loses_to_lru(self, small_app_trace):
+        """The regression the rule exists for: Thermometer at a BTB far
+        below the working set must stay at least LRU-competitive."""
+        config = BTBConfig(entries=256, ways=4)
+        pipeline = ThermometerPipeline(config=config)
+        therm = pipeline.run(small_app_trace)
+        lru = run_btb(small_app_trace, BTB(config, LRUPolicy()))
+        assert therm.misses <= lru.misses * 1.02
+
+
+class TestDuelingThermometer:
+    def test_leader_roles_assigned(self):
+        policy = DuelingThermometerPolicy({}, leader_spacing=8)
+        policy.bind(64, 4)
+        assert set(policy._role) == {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DuelingThermometerPolicy({}, leader_spacing=1)
+
+    def test_followers_flip_with_psel(self):
+        policy = DuelingThermometerPolicy({}, leader_spacing=8)
+        policy.bind(64, 4)
+        follower = next(s for s in range(64) if policy._role[s] == 0)
+        policy._psel = 0
+        assert policy._uses_hints(follower)
+        policy._psel = policy.psel_max
+        assert not policy._uses_hints(follower)
+
+    def test_hint_share_bounds(self):
+        policy = DuelingThermometerPolicy({})
+        policy.bind(64, 4)
+        assert 0.0 <= policy.hint_share <= 1.0
+
+    def test_competitive_with_plain_thermometer(self, small_app_trace):
+        from repro.btb.replacement.thermometer import ThermometerPolicy
+        from repro.core.pipeline import ThermometerPipeline
+        config = BTBConfig(entries=1024, ways=4)
+        pipeline = ThermometerPipeline(config=config)
+        hints = pipeline.build_hints(small_app_trace)
+        duel = run_btb(small_app_trace, BTB(
+            config, DuelingThermometerPolicy(hints, default_category=1)))
+        plain = run_btb(small_app_trace, BTB(
+            config, ThermometerPolicy(hints, default_category=1)))
+        lru = run_btb(small_app_trace, BTB(config, LRUPolicy()))
+        # Dueling is bounded roughly by the better of its two leaders.
+        assert duel.misses <= max(plain.misses, lru.misses) * 1.05

@@ -1,0 +1,71 @@
+"""Unit tests for the FDIP run-ahead credit model."""
+
+import pytest
+
+from repro.frontend.fdip import FDIPEngine
+from repro.frontend.params import FrontendParams
+
+
+def engine(**kwargs):
+    return FDIPEngine(FrontendParams(**kwargs))
+
+
+def test_credit_builds_with_gain():
+    e = engine(runahead_gain=5.0)
+    e.advance(2.0)
+    assert e.credit == 10.0
+
+
+def test_credit_capped_by_ftq():
+    e = engine()
+    e.advance(10_000.0)
+    assert e.credit == e.capacity
+    assert e.capacity == pytest.approx(
+        e.params.ftq_runahead_instructions * e.params.backend_cpi)
+
+
+def test_fill_fully_hidden_when_credit_sufficient():
+    e = engine()
+    e.advance(100.0)
+    exposed = e.absorb(10.0)
+    assert exposed == 0.0
+    assert e.hidden_latency == 10.0
+
+
+def test_fill_partially_exposed():
+    e = engine(runahead_gain=1.0)
+    e.advance(4.0)
+    exposed = e.absorb(10.0)
+    assert exposed == 6.0
+    assert e.hidden_latency == 4.0
+    assert e.exposed_latency == 6.0
+
+
+def test_exposure_rebuilds_credit():
+    """While the core stalls on exposed latency, fetch keeps running
+    ahead."""
+    e = engine(runahead_gain=2.0)
+    exposed = e.absorb(10.0)
+    assert exposed == 10.0
+    assert e.credit == 20.0
+
+
+def test_zero_fill_free():
+    e = engine()
+    assert e.absorb(0.0) == 0.0
+
+
+def test_redirect_resets_credit():
+    e = engine()
+    e.advance(50.0)
+    e.redirect()
+    assert e.credit == 0.0
+    assert e.resets == 1
+
+
+def test_hide_rate():
+    e = engine(runahead_gain=1.0)
+    assert e.hide_rate == 0.0
+    e.advance(5.0)
+    e.absorb(10.0)          # 5 hidden, 5 exposed
+    assert e.hide_rate == pytest.approx(0.5)

@@ -1,0 +1,90 @@
+"""Unit tests for the instruction-cache hierarchy."""
+
+import pytest
+
+from repro.frontend.icache import CacheModel, InstructionHierarchy
+from repro.frontend.params import FrontendParams
+
+
+class TestCacheModel:
+    def test_miss_then_hit(self):
+        cache = CacheModel(size_bytes=1024, ways=2)
+        assert not cache.access_line(5)
+        assert cache.access_line(5)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_lru_within_set(self):
+        cache = CacheModel(size_bytes=2 * 64, ways=2)   # 1 set, 2 ways
+        cache.access_line(1)
+        cache.access_line(2)
+        cache.access_line(1)           # refresh 1
+        cache.access_line(3)           # evicts 2
+        assert cache.access_line(1)
+        assert not cache.access_line(2)
+
+    def test_sets_partition_lines(self):
+        cache = CacheModel(size_bytes=4 * 64, ways=1)   # 4 sets
+        for line in range(4):
+            cache.access_line(line)
+        assert all(cache.access_line(line) for line in range(4))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CacheModel(size_bytes=64, ways=2)
+
+    def test_miss_rate(self):
+        cache = CacheModel(size_bytes=1024, ways=2)
+        assert cache.miss_rate == 0.0
+        cache.access_line(1)
+        assert cache.miss_rate == 1.0
+
+
+class TestHierarchy:
+    def small_params(self):
+        return FrontendParams(l1i_bytes=1024, l1i_ways=2,
+                              l2_bytes=4096, l2_ways=2,
+                              llc_bytes=16384, llc_ways=2)
+
+    def test_latency_by_level(self):
+        p = self.small_params()
+        h = InstructionHierarchy(p)
+        # Cold line: misses everywhere -> memory latency.
+        assert h.fetch_line_latency(0x10000) == p.memory_latency
+        # Now resident in all levels.
+        assert h.fetch_line_latency(0x10000) == 0.0
+
+    def test_l2_hit_latency_after_l1_eviction(self):
+        p = self.small_params()
+        h = InstructionHierarchy(p)
+        h.fetch_line_latency(0x0)
+        # Evict line 0 from tiny L1I (16 lines) but not from L2.
+        for i in range(1, 40):
+            h.fetch_line_latency(i * 64)
+        latency = h.fetch_line_latency(0x0)
+        assert latency in (p.l2_latency, p.llc_latency)
+
+    def test_perfect_hierarchy_is_free(self):
+        h = InstructionHierarchy(self.small_params(), perfect=True)
+        assert h.fetch_line_latency(0x123456) == 0.0
+        assert h.fetch_block_latency(0x0, 100) == 0.0
+
+    def test_block_spanning_lines(self):
+        p = self.small_params()
+        h = InstructionHierarchy(p)
+        # 32 instructions x 4B = 128B = 2 lines, both cold.
+        latency = h.fetch_block_latency(0x40000, 32)
+        assert latency == 2 * p.memory_latency
+
+    def test_block_within_one_line(self):
+        p = self.small_params()
+        h = InstructionHierarchy(p)
+        assert h.fetch_block_latency(0x80000, 4) == p.memory_latency
+
+    def test_l2_impki(self):
+        p = self.small_params()
+        h = InstructionHierarchy(p)
+        for i in range(10):
+            h.fetch_line_latency(0x90000 + i * 64)
+        assert h.l2_instruction_mpki(10_000) == pytest.approx(1.0)
+        assert h.l2_instruction_mpki(0) == 0.0

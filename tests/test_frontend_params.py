@@ -1,0 +1,57 @@
+"""Table 1 configuration tests."""
+
+import pytest
+
+from repro.btb.config import DEFAULT_BTB_CONFIG
+from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
+
+
+def test_table1_core_parameters():
+    p = DEFAULT_FRONTEND_PARAMS
+    assert p.width == 6
+    assert p.ftq_entries == 24
+    assert p.ftq_runahead_instructions == 192
+    assert p.decode_queue == 60
+    assert p.rob_entries == 352
+    assert p.reservation_stations == 128
+    assert p.ras_entries == 32
+
+
+def test_table1_btb_parameters():
+    assert DEFAULT_BTB_CONFIG.entries == 8192
+    assert DEFAULT_BTB_CONFIG.ways == 4
+
+
+def test_table1_cache_parameters():
+    p = DEFAULT_FRONTEND_PARAMS
+    assert p.line_bytes == 64
+    assert p.l1i_bytes == 32 * 1024 and p.l1i_ways == 8
+    assert p.l2_bytes == 512 * 1024 and p.l2_ways == 8
+    assert p.llc_bytes == 2 * 1024 * 1024 and p.llc_ways == 16
+
+
+def test_runahead_capacity_scales_with_ftq():
+    p = DEFAULT_FRONTEND_PARAMS
+    doubled = p.with_ftq_entries(48)
+    assert doubled.ftq_runahead_instructions == 384
+    assert doubled.ftq_runahead_cycles == pytest.approx(
+        2 * p.ftq_runahead_cycles)
+
+
+def test_latency_ordering():
+    p = DEFAULT_FRONTEND_PARAMS
+    assert 0 < p.l2_latency < p.llc_latency < p.memory_latency
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FrontendParams(width=0)
+    with pytest.raises(ValueError):
+        FrontendParams(ftq_entries=0)
+    with pytest.raises(ValueError):
+        FrontendParams(l1i_bytes=0)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_FRONTEND_PARAMS.width = 8  # type: ignore[misc]

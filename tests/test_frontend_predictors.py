@@ -1,0 +1,117 @@
+"""Unit tests for direction predictors."""
+
+import random
+
+import pytest
+
+from repro.frontend.branch_predictor import (AlwaysTakenPredictor,
+                                             BimodalPredictor,
+                                             GSharePredictor,
+                                             PerceptronPredictor,
+                                             PerfectPredictor,
+                                             TageLitePredictor)
+
+PREDICTORS = [BimodalPredictor, GSharePredictor, TageLitePredictor,
+              PerceptronPredictor]
+
+
+class TestOracles:
+    def test_always_taken(self):
+        p = AlwaysTakenPredictor()
+        assert p.predict(0x4)
+        assert p.predict_and_train(0x4, True)
+        assert not p.predict_and_train(0x4, False)
+
+    def test_perfect_always_correct(self):
+        p = PerfectPredictor()
+        assert p.predict_and_train(0x4, True)
+        assert p.predict_and_train(0x4, False)
+
+
+@pytest.mark.parametrize("cls", PREDICTORS)
+class TestLearning:
+    def test_learns_strong_bias(self, cls):
+        p = cls()
+        correct = sum(p.predict_and_train(0x40, True) for _ in range(100))
+        assert correct >= 95
+
+    def test_learns_not_taken_bias(self, cls):
+        p = cls()
+        for _ in range(10):
+            p.predict_and_train(0x40, False)
+        assert not p.predict(0x40)
+
+    def test_accuracy_tracks_majority_on_random(self, cls):
+        """On i.i.d. outcomes, accuracy should approach the bias."""
+        rng = random.Random(3)
+        p = cls()
+        outcomes = [rng.random() < 0.85 for _ in range(2000)]
+        correct = sum(p.predict_and_train(0x80, bit) for bit in outcomes)
+        assert correct / len(outcomes) > 0.7
+
+    def test_distinct_branches_independent(self, cls):
+        if cls in (GSharePredictor, PerceptronPredictor):
+            # These designs fold global history into the prediction, so
+            # per-branch isolation is not guaranteed by design.
+            pytest.skip("history-coupled predictor")
+        p = cls()
+        for _ in range(20):
+            p.predict_and_train(0x40, True)
+            p.predict_and_train(0x80, False)
+        assert p.predict(0x40)
+        assert not p.predict(0x80)
+
+
+class TestGShare:
+    def test_history_distinguishes_contexts(self):
+        """gshare can learn a direction that strictly alternates (history-
+        correlated), which bimodal cannot."""
+        gshare = GSharePredictor(table_bits=10, history_bits=4)
+        bimodal = BimodalPredictor(table_bits=10)
+        outcome = True
+        g_correct = b_correct = 0
+        for i in range(600):
+            g_correct += gshare.predict_and_train(0x40, outcome)
+            b_correct += bimodal.predict_and_train(0x40, outcome)
+            outcome = not outcome
+        assert g_correct > b_correct
+
+
+class TestTageLite:
+    def test_allocation_on_mispredict(self):
+        p = TageLitePredictor()
+        # Strictly alternating pattern: needs history tables.
+        outcome = True
+        correct_late = 0
+        for i in range(2000):
+            correct = p.predict_and_train(0x44, outcome)
+            if i >= 1500:
+                correct_late += correct
+            outcome = not outcome
+        assert correct_late / 500 > 0.9
+
+    def test_validation_of_table_params(self):
+        # Sane construction should not raise.
+        TageLitePredictor(base_bits=8, table_bits=6, tag_bits=5)
+
+
+class TestPerceptron:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(history_bits=0)
+
+    def test_threshold_formula(self):
+        p = PerceptronPredictor(history_bits=16)
+        assert p.threshold == int(1.93 * 16 + 14)
+
+    def test_learns_history_correlation(self):
+        """Alternating outcomes are linearly separable on history."""
+        p = PerceptronPredictor(history_bits=8)
+        outcome = True
+        late_correct = 0
+        for i in range(1200):
+            correct = p.predict_and_train(0x40, outcome)
+            if i >= 1000:
+                late_correct += correct
+            outcome = not outcome
+        assert late_correct / 200 > 0.9

@@ -1,0 +1,62 @@
+"""Unit tests for the return address stack."""
+
+import pytest
+
+from repro.frontend.ras import ReturnAddressStack
+
+
+def test_lifo_order():
+    ras = ReturnAddressStack(8)
+    ras.push(0x100)
+    ras.push(0x200)
+    assert ras.pop(0x200)
+    assert ras.pop(0x100)
+
+
+def test_empty_pop_mispredicts():
+    ras = ReturnAddressStack(8)
+    assert not ras.pop(0x100)
+    assert ras.mispredictions == 1
+
+
+def test_wrong_target_mispredicts():
+    ras = ReturnAddressStack(8)
+    ras.push(0x100)
+    assert not ras.pop(0x104)
+    assert ras.mispredictions == 1
+
+
+def test_overflow_discards_oldest():
+    ras = ReturnAddressStack(2)
+    for addr in (0x100, 0x200, 0x300):
+        ras.push(addr)
+    assert ras.overflows == 1
+    assert ras.pop(0x300)
+    assert ras.pop(0x200)
+    assert not ras.pop(0x100)      # discarded frame
+
+
+def test_depth_tracking():
+    ras = ReturnAddressStack(4)
+    assert ras.depth == 0
+    ras.push(0x100)
+    assert ras.depth == 1
+    ras.pop(0x100)
+    assert ras.depth == 0
+
+
+def test_counters():
+    ras = ReturnAddressStack(4)
+    ras.push(0x100)
+    ras.pop(0x100)
+    assert ras.pushes == 1
+    assert ras.pops == 1
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        ReturnAddressStack(0)
+
+
+def test_repr():
+    assert "entries=4" in repr(ReturnAddressStack(4))

@@ -1,0 +1,158 @@
+"""Unit/behavioral tests for the frontend timing simulator."""
+
+import pytest
+
+from repro.btb.btb import BTB, btb_access_stream
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.lru import LRUPolicy
+from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.frontend.branch_predictor import PerfectPredictor
+from repro.frontend.params import FrontendParams
+from repro.frontend.simulator import FrontendSimulator, SimResult, simulate
+from repro.trace.record import BranchKind, BranchTrace
+
+from tests.helpers import branch
+
+
+def sim_lru(trace, config=None, **kwargs):
+    config = config or BTBConfig()
+    return simulate(trace, btb=BTB(config, LRUPolicy()), **kwargs)
+
+
+class TestSimResult:
+    def test_ipc(self):
+        r = SimResult("t", instructions=100, cycles=50.0)
+        assert r.ipc == 2.0
+        assert SimResult("t").ipc == 0.0
+
+    def test_speedup_over(self):
+        slow = SimResult("t", instructions=100, cycles=100.0)
+        fast = SimResult("t", instructions=100, cycles=80.0)
+        assert fast.speedup_over(slow) == pytest.approx(0.25)
+        assert fast.speedup_over(SimResult("t")) == 0.0
+
+    def test_breakdown_text(self, small_trace):
+        result = sim_lru(small_trace)
+        text = result.breakdown()
+        assert "BTB miss redirects" in text
+        assert "IPC" in text
+
+
+class TestSimulatorBehavior:
+    def test_deterministic(self, small_trace):
+        a = sim_lru(small_trace)
+        b = sim_lru(small_trace)
+        assert a.cycles == b.cycles
+
+    def test_invalid_warmup_rejected(self, small_trace):
+        sim = FrontendSimulator(btb=BTB(BTBConfig(), LRUPolicy()))
+        with pytest.raises(ValueError):
+            sim.simulate(small_trace, warmup_fraction=1.0)
+
+    def test_warmup_reduces_reported_instructions(self, small_trace):
+        full = FrontendSimulator(btb=BTB(BTBConfig(), LRUPolicy())) \
+            .simulate(small_trace, warmup_fraction=0.0)
+        warm = sim_lru(small_trace)
+        assert warm.instructions < full.instructions
+
+    def test_perfect_btb_has_no_btb_stalls(self, small_trace):
+        result = simulate(small_trace, perfect_btb=True)
+        assert result.btb_stall_cycles == 0.0
+
+    def test_perfect_bp_has_no_mispredicts(self, small_trace):
+        result = sim_lru(small_trace, perfect_bp=True)
+        assert result.mispredicts == 0
+        assert result.mispredict_stall_cycles == 0.0
+
+    def test_perfect_icache_has_no_icache_stalls(self, small_trace):
+        result = sim_lru(small_trace, perfect_icache=True)
+        assert result.icache_stall_cycles == 0.0
+        assert result.l2_instruction_mpki == 0.0
+
+    def test_oracle_orderings(self, small_app_trace):
+        base = sim_lru(small_app_trace)
+        perfect_btb = simulate(small_app_trace, perfect_btb=True)
+        assert perfect_btb.ipc > base.ipc
+
+    def test_opt_btb_at_least_lru(self, small_app_trace):
+        base = sim_lru(small_app_trace)
+        pcs, _ = btb_access_stream(small_app_trace)
+        opt = simulate(small_app_trace, btb=BTB(
+            BTBConfig(), BeladyOptimalPolicy.from_stream(pcs)))
+        assert opt.ipc >= base.ipc * 0.999
+
+    def test_empty_trace(self):
+        result = simulate(BranchTrace.empty(), perfect_btb=True)
+        assert result.cycles == 0.0
+        assert result.instructions == 0
+
+
+class TestEventAccounting:
+    def test_btb_miss_penalty_charged(self):
+        # Same branch twice: first access misses, second hits.
+        records = [branch(0x40, 0x80), branch(0x80, 0x40),
+                   branch(0x40, 0x80)]
+        trace = BranchTrace.from_records(records)
+        params = FrontendParams(btb_miss_penalty=100.0)
+        result = FrontendSimulator(
+            params=params, btb=BTB(BTBConfig(), LRUPolicy()),
+            predictor=PerfectPredictor()).simulate(trace,
+                                                   warmup_fraction=0.0)
+        # Two compulsory misses (the third access hits).
+        assert result.btb_stall_cycles == 200.0
+
+    def test_ras_handles_call_return(self):
+        records = [
+            branch(0x40, 0x1000, BranchKind.CALL_DIRECT),
+            branch(0x1010, 0x44, BranchKind.RETURN),
+            branch(0x44, 0x40, BranchKind.UNCOND_DIRECT),
+        ]
+        trace = BranchTrace.from_records(records)
+        result = FrontendSimulator(
+            btb=BTB(BTBConfig(), LRUPolicy()),
+            predictor=PerfectPredictor()).simulate(trace,
+                                                   warmup_fraction=0.0)
+        assert result.ras_mispredicts == 0
+
+    def test_wrong_return_address_penalized(self):
+        records = [
+            branch(0x40, 0x1000, BranchKind.CALL_DIRECT),
+            branch(0x1010, 0x9999 * 4, BranchKind.RETURN),
+        ]
+        trace = BranchTrace.from_records(records)
+        result = FrontendSimulator(
+            btb=BTB(BTBConfig(), LRUPolicy()),
+            predictor=PerfectPredictor()).simulate(trace,
+                                                   warmup_fraction=0.0)
+        assert result.ras_mispredicts == 1
+        assert result.ras_stall_cycles > 0
+
+    def test_returns_do_not_touch_btb(self):
+        records = [
+            branch(0x40, 0x1000, BranchKind.CALL_DIRECT),
+            branch(0x1010, 0x44, BranchKind.RETURN),
+        ]
+        trace = BranchTrace.from_records(records)
+        btb = BTB(BTBConfig(), LRUPolicy())
+        FrontendSimulator(btb=btb, predictor=PerfectPredictor()) \
+            .simulate(trace, warmup_fraction=0.0)
+        assert btb.stats.accesses == 1            # the call only
+
+    def test_indirect_mispredict_counted(self):
+        # Indirect branch alternating targets: IBTB cannot be sure.
+        records = []
+        for i in range(6):
+            target = 0x2000 if i % 2 == 0 else 0x3000
+            records.append(branch(0x40, target,
+                                  BranchKind.UNCOND_INDIRECT))
+        trace = BranchTrace.from_records(records)
+        result = FrontendSimulator(
+            btb=BTB(BTBConfig(), LRUPolicy()),
+            predictor=PerfectPredictor()).simulate(trace,
+                                                   warmup_fraction=0.0)
+        assert result.indirect_mispredicts >= 2
+
+    def test_stall_breakdown_sums_to_total(self, small_trace):
+        result = sim_lru(small_trace)
+        assert result.cycles == pytest.approx(
+            result.base_cycles + result.frontend_stall_cycles)

@@ -1,0 +1,102 @@
+"""Behavioral tests for the workload generator's dynamic structure —
+the properties the paper's characterization depends on."""
+
+from collections import Counter
+
+import pytest
+
+from repro.btb.btb import btb_access_stream
+from repro.workloads.generator import (LayoutParams, MixParams,
+                                       SyntheticWorkload, WorkloadSpec)
+
+
+def make_workload(p_revisit=0.4, **mix_kw):
+    spec = WorkloadSpec(
+        name="dyn-test",
+        layout=LayoutParams(n_hot_loops=30, hot_loop_branches=(6, 10),
+                            n_warm_funcs=10, n_cold_branches=300,
+                            loop_trips_max=10),
+        mix=MixParams(active_loops=20, core_loops=4, phase_len=3000,
+                      p_call=0.1, p_cold_burst=0.05,
+                      cold_burst_len=(5, 20), p_revisit_loop=p_revisit,
+                      **mix_kw),
+        default_length=20_000)
+    return SyntheticWorkload(spec)
+
+
+def loop_base_sequence(workload, trace):
+    """Map each dynamic branch to its loop region (backedge target)."""
+    base_of = {}
+    for loop in workload._lay.loops:
+        for br in (*loop.body, loop.backedge):
+            base_of[br.pc] = loop.base
+    return [base_of[pc] for pc in map(int, trace.pcs) if pc in base_of]
+
+
+def revisit_rate(sequence):
+    """How often consecutive loop-branch runs belong to the same loop."""
+    runs = [sequence[0]]
+    for base in sequence[1:]:
+        if base != runs[-1]:
+            runs.append(base)
+    if len(sequence) <= 1:
+        return 0.0
+    # Fewer distinct runs = more burstiness.
+    return 1.0 - len(runs) / len(sequence)
+
+
+def test_revisit_probability_increases_burstiness():
+    low = make_workload(p_revisit=0.0)
+    high = make_workload(p_revisit=0.8)
+    seq_low = loop_base_sequence(low, low.generate())
+    seq_high = loop_base_sequence(high, high.generate())
+    assert revisit_rate(seq_high) > revisit_rate(seq_low)
+
+
+def test_core_loops_present_in_every_phase():
+    workload = make_workload()
+    trace = workload.generate()
+    core_bases = {loop.base for loop in workload._lay.loops[:4]}
+    phase_len = workload.spec.mix.phase_len
+    for start in range(0, len(trace) - phase_len, phase_len):
+        window = trace[start:start + phase_len]
+        bases = set(loop_base_sequence(workload, window))
+        assert core_bases & bases, "core loops missing from a phase"
+
+
+def test_zipf_weights_skew_visit_counts():
+    workload = make_workload()
+    trace = workload.generate()
+    counts = Counter(loop_base_sequence(workload, trace))
+    loops = workload._lay.loops
+    top = counts.get(loops[0].base, 0)
+    tail = counts.get(loops[-1].base, 0)
+    assert top > tail
+
+
+def test_cold_chain_accessed_in_bursts():
+    workload = make_workload()
+    trace = workload.generate()
+    cold_pcs = {br.pc for br in workload._lay.cold}
+    is_cold = [int(pc) in cold_pcs for pc in trace.pcs]
+    # Cold accesses should be clustered: the probability the next record is
+    # cold given the current one is cold must far exceed the base rate.
+    cold_count = sum(is_cold)
+    if cold_count < 50:
+        pytest.skip("too few cold accesses in this draw")
+    followers = sum(1 for i in range(len(is_cold) - 1)
+                    if is_cold[i] and is_cold[i + 1])
+    conditional = followers / cold_count
+    base_rate = cold_count / len(is_cold)
+    assert conditional > 3 * base_rate
+
+
+def test_taken_branch_stream_dominated_by_loops():
+    workload = make_workload()
+    trace = workload.generate()
+    pcs, _ = btb_access_stream(trace)
+    loop_pcs = set()
+    for loop in workload._lay.loops:
+        loop_pcs.update(br.pc for br in (*loop.body, loop.backedge))
+    in_loops = sum(1 for pc in map(int, pcs) if pc in loop_pcs)
+    assert in_loops / len(pcs) > 0.5

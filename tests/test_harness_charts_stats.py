@@ -1,0 +1,129 @@
+"""Tests for text-chart rendering, CSV export, and replication stats."""
+
+import math
+
+import pytest
+
+from repro.harness.charts import (bar_chart, grouped_bar_chart,
+                                  result_chart, sparkline)
+from repro.harness.reporting import ExperimentResult
+from repro.harness.stats import (ReplicationResult, replicate,
+                                 speedup_replication)
+
+
+def demo_result():
+    return ExperimentResult("figX", "demo", ["app", "a", "b"],
+                            [["x", 3.0, 1.0], ["y", 2.0, 4.0],
+                             ["Avg", 2.5, 2.5]])
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_peak(self):
+        text = bar_chart(["one", "two"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_bar_chart_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_bar_chart_empty(self):
+        assert "empty" in bar_chart([], [])
+
+    def test_bar_chart_all_zero(self):
+        text = bar_chart(["a"], [0.0])
+        assert "0.00" in text
+
+    def test_grouped_chart_structure(self):
+        text = grouped_bar_chart(["x", "y"], [[1, 2], [3, 4]],
+                                 ["s1", "s2"])
+        assert text.count("s1") == 2
+        assert text.count("s2") == 2
+
+    def test_grouped_chart_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["x"], [[1, 2]], ["s1"])
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["x"], [[1]], ["s1", "s2"])
+
+    def test_sparkline_profile(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert sparkline([]) == ""
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_result_chart_selects_columns(self):
+        text = result_chart(demo_result(), columns=["a"],
+                            skip_rows=("Avg",))
+        assert "figX" in text
+        assert "b" not in text.splitlines()[1]
+        assert "Avg" not in text
+
+
+class TestCSV:
+    def test_roundtrip_values(self):
+        csv_text = demo_result().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "app,a,b"
+        assert lines[1] == "x,3.0,1.0"
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "r.csv"
+        demo_result().save_csv(path)
+        assert path.read_text().startswith("app,a,b")
+
+
+class TestReplication:
+    def test_mean_std(self):
+        rep = ReplicationResult("m", (1.0, 2.0, 3.0))
+        assert rep.mean == 2.0
+        assert rep.std == pytest.approx(1.0)
+        assert rep.n == 3
+
+    def test_ci_contains_mean(self):
+        rep = ReplicationResult("m", (1.0, 2.0, 3.0, 4.0))
+        lo, hi = rep.ci95
+        assert lo < rep.mean < hi
+        # t(3 dof) = 3.182
+        assert rep.ci95_halfwidth == pytest.approx(
+            3.182 * rep.std / math.sqrt(4), rel=1e-3)
+
+    def test_single_sample_degenerate(self):
+        rep = ReplicationResult("m", (5.0,))
+        assert rep.std == 0.0
+        assert rep.ci95_halfwidth == 0.0
+
+    def test_replicate_calls_per_seed(self):
+        rep = replicate(lambda seed: float(seed * 2), seeds=(1, 2, 3))
+        assert rep.values == (2.0, 4.0, 6.0)
+
+    def test_replicate_requires_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 0.0, seeds=())
+
+    def test_str(self):
+        assert "n=2" in str(ReplicationResult("m", (1.0, 2.0)))
+
+
+class TestSpeedupReplication:
+    # A small BTB so 20K-record traces actually contest capacity.
+    from repro.btb.config import BTBConfig
+    CONFIG = BTBConfig(entries=1024, ways=4)
+
+    def test_miss_reduction_across_seeds(self):
+        result = speedup_replication(
+            "tomcat", policies=("srrip", "thermometer", "opt"),
+            seeds=(0, 1), length=20_000, config=self.CONFIG)
+        by_policy = {row[0]: row for row in result.rows}
+        assert by_policy["opt"][1] >= by_policy["thermometer"][1]
+        assert all(row[4] == 2 for row in result.rows)      # n column
+
+    def test_consistent_ordering_is_statistically_stable(self):
+        """Thermometer > SRRIP must hold in mean across replications."""
+        result = speedup_replication(
+            "tomcat", policies=("srrip", "thermometer"),
+            seeds=(0, 1, 2), length=20_000, config=self.CONFIG)
+        by_policy = {row[0]: row[1] for row in result.rows}
+        assert by_policy["thermometer"] > by_policy["srrip"]

@@ -1,0 +1,73 @@
+"""Structural smoke tests over every experiment function.
+
+Each figure function must run at tiny scale, produce well-formed rows, and
+keep its row labels aligned with the harness configuration.  (The headline
+*values* are checked at realistic scale by the benchmarks.)
+"""
+
+import pytest
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Harness, HarnessConfig
+
+APPS = ("tomcat", "python")
+
+#: Per-experiment kwargs that shrink the slow ones to smoke scale.
+SMOKE_KWARGS = {
+    "fig6": {"apps": APPS},
+    "fig7": {"apps": APPS},
+    "fig13": {"inputs": (1,)},
+    "fig17": {"count": 2, "length": 8000},
+    "fig18": {"count": 2, "length": 8000},
+    "fig19": {"apps": ("tomcat",), "entry_sweep": (256, 512),
+              "way_sweep": (4,)},
+    "fig20": {"apps": ("tomcat",), "category_sweep": (2, 3),
+              "ftq_sweep": (192,)},
+}
+
+#: fig19/fig20 sweep percent-of-OPT, which needs a BTB small enough to be
+#: contested at smoke-test trace lengths.
+PRESSURED_EXPERIMENTS = ("fig19", "fig20")
+
+FAST_EXPERIMENTS = ["fig3", "fig5", "fig9", "fig14", "fig15"]
+SLOW_EXPERIMENTS = [name for name in ALL_EXPERIMENTS
+                    if name not in FAST_EXPERIMENTS]
+
+
+@pytest.fixture(scope="module")
+def tiny_harness():
+    return Harness(HarnessConfig(apps=APPS, length=8000))
+
+
+@pytest.fixture(scope="module")
+def pressured_harness():
+    from repro.btb.config import BTBConfig
+    return Harness(HarnessConfig(apps=APPS, length=8000,
+                                 btb_config=BTBConfig(entries=512,
+                                                      ways=4)))
+
+
+def _check(result: ExperimentResult, name: str) -> None:
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment == name
+    assert result.rows, f"{name} produced no rows"
+    width = len(result.columns)
+    assert all(len(row) == width for row in result.rows)
+    assert result.notes      # every figure carries its paper reference
+
+
+@pytest.mark.parametrize("name", FAST_EXPERIMENTS)
+def test_fast_experiments_smoke(tiny_harness, name):
+    result = ALL_EXPERIMENTS[name](tiny_harness,
+                                   **SMOKE_KWARGS.get(name, {}))
+    _check(result, name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_EXPERIMENTS)
+def test_slow_experiments_smoke(tiny_harness, pressured_harness, name):
+    harness = (pressured_harness if name in PRESSURED_EXPERIMENTS
+               else tiny_harness)
+    result = ALL_EXPERIMENTS[name](harness, **SMOKE_KWARGS.get(name, {}))
+    _check(result, name)

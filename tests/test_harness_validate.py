@@ -1,0 +1,74 @@
+"""Tests for the executable reproduction claims."""
+
+import pytest
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.validate import (CLAIMS, Claim, render_report,
+                                    validate_results)
+
+
+def fig(name, columns, rows):
+    return ExperimentResult(name, name, columns, rows)
+
+
+def good_fig1():
+    return fig("fig1", ["app", "srrip", "ghrp", "hawkeye", "opt"],
+               [["a", 1.0, 0.1, 2.0, 10.0], ["Avg", 1.0, 0.1, 2.0, 10.0]])
+
+
+def test_all_claims_have_unique_names():
+    names = [claim.name for claim in CLAIMS]
+    assert len(names) == len(set(names))
+    assert len(CLAIMS) >= 12
+
+
+def test_missing_figures_skip():
+    outcomes = validate_results({})
+    assert all(o.status == "SKIP" for o in outcomes)
+
+
+def test_pass_path():
+    outcomes = validate_results({"fig1": good_fig1()})
+    by_name = {o.claim.name: o for o in outcomes}
+    assert by_name["priors-gap"].status == "PASS"
+    assert "OPT" in by_name["priors-gap"].detail
+
+
+def test_fail_path():
+    bad = fig("fig1", ["app", "srrip", "ghrp", "hawkeye", "opt"],
+              [["Avg", 5.0, 0.0, 0.0, 5.5]])
+    outcomes = validate_results({"fig1": bad})
+    by_name = {o.claim.name: o for o in outcomes}
+    assert by_name["priors-gap"].status == "FAIL"
+
+
+def test_render_report_counts():
+    text = render_report(validate_results({"fig1": good_fig1()}))
+    assert "[PASS] priors-gap" in text
+    assert "passed" in text and "skipped" in text
+
+
+def test_custom_claim_list():
+    claim = Claim("custom", "demo", ("fig1",),
+                  lambda r: "ok")
+    outcomes = validate_results({"fig1": good_fig1()}, claims=[claim])
+    assert len(outcomes) == 1
+    assert outcomes[0].status == "PASS"
+
+
+@pytest.mark.slow
+def test_claims_pass_on_scaled_real_run():
+    """At a pressured small-BTB configuration even a quick run should
+    satisfy the core claims."""
+    from repro.btb.config import BTBConfig
+    from repro.harness.experiments import fig1, fig11, fig12
+    from repro.harness.runner import Harness, HarnessConfig
+    harness = Harness(HarnessConfig(apps=("tomcat", "kafka"),
+                                    length=40_000,
+                                    btb_config=BTBConfig(entries=2048,
+                                                         ways=4)))
+    results = {"fig1": fig1(harness), "fig11": fig11(harness),
+               "fig12": fig12(harness)}
+    outcomes = validate_results(results)
+    failures = [o for o in outcomes if o.status == "FAIL"]
+    assert not failures, render_report(outcomes)

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the paper's headline orderings must hold
+on a full pipeline run over an application model."""
+
+import pytest
+
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.registry import make_policy
+from repro.core.pipeline import ThermometerPipeline
+from repro.core.temperature import TemperatureProfile
+from repro.frontend.simulator import simulate
+from repro.workloads.datacenter import make_app_trace
+
+#: Sized so the tomcat model meaningfully overflows it.
+CONFIG = BTBConfig(entries=2048, ways=4)
+LENGTH = 40_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_app_trace("tomcat", length=LENGTH)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ThermometerPipeline(config=CONFIG, default_category=1)
+
+
+@pytest.fixture(scope="module")
+def miss_counts(trace, pipeline):
+    pcs, _ = btb_access_stream(trace)
+    counts = {}
+    for name in ("lru", "srrip", "ghrp", "hawkeye"):
+        counts[name] = run_btb(trace, BTB(CONFIG, make_policy(name))).misses
+    counts["opt"] = run_btb(
+        trace, BTB(CONFIG, make_policy("opt", stream=pcs))).misses
+    counts["thermometer"] = pipeline.run(trace).misses
+    return counts
+
+
+class TestMissOrdering:
+    def test_opt_is_best(self, miss_counts):
+        assert miss_counts["opt"] == min(miss_counts.values())
+
+    def test_thermometer_beats_all_priors(self, miss_counts):
+        for prior in ("lru", "srrip", "ghrp", "hawkeye"):
+            assert miss_counts["thermometer"] < miss_counts[prior]
+
+    def test_thermometer_captures_part_of_opt(self, miss_counts):
+        """A meaningful share of OPT's gain survives quantization.  (The
+        share is lower at this deliberately small 2K-entry BTB, exactly as
+        the paper's Fig. 19 size sweep shows.)"""
+        lru = miss_counts["lru"]
+        opt_gain = lru - miss_counts["opt"]
+        therm_gain = lru - miss_counts["thermometer"]
+        assert therm_gain > 0.15 * opt_gain
+
+    def test_priors_are_marginal(self, miss_counts):
+        """Prior policies recover far less of OPT's gain than Thermometer
+        (the paper's core motivation)."""
+        lru = miss_counts["lru"]
+        therm_gain = lru - miss_counts["thermometer"]
+        srrip_gain = lru - miss_counts["srrip"]
+        assert therm_gain > 2 * srrip_gain
+
+
+class TestIPCOrdering:
+    def test_speedup_chain(self, trace, pipeline):
+        pcs, _ = btb_access_stream(trace)
+        base = simulate(trace, btb=BTB(CONFIG, make_policy("lru")))
+        therm = simulate(trace, btb=BTB(
+            CONFIG, pipeline.policy(pipeline.build_hints(trace))))
+        opt = simulate(trace, btb=BTB(
+            CONFIG, make_policy("opt", stream=pcs)))
+        perfect = simulate(trace, perfect_btb=True)
+        assert perfect.ipc > opt.ipc >= therm.ipc > base.ipc
+
+
+class TestCrossInput:
+    def test_training_profile_transfers(self, pipeline):
+        """Fig. 13: a profile from input #0 still beats LRU on input #1."""
+        test_trace = make_app_trace("tomcat", input_id=1, length=LENGTH)
+        train_trace = make_app_trace("tomcat", input_id=0, length=LENGTH)
+        lru = run_btb(test_trace, BTB(CONFIG, make_policy("lru")))
+        therm = pipeline.run(test_trace, train_trace=train_trace)
+        assert therm.misses < lru.misses
+
+    def test_temperatures_mostly_stable(self, pipeline):
+        t0 = pipeline.temperatures(make_app_trace("tomcat", 0, LENGTH))
+        t1 = pipeline.temperatures(make_app_trace("tomcat", 1, LENGTH))
+        assert t0.agreement_with(t1) > 0.5
+
+
+class TestHintPortability:
+    def test_hints_survive_serialization(self, trace, pipeline, tmp_path):
+        """Hints written to disk (the 'updated binary') reproduce the same
+        replacement behavior when loaded back."""
+        from repro.core.hints import HintMap
+        hints = pipeline.build_hints(trace)
+        path = tmp_path / "hints.json"
+        hints.to_json(path)
+        loaded = HintMap.from_json(path)
+        a = pipeline.run(trace, hints=hints)
+        b = pipeline.run(trace, hints=loaded)
+        assert a.misses == b.misses

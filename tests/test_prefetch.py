@@ -1,0 +1,136 @@
+"""Unit tests for the BTB prefetchers (Confluence, Shotgun, Twig)."""
+
+import pytest
+
+from repro.btb.btb import BTB, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.lru import LRUPolicy
+from repro.prefetch.base import NullPrefetcher
+from repro.prefetch.confluence import ConfluencePrefetcher
+from repro.prefetch.shotgun import (METADATA_TAX, ShotgunPrefetcher,
+                                    shotgun_btb_config)
+from repro.prefetch.twig import TwigPrefetcher
+
+from tests.helpers import trace_of_pcs
+
+
+def big_btb():
+    return BTB(BTBConfig(entries=1024, ways=4), LRUPolicy())
+
+
+class TestNullPrefetcher:
+    def test_does_nothing(self):
+        btb = big_btb()
+        pf = NullPrefetcher()
+        pf.on_access(0x40, 0x80, False, btb, 0)
+        assert pf.issued == 0
+        assert btb.occupancy == 0
+
+
+class TestConfluence:
+    def test_replays_recorded_miss_stream(self):
+        btb = big_btb()
+        pf = ConfluencePrefetcher(degree=4)
+        stream = [(0x40, 1), (0x80, 2), (0xC0, 3), (0x100, 4)]
+        # First pass records the miss stream.
+        for i, (pc, tgt) in enumerate(stream):
+            hit = btb.access(pc, tgt, i)
+            pf.on_access(pc, tgt, hit, btb, i)
+        # Evict everything by hand to force a recurring miss.
+        fresh = big_btb()
+        hit = fresh.access(0x40, 1, 10)
+        pf.on_access(0x40, 1, hit, fresh, 10)
+        # The followers of 0x40's previous miss are now prefetched.
+        assert fresh.contains(0x80)
+        assert fresh.contains(0xC0)
+        assert pf.replays == 1
+
+    def test_hits_do_not_record(self):
+        btb = big_btb()
+        pf = ConfluencePrefetcher()
+        btb.access(0x40, 1, 0)
+        pf.on_access(0x40, 1, True, btb, 0)       # a hit
+        assert pf._last_position == {}
+
+    def test_log_wraps(self):
+        pf = ConfluencePrefetcher(log_entries=4, degree=1)
+        btb = big_btb()
+        for i, pc in enumerate((0x10, 0x20, 0x30, 0x40, 0x50, 0x60)):
+            pf.on_access(pc, 0, False, btb, i)
+        assert len(pf._log) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfluencePrefetcher(log_entries=1)
+        with pytest.raises(ValueError):
+            ConfluencePrefetcher(degree=0)
+
+
+class TestShotgun:
+    def test_metadata_tax_shrinks_btb(self):
+        cfg = shotgun_btb_config(BTBConfig(entries=8192, ways=4))
+        assert cfg.entries == int(8192 * (1 - METADATA_TAX))
+        assert cfg.ways == 4
+
+    def test_tax_validation(self):
+        with pytest.raises(ValueError):
+            shotgun_btb_config(BTBConfig(), metadata_tax=1.0)
+
+    def test_region_footprint_prefetched(self):
+        btb = big_btb()
+        pf = ShotgunPrefetcher(region_bytes=256)
+        # Two branches inside region of 0x1000.
+        pf.on_access(0x1000, 0x1040, False, btb, 0)
+        pf.on_access(0x1040, 0x1080, False, btb, 1)
+        # A jump into that region prefetches its recorded branches.
+        pf.on_access(0x5000, 0x1004, False, btb, 2)
+        assert btb.contains(0x1000)
+        assert btb.contains(0x1040)
+
+    def test_footprint_capacity_bounded(self):
+        pf = ShotgunPrefetcher(footprint_branches=2)
+        btb = big_btb()
+        for i in range(4):
+            pf.on_access(0x1000 + i * 4, 0, False, btb, i)
+        footprint = pf._footprints[pf._region(0x1000)]
+        assert len(footprint) == 2
+
+
+class TestTwig:
+    def test_training_finds_trigger_pairs(self, small_trace):
+        twig = TwigPrefetcher.train(small_trace,
+                                    BTBConfig(entries=64, ways=4),
+                                    lookahead=8, min_occurrences=2)
+        assert twig.table_size > 0
+
+    def test_injections_fire(self):
+        twig = TwigPrefetcher({0x40: [(0x80, 0x90), (0xC0, 0xD0)]})
+        btb = big_btb()
+        twig.on_access(0x40, 0, True, btb, 0)
+        assert twig.triggers_fired == 1
+        assert btb.contains(0x80)
+        assert btb.contains(0xC0)
+        assert btb.lookup(0x80) == 0x90
+
+    def test_non_trigger_is_free(self):
+        twig = TwigPrefetcher({0x40: [(0x80, 0x90)]})
+        btb = big_btb()
+        twig.on_access(0x44, 0, True, btb, 0)
+        assert twig.issued == 0
+
+    def test_prefetching_reduces_misses_on_repeating_pattern(self):
+        """End-to-end: a thrashing loop gets fewer misses with Twig."""
+        config = BTBConfig(entries=8, ways=2)
+        pattern = [i * 4 for i in range(1, 40)] * 6
+        trace = trace_of_pcs(pattern)
+        baseline = run_btb(trace, BTB(config, LRUPolicy()))
+        twig = TwigPrefetcher.train(trace, config, lookahead=4,
+                                    min_occurrences=2, max_per_trigger=2)
+        btb = BTB(config, LRUPolicy())
+        from repro.btb.btb import btb_access_stream
+        pcs, targets = btb_access_stream(trace)
+        for i in range(len(pcs)):
+            pc = int(pcs[i])
+            hit = btb.access(pc, int(targets[i]), i)
+            twig.on_access(pc, int(targets[i]), hit, btb, i)
+        assert btb.stats.misses < baseline.misses

@@ -1,0 +1,104 @@
+"""Unit tests for the GHRP dead-entry predictor policy."""
+
+import pytest
+
+from repro.btb.btb import BTB
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.base import BYPASS
+from repro.btb.replacement.ghrp import GHRPPolicy
+
+
+def one_set_btb(policy, ways=2):
+    return BTB(BTBConfig(entries=ways, ways=ways), policy)
+
+
+def test_parameters_validated():
+    with pytest.raises(ValueError):
+        GHRPPolicy(table_bits=1)
+    with pytest.raises(ValueError):
+        GHRPPolicy(num_tables=0)
+
+
+def test_untrained_predictor_says_live():
+    policy = GHRPPolicy()
+    policy.bind(4, 2)
+    assert not policy._predict_dead(policy._signature_of(0x40))
+
+
+def test_training_toward_dead_flips_prediction():
+    policy = GHRPPolicy(dead_threshold=3)
+    policy.bind(4, 2)
+    sig = 0x1234
+    for _ in range(4):
+        policy._train(sig, dead=True)
+    assert policy._predict_dead(sig)
+    for _ in range(4):
+        policy._train(sig, dead=False)
+    assert not policy._predict_dead(sig)
+
+
+def test_counters_saturate():
+    policy = GHRPPolicy(counter_max=3)
+    policy.bind(4, 2)
+    for _ in range(10):
+        policy._train(0x55, dead=True)
+    assert all(policy._tables[t][idx] <= 3
+               for t, idx in enumerate(policy._indices(0x55)))
+
+
+def test_history_changes_signature():
+    policy = GHRPPolicy()
+    policy.bind(4, 2)
+    sig_before = policy._signature_of(0x40)
+    policy._update_history(0x1234)
+    assert policy._signature_of(0x40) != sig_before
+
+
+def test_dead_prediction_drives_victim_choice():
+    policy = GHRPPolicy(bypass_enabled=False)
+    btb = one_set_btb(policy)
+    btb.access(0x4, 0, 0)
+    btb.access(0x8, 0, 1)
+    # Mark way 1 (0x8) dead directly and replace.
+    policy._dead[0][1] = True
+    btb.access(0xC, 0, 2)
+    assert not btb.contains(0x8)
+    assert btb.contains(0x4)
+
+
+def test_bypass_when_incoming_predicted_dead():
+    policy = GHRPPolicy(dead_threshold=1, bypass_enabled=True)
+    policy.bind(1, 2)
+    btb = BTB(BTBConfig(entries=2, ways=2), policy)
+    btb.access(0x4, 0, 0)
+    btb.access(0x8, 0, 1)
+    # Train the incoming signature dead.
+    sig = policy._signature_of(0xC)
+    for _ in range(4):
+        policy._train(sig, dead=True)
+    btb.access(0xC, 0, 2)
+    assert btb.stats.bypasses == 1
+    assert not btb.contains(0xC)
+
+
+def test_eviction_without_reuse_trains_dead():
+    policy = GHRPPolicy(bypass_enabled=False)
+    btb = one_set_btb(policy)
+    btb.access(0x4, 0, 0)
+    sig = policy._signature[0][0]
+    before = sum(policy._tables[t][idx]
+                 for t, idx in enumerate(policy._indices(sig)))
+    btb.access(0x8, 0, 1)
+    btb.access(0xC, 0, 2)      # evicts 0x4, never reused
+    after = sum(policy._tables[t][idx]
+                for t, idx in enumerate(policy._indices(sig)))
+    assert after > before
+
+
+def test_falls_back_to_lru_when_no_dead_prediction():
+    policy = GHRPPolicy(bypass_enabled=False)
+    btb = one_set_btb(policy)
+    btb.access(0x4, 0, 0)
+    btb.access(0x8, 0, 1)
+    btb.access(0xC, 0, 2)
+    assert not btb.contains(0x4)       # LRU victim

@@ -1,0 +1,136 @@
+"""Unit tests for Belady-optimal replacement — including optimality proofs
+against brute force on small cases."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.btb.btb import BTB, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.lru import LRUPolicy
+from repro.btb.replacement.opt import (NEVER, BeladyOptimalPolicy,
+                                       compute_next_use,
+                                       compute_occurrences)
+
+from tests.helpers import trace_of_pcs
+
+
+class TestNextUse:
+    def test_simple_sequence(self):
+        nxt = compute_next_use([1, 2, 1, 3, 2])
+        assert list(nxt) == [2, 4, NEVER, NEVER, NEVER]
+
+    def test_empty(self):
+        assert len(compute_next_use([])) == 0
+
+    def test_all_unique(self):
+        assert (compute_next_use([1, 2, 3]) == NEVER).all()
+
+    def test_occurrences(self):
+        occ = compute_occurrences([5, 7, 5, 5])
+        assert occ == {5: [0, 2, 3], 7: [1]}
+
+
+def run_opt(pcs, config, bypass=True):
+    policy = BeladyOptimalPolicy.from_stream(pcs, bypass_enabled=bypass)
+    btb = BTB(config, policy)
+    hits = sum(btb.access(pc * 4, 0, i) for i, pc in enumerate(pcs))
+    return hits, btb
+
+
+def brute_force_best_hits(pcs, ways):
+    """Exhaustive search over all eviction/bypass decisions for a single
+    fully-associative set of ``ways`` entries."""
+    best = 0
+
+    def recurse(i, resident, hits):
+        nonlocal best
+        if i == len(pcs):
+            best = max(best, hits)
+            return
+        pc = pcs[i]
+        if pc in resident:
+            recurse(i + 1, resident, hits + 1)
+            return
+        if len(resident) < ways:
+            recurse(i + 1, resident | {pc}, hits)
+            return
+        # bypass
+        recurse(i + 1, resident, hits)
+        for victim in resident:
+            recurse(i + 1, (resident - {victim}) | {pc}, hits)
+
+    recurse(0, frozenset(), 0)
+    return best
+
+
+@pytest.mark.parametrize("pcs", [
+    [1, 2, 3, 1, 2, 3],
+    [1, 2, 3, 4, 1, 2, 3, 4],
+    [1, 1, 2, 3, 4, 2, 1, 3],
+    [1, 2, 1, 3, 1, 4, 1, 5, 1],
+])
+def test_opt_matches_brute_force(pcs):
+    """Belady-with-bypass achieves the brute-force optimum on a single
+    2-way set."""
+    config = BTBConfig(entries=2, ways=2)
+    hits, _ = run_opt(pcs, config)
+    assert hits == brute_force_best_hits(pcs, ways=2)
+
+
+def test_opt_beats_lru_on_thrash():
+    pcs = [1, 2, 3, 4] * 10
+    config = BTBConfig(entries=3, ways=3)
+    opt_hits, _ = run_opt(pcs, config)
+    btb = BTB(config, LRUPolicy())
+    lru_hits = sum(btb.access(pc * 4, 0, i) for i, pc in enumerate(pcs))
+    assert lru_hits == 0
+    # OPT pins three of the four branches.
+    assert opt_hits == 3 * 9
+
+
+def test_opt_never_worse_than_lru_on_trace(small_trace, tiny_config):
+    from repro.btb.btb import btb_access_stream
+    pcs, _ = btb_access_stream(small_trace)
+    opt = run_btb(small_trace, BTB(
+        tiny_config, BeladyOptimalPolicy.from_stream(pcs)))
+    lru = run_btb(small_trace, BTB(tiny_config, LRUPolicy()))
+    assert opt.hits >= lru.hits
+
+
+def test_bypass_disabled_still_inserts():
+    pcs = [1, 2, 3, 4, 1, 2]
+    config = BTBConfig(entries=2, ways=2)
+    _, btb = run_opt(pcs, config, bypass=False)
+    assert btb.stats.bypasses == 0
+
+
+def test_bypass_chooses_not_to_insert_dead_branch():
+    # 3 and 4 never recur: with residents 1,2 reused soon, OPT bypasses.
+    pcs = [1, 2, 3, 4, 1, 2, 1, 2]
+    config = BTBConfig(entries=2, ways=2)
+    hits, btb = run_opt(pcs, config)
+    assert btb.stats.bypasses == 2
+    assert hits == 4
+
+
+def test_index_out_of_stream_rejected():
+    policy = BeladyOptimalPolicy.from_stream([1, 2, 3])
+    policy.bind(1, 2)
+    with pytest.raises(IndexError, match="outside the stream"):
+        policy.on_fill(0, 0, 4, index=10)
+
+
+def test_prefetch_fill_uses_occurrence_lookup():
+    """A prefetched pc (different from the stream pc at that index) must
+    get its true next use, not the stream entry's."""
+    pcs = [1, 2, 1, 2, 5]
+    policy = BeladyOptimalPolicy.from_stream(pcs)
+    policy.bind(1, 2)
+    # At index 0, pc 5's next use is stream position 4.
+    assert policy._next_use_of(5, 0) == 4
+    # After its only occurrence it is never used again.
+    assert policy._next_use_of(5, 4) == NEVER
+    # Unknown pc: never used.
+    assert policy._next_use_of(42, 0) == NEVER

@@ -1,0 +1,88 @@
+"""Unit tests for the policy registry and the FIFO/Random baselines."""
+
+import pytest
+
+from repro.btb.btb import BTB
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.fifo import FIFOPolicy, RandomPolicy
+from repro.btb.replacement.registry import (make_policy, policy_names,
+                                            register_policy)
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in policy_names():
+            if name == "opt":
+                policy = make_policy(name, stream=[4, 8])
+            elif name == "thermometer":
+                policy = make_policy(name, hints={})
+            else:
+                policy = make_policy(name)
+            assert policy.name in (name, "thermometer")
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="srrip"):
+            make_policy("nru")
+
+    def test_opt_requires_stream(self):
+        with pytest.raises(ValueError, match="stream"):
+            make_policy("opt")
+
+    def test_thermometer_requires_hints(self):
+        with pytest.raises(ValueError, match="hints"):
+            make_policy("thermometer")
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("srrip", rrpv_bits=3)
+        assert policy.rrpv_max == 7
+
+    def test_register_custom_policy(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return FIFOPolicy()
+
+        register_policy("unit-custom", factory)
+        try:
+            policy = make_policy("unit-custom")
+            assert isinstance(policy, FIFOPolicy)
+            assert calls == [1]
+        finally:
+            from repro.btb.replacement import registry
+            registry._SIMPLE_POLICIES.pop("unit-custom")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("lru", FIFOPolicy)
+
+
+class TestFIFO:
+    def test_evicts_oldest_fill_despite_hits(self):
+        btb = BTB(BTBConfig(entries=2, ways=2), FIFOPolicy())
+        btb.access(0x4, 0)
+        btb.access(0x8, 0)
+        btb.access(0x4, 0)      # hit must NOT refresh FIFO order
+        btb.access(0xC, 0)
+        assert not btb.contains(0x4)
+        assert btb.contains(0x8)
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(seed=11)
+        b = RandomPolicy(seed=11)
+        a.bind(1, 4)
+        b.bind(1, 4)
+        picks_a = [a.choose_victim(0, [], 0, 0) for _ in range(20)]
+        picks_b = [b.choose_victim(0, [], 0, 0) for _ in range(20)]
+        assert picks_a == picks_b
+        assert set(picks_a) <= {0, 1, 2, 3}
+
+    def test_reset_reseeds(self):
+        policy = RandomPolicy(seed=5)
+        policy.bind(1, 4)
+        first = [policy.choose_victim(0, [], 0, 0) for _ in range(10)]
+        policy.reset()
+        assert [policy.choose_victim(0, [], 0, 0)
+                for _ in range(10)] == first

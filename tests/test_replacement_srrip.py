@@ -1,0 +1,86 @@
+"""Unit tests for SRRIP/BRRIP."""
+
+import pytest
+
+from repro.btb.btb import BTB
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.srrip import BRRIPPolicy, SRRIPPolicy
+
+
+def one_set_btb(policy, ways=3):
+    return BTB(BTBConfig(entries=ways, ways=ways), policy)
+
+
+class TestSRRIP:
+    def test_insertion_rrpv_is_long(self):
+        policy = SRRIPPolicy(rrpv_bits=2)
+        assert policy.rrpv_max == 3
+        assert policy.rrpv_insert == 2
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SRRIPPolicy(rrpv_bits=0)
+
+    def test_hit_promotes_to_zero(self):
+        policy = SRRIPPolicy()
+        btb = one_set_btb(policy)
+        btb.access(0x4, 0)
+        btb.access(0x4, 0)
+        way = [w for w in range(3) if btb.entry(0, w)
+               and btb.entry(0, w).pc == 0x4][0]
+        assert policy._rrpv[0][way] == 0
+
+    def test_scan_resistance(self):
+        """A reused branch survives a scan of one-shot branches — the
+        behavior LRU lacks and the paper's cold bursts punish."""
+        policy = SRRIPPolicy()
+        btb = one_set_btb(policy)
+        btb.access(0x4, 0)
+        btb.access(0x4, 0)          # promote to RRPV 0
+        for pc in (0x8, 0xC, 0x10, 0x14, 0x18):
+            btb.access(pc, 0)       # scanning stream
+        assert btb.contains(0x4)
+
+    def test_victim_is_distant_entry(self):
+        policy = SRRIPPolicy()
+        btb = one_set_btb(policy)
+        for pc in (0x4, 0x8, 0xC):
+            btb.access(pc, 0)
+        btb.access(0x4, 0)          # 0x4 at RRPV 0, others at 2
+        btb.access(0x20, 0)         # aging makes 0x8 (way order) RRPV 3
+        assert not btb.contains(0x8)
+        assert btb.contains(0x4)
+
+    def test_aging_terminates(self):
+        """Victim search must terminate even when all RRPVs are 0."""
+        policy = SRRIPPolicy()
+        btb = one_set_btb(policy)
+        for pc in (0x4, 0x8, 0xC):
+            btb.access(pc, 0)
+            btb.access(pc, 0)       # all promoted to 0
+        btb.access(0x20, 0)         # forces 3 aging rounds then evicts
+        assert btb.stats.evictions == 1
+
+
+class TestBRRIP:
+    def test_mostly_inserts_distant(self):
+        policy = BRRIPPolicy(long_probability=0.0)
+        policy.bind(1, 2)
+        assert policy._insertion_rrpv(0) == policy.rrpv_max
+
+    def test_occasionally_inserts_long(self):
+        policy = BRRIPPolicy(long_probability=1.0)
+        policy.bind(1, 2)
+        assert policy._insertion_rrpv(0) == policy.rrpv_insert
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BRRIPPolicy(long_probability=1.5)
+
+    def test_deterministic_under_seed(self):
+        a = BRRIPPolicy(seed=3)
+        b = BRRIPPolicy(seed=3)
+        a.bind(1, 2)
+        b.bind(1, 2)
+        assert [a._insertion_rrpv(0) for _ in range(32)] == \
+            [b._insertion_rrpv(0) for _ in range(32)]

@@ -1,0 +1,112 @@
+"""Unit tests for Thermometer's hardware policy (Algorithm 1)."""
+
+import pytest
+
+from repro.btb.btb import BTB
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.thermometer import ThermometerPolicy
+
+HOT, WARM, COLD = 2, 1, 0
+
+
+def one_set_btb(hints, ways=3, **kwargs):
+    policy = ThermometerPolicy(hints, **kwargs)
+    return BTB(BTBConfig(entries=ways, ways=ways), policy), policy
+
+
+class TestAlgorithm1:
+    def test_evicts_coldest_resident(self):
+        hints = {0x4: HOT, 0x8: COLD, 0xC: HOT, 0x10: HOT}
+        btb, _ = one_set_btb(hints)
+        for pc in (0x4, 0x8, 0xC):
+            btb.access(pc, 0)
+        btb.access(0x10, 0)
+        assert not btb.contains(0x8)
+        assert btb.contains(0x4) and btb.contains(0xC)
+
+    def test_bypass_when_incoming_unique_coldest(self):
+        hints = {0x4: HOT, 0x8: WARM, 0xC: HOT, 0x10: COLD}
+        btb, _ = one_set_btb(hints)
+        for pc in (0x4, 0x8, 0xC):
+            btb.access(pc, 0)
+        btb.access(0x10, 0)                   # cold vs hot/warm residents
+        assert btb.stats.bypasses == 1
+        assert not btb.contains(0x10)
+
+    def test_cold_on_cold_inserts(self):
+        """When a resident shares the coldest class, Algorithm 1 evicts the
+        LRU member instead of bypassing."""
+        hints = {0x4: COLD, 0x8: HOT, 0xC: HOT, 0x10: COLD}
+        btb, _ = one_set_btb(hints)
+        for pc in (0x4, 0x8, 0xC):
+            btb.access(pc, 0)
+        btb.access(0x10, 0)
+        assert btb.contains(0x10)
+        assert not btb.contains(0x4)
+        assert btb.stats.bypasses == 0
+
+    def test_lru_tiebreak_within_class(self):
+        hints = {pc: HOT for pc in (0x4, 0x8, 0xC, 0x10)}
+        btb, _ = one_set_btb(hints)
+        for pc in (0x4, 0x8, 0xC):
+            btb.access(pc, 0)
+        btb.access(0x4, 0)                    # refresh
+        btb.access(0x10, 0)
+        assert not btb.contains(0x8)          # LRU within the tie
+        assert btb.contains(0x4)
+
+    def test_static_tiebreak_ignores_recency(self):
+        hints = {pc: HOT for pc in (0x4, 0x8, 0xC, 0x10)}
+        btb, _ = one_set_btb(hints, tiebreak="static")
+        for pc in (0x4, 0x8, 0xC):
+            btb.access(pc, 0)
+        btb.access(0x4, 0)
+        btb.access(0x10, 0)
+        assert not btb.contains(0x4)          # way 0 regardless of recency
+
+    def test_bypass_disabled_evicts_lru_anywhere(self):
+        hints = {0x4: HOT, 0x8: WARM, 0xC: HOT, 0x10: COLD}
+        btb, _ = one_set_btb(hints, bypass_enabled=False)
+        for pc in (0x4, 0x8, 0xC):
+            btb.access(pc, 0)
+        btb.access(0x10, 0)
+        assert btb.contains(0x10)
+        assert btb.stats.bypasses == 0
+
+
+class TestHintsAndDefaults:
+    def test_default_category_for_unprofiled(self):
+        policy = ThermometerPolicy({}, default_category=WARM)
+        assert policy.temperature_of(0xDEAD) == WARM
+
+    def test_invalid_tiebreak_rejected(self):
+        with pytest.raises(ValueError, match="tiebreak"):
+            ThermometerPolicy({}, tiebreak="fifo")
+
+    def test_hint_map_consulted(self):
+        policy = ThermometerPolicy({0x4: HOT}, default_category=COLD)
+        assert policy.temperature_of(0x4) == HOT
+        assert policy.temperature_of(0x8) == COLD
+
+
+class TestCoverage:
+    def test_uniform_temperatures_are_uncovered(self):
+        hints = {pc: HOT for pc in (0x4, 0x8, 0xC, 0x10)}
+        btb, policy = one_set_btb(hints)
+        for pc in (0x4, 0x8, 0xC, 0x10):
+            btb.access(pc, 0)
+        assert policy.covered_decisions == 0
+        assert policy.uncovered_decisions == 1
+        assert policy.coverage == 0.0
+
+    def test_mixed_temperatures_are_covered(self):
+        hints = {0x4: HOT, 0x8: COLD, 0xC: HOT, 0x10: HOT}
+        btb, policy = one_set_btb(hints)
+        for pc in (0x4, 0x8, 0xC, 0x10):
+            btb.access(pc, 0)
+        assert policy.covered_decisions == 1
+        assert policy.coverage == 1.0
+
+    def test_coverage_empty(self):
+        policy = ThermometerPolicy({})
+        assert policy.coverage == 0.0

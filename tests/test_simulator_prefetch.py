@@ -1,0 +1,68 @@
+"""Integration of BTB prefetchers with the frontend simulator (Figs. 4 and
+21 machinery)."""
+
+import pytest
+
+from repro.btb.btb import BTB
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.lru import LRUPolicy
+from repro.frontend.simulator import FrontendSimulator
+from repro.prefetch.confluence import ConfluencePrefetcher
+from repro.prefetch.shotgun import ShotgunPrefetcher
+from repro.prefetch.twig import TwigPrefetcher
+
+CONFIG = BTBConfig(entries=512, ways=4)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    from repro.workloads.datacenter import make_app_trace
+    return make_app_trace("tomcat", length=25_000)
+
+
+def run(trace, prefetcher=None, config=CONFIG):
+    sim = FrontendSimulator(btb=BTB(config, LRUPolicy()),
+                            prefetcher=prefetcher)
+    return sim.simulate(trace)
+
+
+def test_confluence_reduces_btb_misses(trace):
+    base = run(trace)
+    pf = ConfluencePrefetcher()
+    with_pf = run(trace, prefetcher=pf)
+    assert pf.issued > 0
+    assert with_pf.btb_stats.misses < base.btb_stats.misses
+
+
+def test_shotgun_issues_prefetches(trace):
+    pf = ShotgunPrefetcher()
+    run(trace, prefetcher=pf)
+    assert pf.issued > 0
+    assert pf.installed <= pf.issued
+
+
+def test_twig_reduces_btb_misses(trace):
+    base = run(trace)
+    twig = TwigPrefetcher.train(trace, CONFIG)
+    with_twig = run(trace, prefetcher=twig)
+    assert twig.triggers_fired > 0
+    assert with_twig.btb_stats.misses < base.btb_stats.misses
+
+
+def test_twig_improves_ipc(trace):
+    base = run(trace)
+    twig = TwigPrefetcher.train(trace, CONFIG)
+    with_twig = run(trace, prefetcher=twig)
+    assert with_twig.ipc > base.ipc
+
+
+def test_prefetch_respects_replacement_policy(trace):
+    """Prefetch fills go through policy.choose_victim — with an OPT policy
+    the insertions use occurrence-based next-use lookups and never crash."""
+    from repro.btb.btb import btb_access_stream
+    from repro.btb.replacement.opt import BeladyOptimalPolicy
+    pcs, _ = btb_access_stream(trace)
+    btb = BTB(CONFIG, BeladyOptimalPolicy.from_stream(pcs))
+    sim = FrontendSimulator(btb=btb, prefetcher=ConfluencePrefetcher())
+    result = sim.simulate(trace)
+    assert result.btb_stats.accesses == len(pcs)

@@ -1,0 +1,102 @@
+"""Tests for the command-line tools (the Fig. 10 deployment workflow)."""
+
+import json
+
+import pytest
+
+from repro.tools import profile as profile_tool
+from repro.tools import simulate as simulate_tool
+from repro.tools import tracegen
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "t.btrc.gz"
+    tracegen.main(["tomcat", "--length", "12000", "-o", str(path)])
+    return path
+
+
+class TestTracegen:
+    def test_writes_trace(self, trace_file, capsys):
+        from repro.trace.formats import read_trace
+        trace = read_trace(trace_file)
+        assert len(trace) == 12000
+
+    def test_suite_reference(self, tmp_path):
+        path = tmp_path / "s.btrc"
+        assert tracegen.main(["cbp5:3", "--length", "2000",
+                              "-o", str(path)]) == 0
+        from repro.trace.formats import read_trace
+        assert read_trace(path).name == "cbp5_003#0"
+
+    def test_stats_flag(self, tmp_path, capsys):
+        path = tmp_path / "t.btrc"
+        tracegen.main(["python", "--length", "2000", "-o", str(path),
+                       "--stats"])
+        out = capsys.readouterr().out
+        assert "unique branch pcs" in out
+
+    def test_unknown_workload_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            tracegen.main(["redis", "-o", str(tmp_path / "x.btrc")])
+
+    def test_bad_suite_index_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            tracegen.main(["cbp5:abc", "-o", str(tmp_path / "x.btrc")])
+
+    def test_generate_api(self):
+        trace = tracegen.generate("ipc1:2", length=1500)
+        assert len(trace) == 1500
+
+
+class TestProfileTool:
+    def test_emits_hints_json(self, trace_file, tmp_path, capsys):
+        hints_path = tmp_path / "h.json"
+        assert profile_tool.main([str(trace_file), "-o", str(hints_path),
+                                  "--entries", "1024"]) == 0
+        payload = json.loads(hints_path.read_text())
+        assert payload["num_categories"] == 3
+        assert len(payload["categories"]) > 100
+        assert "profiled" in capsys.readouterr().out
+
+    def test_custom_thresholds(self, trace_file, tmp_path):
+        hints_path = tmp_path / "h.json"
+        assert profile_tool.main([str(trace_file), "-o", str(hints_path),
+                                  "--thresholds", "25,50,75"]) == 0
+        payload = json.loads(hints_path.read_text())
+        assert payload["num_categories"] == 4
+
+    def test_bad_thresholds_rejected(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit):
+            profile_tool.main([str(trace_file), "--thresholds", "abc"])
+
+
+class TestSimulateTool:
+    def test_basic_replay(self, trace_file, capsys):
+        assert simulate_tool.main([str(trace_file), "--policy",
+                                   "srrip"]) == 0
+        out = capsys.readouterr().out
+        assert "hit_rate=" in out
+
+    def test_thermometer_requires_hints(self, trace_file):
+        with pytest.raises(SystemExit):
+            simulate_tool.main([str(trace_file), "--policy",
+                                "thermometer"])
+
+    def test_full_pipeline_with_baseline(self, trace_file, tmp_path,
+                                         capsys):
+        hints_path = tmp_path / "h.json"
+        profile_tool.main([str(trace_file), "-o", str(hints_path),
+                           "--entries", "1024"])
+        capsys.readouterr()
+        assert simulate_tool.main(
+            [str(trace_file), "--policy", "thermometer",
+             "--hints", str(hints_path), "--entries", "1024",
+             "--baseline", "lru"]) == 0
+        out = capsys.readouterr().out
+        assert "miss reduction vs lru" in out
+
+    def test_ipc_mode(self, trace_file, capsys):
+        assert simulate_tool.main([str(trace_file), "--policy", "lru",
+                                   "--ipc"]) == 0
+        assert "IPC" in capsys.readouterr().out

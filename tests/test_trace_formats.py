@@ -1,0 +1,110 @@
+"""Unit tests for trace persistence (binary and text formats)."""
+
+import gzip
+
+import pytest
+
+from repro.trace.formats import (FORMAT_VERSION, MAGIC, TraceFormatError,
+                                 read_trace, write_trace)
+from repro.trace.record import BranchKind, BranchRecord, BranchTrace
+
+from tests.helpers import branch, trace_of_pcs
+
+
+def mixed_trace():
+    records = [
+        branch(0x1000, 0x2000, BranchKind.CALL_DIRECT),
+        branch(0x2004, 0x3000, BranchKind.COND_DIRECT, taken=False, ilen=2),
+        branch(0x2010, 0x1004, BranchKind.RETURN, ilen=9),
+        branch(0x1008, 0x4000, BranchKind.UNCOND_INDIRECT),
+    ]
+    trace = BranchTrace.from_records(records, name="mixed trace")
+    trace.metadata["workload"] = "unit"
+    return trace
+
+
+@pytest.mark.parametrize("suffix", [".btrc", ".btrc.gz", ".btxt",
+                                    ".btxt.gz"])
+def test_roundtrip_all_formats(tmp_path, suffix):
+    trace = mixed_trace()
+    path = tmp_path / f"trace{suffix}"
+    write_trace(trace, path)
+    loaded = read_trace(path)
+    assert loaded == trace
+    assert loaded.name == trace.name
+
+
+def test_binary_preserves_metadata(tmp_path):
+    trace = mixed_trace()
+    path = tmp_path / "t.btrc"
+    write_trace(trace, path)
+    assert read_trace(path).metadata == {"workload": "unit"}
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    path = tmp_path / "empty.btrc"
+    write_trace(BranchTrace.empty("none"), path)
+    assert len(read_trace(path)) == 0
+
+
+def test_gzip_actually_compresses(tmp_path):
+    trace = trace_of_pcs(list(range(4, 40_004, 4)))
+    plain = tmp_path / "t.btrc"
+    compressed = tmp_path / "t.btrc.gz"
+    write_trace(trace, plain)
+    write_trace(trace, compressed)
+    assert compressed.stat().st_size < plain.stat().st_size
+    assert read_trace(compressed) == trace
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.btrc"
+    path.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(TraceFormatError, match="magic"):
+        read_trace(path)
+
+
+def test_wrong_version_rejected(tmp_path):
+    import struct
+    path = tmp_path / "v.btrc"
+    header = struct.pack("<4sHIQ", MAGIC, FORMAT_VERSION + 1, 0, 0)
+    path.write_bytes(header + b"\x00" * 16)
+    with pytest.raises(TraceFormatError, match="version"):
+        read_trace(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    trace = trace_of_pcs([4, 8, 12])
+    path = tmp_path / "t.btrc"
+    write_trace(trace, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:len(data) // 2])
+    with pytest.raises(TraceFormatError, match="truncated"):
+        read_trace(path)
+
+
+def test_text_malformed_line_reports_lineno(tmp_path):
+    path = tmp_path / "t.btxt"
+    path.write_text("# trace x\n0x4 0x8 UNCOND_DIRECT 1 4\nnot a record\n")
+    with pytest.raises(TraceFormatError, match=":3"):
+        read_trace(path)
+
+
+def test_text_bad_kind_rejected(tmp_path):
+    path = tmp_path / "t.btxt"
+    path.write_text("0x4 0x8 NO_SUCH_KIND 1 4\n")
+    with pytest.raises(TraceFormatError):
+        read_trace(path)
+
+
+def test_text_preserves_name(tmp_path):
+    trace = trace_of_pcs([4], name="named-trace")
+    path = tmp_path / "t.btxt"
+    write_trace(trace, path)
+    assert read_trace(path).name == "named-trace"
+
+
+def test_synthetic_trace_roundtrip(tmp_path, small_trace):
+    path = tmp_path / "small.btrc.gz"
+    write_trace(small_trace, path)
+    assert read_trace(path) == small_trace

@@ -1,0 +1,141 @@
+"""Unit tests for the branch-trace data model."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import (INSTRUCTION_BYTES, BranchKind, BranchRecord,
+                                BranchTrace)
+
+from tests.helpers import branch, trace_of_pcs
+
+
+class TestBranchKind:
+    def test_conditional_flags(self):
+        assert BranchKind.COND_DIRECT.is_conditional
+        assert not BranchKind.UNCOND_DIRECT.is_conditional
+        assert BranchKind.UNCOND_DIRECT.is_unconditional
+
+    def test_indirect_flags(self):
+        assert BranchKind.UNCOND_INDIRECT.is_indirect
+        assert BranchKind.CALL_INDIRECT.is_indirect
+        assert BranchKind.RETURN.is_indirect
+        assert not BranchKind.COND_DIRECT.is_indirect
+
+    def test_call_and_return_flags(self):
+        assert BranchKind.CALL_DIRECT.is_call
+        assert BranchKind.CALL_INDIRECT.is_call
+        assert not BranchKind.RETURN.is_call
+        assert BranchKind.RETURN.is_return
+
+    def test_kinds_fit_in_uint8(self):
+        assert max(BranchKind) < 256
+
+
+class TestBranchRecord:
+    def test_fallthrough(self):
+        rec = branch(0x1000)
+        assert rec.fallthrough == 0x1000 + INSTRUCTION_BYTES
+
+    def test_fields(self):
+        rec = BranchRecord(pc=8, target=16, kind=BranchKind.COND_DIRECT,
+                           taken=False, ilen=3)
+        assert (rec.pc, rec.target, rec.ilen) == (8, 16, 3)
+        assert not rec.taken
+
+
+class TestBranchTrace:
+    def test_from_records_roundtrip(self):
+        records = [branch(0x100, 0x200), branch(0x200, 0x100, ilen=7)]
+        trace = BranchTrace.from_records(records)
+        assert len(trace) == 2
+        assert list(trace) == records
+
+    def test_empty(self):
+        trace = BranchTrace.empty("e")
+        assert len(trace) == 0
+        assert trace.num_instructions == 0
+        trace.validate()
+
+    def test_num_instructions_sums_ilens(self):
+        trace = BranchTrace.from_records(
+            [branch(4, ilen=3), branch(8, ilen=5)])
+        assert trace.num_instructions == 8
+
+    def test_getitem_scalar_and_slice(self):
+        trace = trace_of_pcs([4, 8, 12, 16])
+        assert trace[1].pc == 8
+        sliced = trace[1:3]
+        assert isinstance(sliced, BranchTrace)
+        assert [r.pc for r in sliced] == [8, 12]
+
+    def test_equality(self):
+        a = trace_of_pcs([4, 8])
+        b = trace_of_pcs([4, 8])
+        c = trace_of_pcs([4, 12])
+        assert a == b
+        assert a != c
+
+    def test_taken_view_filters_not_taken(self):
+        records = [
+            branch(4, kind=BranchKind.COND_DIRECT, taken=True),
+            branch(8, kind=BranchKind.COND_DIRECT, taken=False),
+            branch(12),
+        ]
+        trace = BranchTrace.from_records(records)
+        view = trace.taken_view()
+        assert [r.pc for r in view] == [4, 12]
+
+    def test_unique_pcs(self):
+        trace = trace_of_pcs([4, 8, 4, 8, 12])
+        assert list(trace.unique_pcs()) == [4, 8, 12]
+
+    def test_unique_taken_pcs_excludes_never_taken(self):
+        records = [
+            branch(4, kind=BranchKind.COND_DIRECT, taken=False),
+            branch(8),
+        ]
+        trace = BranchTrace.from_records(records)
+        assert list(trace.unique_taken_pcs()) == [8]
+
+    def test_concatenate(self):
+        joined = BranchTrace.concatenate(
+            [trace_of_pcs([4]), trace_of_pcs([8, 12])])
+        assert [r.pc for r in joined] == [4, 8, 12]
+
+    def test_concatenate_empty_list(self):
+        assert len(BranchTrace.concatenate([])) == 0
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        trace = trace_of_pcs([4, 8])
+        trace.targets = trace.targets[:1]
+        with pytest.raises(ValueError, match="length mismatch"):
+            trace.validate()
+
+    def test_zero_ilen_rejected(self):
+        trace = trace_of_pcs([4])
+        trace.ilens = np.array([0], dtype=np.int32)
+        with pytest.raises(ValueError, match="ilen"):
+            trace.validate()
+
+    def test_negative_pc_rejected(self):
+        trace = trace_of_pcs([4])
+        trace.pcs = np.array([-4], dtype=np.int64)
+        with pytest.raises(ValueError, match="non-negative"):
+            trace.validate()
+
+    def test_not_taken_unconditional_rejected(self):
+        records = [branch(4, taken=False)]
+        trace = BranchTrace.from_records(records)
+        with pytest.raises(ValueError, match="unconditional"):
+            trace.validate()
+
+    def test_unknown_kind_rejected(self):
+        trace = trace_of_pcs([4])
+        trace.kinds = np.array([250], dtype=np.uint8)
+        with pytest.raises(ValueError, match="kind"):
+            trace.validate()
+
+    def test_valid_trace_passes(self, small_trace):
+        small_trace.validate()

@@ -1,0 +1,62 @@
+"""Unit tests for trace statistics."""
+
+from repro.trace.record import BranchKind, BranchTrace
+from repro.trace.stats import TraceStats
+
+from tests.helpers import branch
+
+
+def make_trace():
+    records = [
+        branch(4, ilen=4),                                      # taken
+        branch(8, kind=BranchKind.COND_DIRECT, taken=False, ilen=6),
+        branch(8, kind=BranchKind.COND_DIRECT, taken=True, ilen=6),
+        branch(16, kind=BranchKind.RETURN, ilen=4),
+    ]
+    return BranchTrace.from_records(records, name="stats")
+
+
+def test_counts():
+    stats = TraceStats.from_trace(make_trace())
+    assert stats.num_branches == 4
+    assert stats.num_taken == 3
+    assert stats.num_instructions == 20
+    assert stats.unique_branches == 3
+    assert stats.unique_taken_branches == 3
+
+
+def test_ratios():
+    stats = TraceStats.from_trace(make_trace())
+    assert stats.taken_ratio == 0.75
+    assert stats.branch_mpki == 1000.0 * 4 / 20
+    assert stats.taken_mpki == 1000.0 * 3 / 20
+    assert stats.avg_block_length == 5.0
+
+
+def test_kind_fraction():
+    stats = TraceStats.from_trace(make_trace())
+    assert stats.kind_fraction(BranchKind.COND_DIRECT) == 0.5
+    assert stats.kind_fraction(BranchKind.RETURN) == 0.25
+    assert stats.kind_fraction(BranchKind.CALL_DIRECT) == 0.0
+
+
+def test_empty_trace():
+    stats = TraceStats.from_trace(BranchTrace.empty())
+    assert stats.taken_ratio == 0.0
+    assert stats.branch_mpki == 0.0
+    assert stats.avg_block_length == 0.0
+
+
+def test_summary_mentions_name_and_counts():
+    text = TraceStats.from_trace(make_trace()).summary()
+    assert "stats" in text
+    assert "COND_DIRECT" in text
+
+
+def test_real_workload_sanity(small_app_trace):
+    stats = TraceStats.from_trace(small_app_trace)
+    # Data center apps: most branches taken, blocks a handful of
+    # instructions long.
+    assert 0.5 < stats.taken_ratio <= 1.0
+    assert 3.0 < stats.avg_block_length < 12.0
+    assert stats.unique_taken_branches > 1000

@@ -1,0 +1,71 @@
+"""Unit tests for the 13 data center application models."""
+
+import pytest
+
+from repro.btb.btb import btb_access_stream
+from repro.workloads.datacenter import (APPLICATIONS, app_names, app_spec,
+                                        make_app_trace, make_app_workload)
+
+PAPER_APPS = [
+    "cassandra", "clang", "drupal", "finagle-chirper", "finagle-http",
+    "kafka", "mediawiki", "mysql", "postgresql", "python", "tomcat",
+    "verilator", "wordpress",
+]
+
+
+def test_all_thirteen_apps_present():
+    assert app_names() == PAPER_APPS
+    assert len(APPLICATIONS) == 13
+
+
+def test_app_spec_lookup():
+    assert app_spec("kafka").name == "kafka"
+
+
+def test_unknown_app_reports_choices():
+    with pytest.raises(KeyError, match="cassandra"):
+        app_spec("memcached")
+
+
+def test_specs_named_consistently():
+    for name, spec in APPLICATIONS.items():
+        assert spec.name == name
+
+
+@pytest.mark.parametrize("app", ["cassandra", "python", "verilator"])
+def test_traces_generate_and_validate(app):
+    trace = make_app_trace(app, length=5000)
+    trace.validate()
+    assert len(trace) == 5000
+    assert trace.name == f"{app}#0"
+
+
+def test_verilator_has_largest_branch_footprint():
+    footprints = {}
+    for app in ("python", "tomcat", "verilator"):
+        trace = make_app_trace(app, length=20_000)
+        pcs, _ = btb_access_stream(trace)
+        footprints[app] = len(set(pcs.tolist()))
+    assert footprints["verilator"] > footprints["tomcat"]
+    assert footprints["verilator"] > footprints["python"]
+
+
+def test_python_is_smallest_footprint():
+    """python is the paper's near-zero-headroom application."""
+    spec_py = app_spec("python")
+    others = [s for n, s in APPLICATIONS.items() if n != "python"]
+    assert all(spec_py.layout.n_hot_loops <= s.layout.n_hot_loops
+               for s in others)
+
+
+def test_input_variants_share_layout():
+    workload = make_app_workload("drupal")
+    t0 = workload.generate(input_id=0, length=10_000)
+    t1 = workload.generate(input_id=3, length=10_000)
+    shared = set(t0.pcs.tolist()) & set(t1.pcs.tolist())
+    assert len(shared) > 0.4 * len(set(t0.pcs.tolist()))
+
+
+def test_default_length_override():
+    trace = make_app_trace("kafka")
+    assert len(trace) == app_spec("kafka").default_length

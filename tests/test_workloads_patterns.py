@@ -1,0 +1,134 @@
+"""Unit tests for the canonical access-pattern micro-workloads —
+including the analytic hit counts that make them useful as oracles."""
+
+import pytest
+
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.replacement.lru import LRUPolicy, MRUPolicy
+from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.workloads.patterns import (cyclic_trace, sawtooth_trace,
+                                      scan_trace, two_phase_trace,
+                                      zipf_trace)
+
+ONE_SET = BTBConfig(entries=4, ways=4)
+
+
+def hits(trace, policy, config=ONE_SET):
+    return run_btb(trace, BTB(config, policy)).hits
+
+
+class TestCyclic:
+    def test_shape(self):
+        trace = cyclic_trace(3, 2)
+        assert len(trace) == 6
+        trace.validate()
+
+    def test_lru_zero_hits_over_capacity(self):
+        trace = cyclic_trace(5, 10)
+        assert hits(trace, LRUPolicy()) == 0
+
+    def test_lru_all_hits_within_capacity(self):
+        trace = cyclic_trace(4, 10)
+        assert hits(trace, LRUPolicy()) == 4 * 9
+
+    def test_opt_pins_capacity_entries(self):
+        """Analytic OPT result: on a cyclic set of W > C, OPT keeps C-1
+        pinned plus reuses the bypass slot, hitting (C-1) per lap after
+        the first."""
+        trace = cyclic_trace(6, 11)
+        pcs, _ = btb_access_stream(trace)
+        opt_hits = hits(trace, BeladyOptimalPolicy.from_stream(pcs))
+        assert opt_hits >= 4 * 10 - 4      # ~capacity per lap
+        assert opt_hits > hits(trace, LRUPolicy())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cyclic_trace(0, 1)
+
+
+class TestScan:
+    def test_scans_are_fresh(self):
+        trace = scan_trace(resident=2, scan_length=3, rounds=2)
+        pcs = [int(p) for p in trace.pcs]
+        scan_pcs = [pc for pc in pcs if pc >= 0x10000 + 2 * 4]
+        assert len(scan_pcs) == len(set(scan_pcs)) == 6
+
+    def test_resident_set_survives_under_opt_not_lru(self):
+        config = BTBConfig(entries=2, ways=2)
+        trace = scan_trace(resident=2, scan_length=8, rounds=5,
+                           resident_repeats=3)
+        pcs, _ = btb_access_stream(trace)
+        lru_hits = hits(trace, LRUPolicy(), config)
+        opt_hits = hits(trace, BeladyOptimalPolicy.from_stream(pcs), config)
+        assert opt_hits > lru_hits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scan_trace(0, 1, 1)
+
+
+class TestZipf:
+    def test_deterministic(self):
+        assert zipf_trace(10, 100, seed=3) == zipf_trace(10, 100, seed=3)
+
+    def test_rank_zero_hottest(self):
+        trace = zipf_trace(20, 2000, s=1.2)
+        from collections import Counter
+        counts = Counter(int(p) for p in trace.pcs)
+        hottest = max(counts, key=counts.get)
+        assert hottest == 0x10000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_trace(0, 10)
+
+
+class TestTwoPhase:
+    def test_disjoint_phases(self):
+        trace = two_phase_trace(4, 20, overlap=0.0)
+        half = len(trace) // 2
+        first = set(int(p) for p in trace.pcs[:half])
+        second = set(int(p) for p in trace.pcs[half:])
+        assert not (first & second)
+
+    def test_full_overlap_is_one_phase(self):
+        trace = two_phase_trace(4, 20, overlap=1.0)
+        assert len(set(int(p) for p in trace.pcs)) == 4
+
+    def test_overlap_bounds(self):
+        with pytest.raises(ValueError):
+            two_phase_trace(4, 10, overlap=1.5)
+
+    def test_stale_profile_worst_case(self, tiny_config):
+        """Hints trained on phase 1 know nothing about phase 2 — the
+        policy must degrade gracefully to ~LRU, not collapse."""
+        from repro.core.pipeline import ThermometerPipeline
+        trace = two_phase_trace(24, 600, overlap=0.1)
+        half = len(trace) // 2
+        pipeline = ThermometerPipeline(config=tiny_config)
+        hints = pipeline.build_hints(trace[:half])
+        stats = pipeline.run(trace[half:], hints=hints)
+        lru = run_btb(trace[half:], BTB(tiny_config, LRUPolicy()))
+        assert stats.misses <= lru.misses * 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_phase_trace(0, 10)
+
+
+class TestSawtooth:
+    def test_period(self):
+        trace = sawtooth_trace(4, 1)
+        assert [int(p - 0x10000) // 4 for p in trace.pcs] == \
+            [0, 1, 2, 3, 2, 1]
+
+    def test_sawtooth_favors_lru_over_mru_at_edges(self):
+        """Direction reversal gives recent entries immediate reuse."""
+        config = BTBConfig(entries=3, ways=3)
+        trace = sawtooth_trace(6, 10)
+        assert hits(trace, LRUPolicy(), config) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sawtooth_trace(1, 1)

@@ -1,0 +1,75 @@
+"""Unit tests for the CBP-5-like and IPC-1-like trace suites."""
+
+import pytest
+
+from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.workloads.suites import (CBP5_SUITE_SIZE, IPC1_SUITE_SIZE,
+                                    make_cbp5_suite, make_ipc1_suite,
+                                    make_suite_trace)
+
+
+def test_suite_sizes_match_paper():
+    assert CBP5_SUITE_SIZE == 663
+    assert IPC1_SUITE_SIZE == 50
+
+
+def test_suite_trace_deterministic():
+    a = make_suite_trace("cbp5", 17, length=3000)
+    b = make_suite_trace("cbp5", 17, length=3000)
+    assert a == b
+
+
+def test_suite_traces_differ_by_index():
+    a = make_suite_trace("cbp5", 1, length=3000)
+    b = make_suite_trace("cbp5", 2, length=3000)
+    assert a != b
+
+
+def test_suites_differ_from_each_other():
+    a = make_suite_trace("cbp5", 5, length=3000)
+    b = make_suite_trace("ipc1", 5, length=3000)
+    assert a != b
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ValueError, match="cbp5"):
+        make_suite_trace("spec2017", 0)
+
+
+def test_sampling_spans_suite():
+    traces = make_cbp5_suite(5, length=1000)
+    assert len(traces) == 5
+    names = [t.name for t in traces]
+    assert len(set(names)) == 5
+    assert names[0].startswith("cbp5_000")
+
+
+def test_count_capped_at_suite_size():
+    traces = make_ipc1_suite(10_000, length=500)
+    assert len(traces) == IPC1_SUITE_SIZE
+
+
+def test_invalid_count_rejected():
+    with pytest.raises(ValueError):
+        make_cbp5_suite(0)
+
+
+def test_footprint_diversity():
+    """The suite must mix BTB-fitting and BTB-overflowing traces — the
+    paper's CBP-5 population has 298/663 compulsory-only traces."""
+    config = BTBConfig(entries=1024, ways=4)
+    footprints = []
+    for i in range(0, 60, 6):
+        trace = make_suite_trace("cbp5", i, length=8000)
+        pcs, _ = btb_access_stream(trace)
+        footprints.append(len(set(pcs.tolist())))
+    assert min(footprints) < config.entries
+    assert max(footprints) > config.entries
+
+
+def test_traces_replayable(tiny_config):
+    trace = make_suite_trace("ipc1", 3, length=2000)
+    stats = run_btb(trace, BTB(tiny_config))
+    assert stats.accesses > 0
+    assert stats.hits + stats.misses == stats.accesses
