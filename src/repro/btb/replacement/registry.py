@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.btb.replacement.base import ReplacementPolicy
+from repro.btb.replacement.dueling_thermometer import DuelingThermometerPolicy
 from repro.btb.replacement.fifo import FIFOPolicy, RandomPolicy
 from repro.btb.replacement.ghrp import GHRPPolicy
 from repro.btb.replacement.hawkeye import HawkeyePolicy
@@ -22,7 +23,8 @@ from repro.btb.replacement.ship import SHiPPolicy
 from repro.btb.replacement.srrip import BRRIPPolicy, SRRIPPolicy
 from repro.btb.replacement.thermometer import ThermometerPolicy
 
-__all__ = ["make_policy", "policy_names", "register_policy"]
+__all__ = ["make_policy", "policy_names", "register_policy",
+           "HINTED_POLICY_FACTORIES"]
 
 _SIMPLE_POLICIES: Dict[str, Callable[[], ReplacementPolicy]] = {
     "lru": LRUPolicy,
@@ -39,10 +41,16 @@ _SIMPLE_POLICIES: Dict[str, Callable[[], ReplacementPolicy]] = {
     "thermometer-online": OnlineThermometerPolicy,
 }
 
+#: Policies constructed from a profile-derived hint map (``hints=``).
+HINTED_POLICY_FACTORIES: Dict[str, Callable[..., ReplacementPolicy]] = {
+    "thermometer": ThermometerPolicy,
+    "thermometer-dueling": DuelingThermometerPolicy,
+}
+
 
 def policy_names() -> List[str]:
     """All constructible policy names."""
-    return sorted([*_SIMPLE_POLICIES, "opt", "thermometer"])
+    return sorted([*_SIMPLE_POLICIES, *HINTED_POLICY_FACTORIES, "opt"])
 
 
 def register_policy(name: str,
@@ -51,7 +59,8 @@ def register_policy(name: str,
 
     Lets downstream users plug their own policies into the harness sweeps.
     """
-    if name in ("opt", "thermometer") or name in _SIMPLE_POLICIES:
+    if (name == "opt" or name in HINTED_POLICY_FACTORIES
+            or name in _SIMPLE_POLICIES):
         raise ValueError(f"policy name {name!r} is already registered")
     _SIMPLE_POLICIES[name] = factory
 
@@ -62,19 +71,20 @@ def make_policy(name: str, *, stream: Optional[Sequence[int]] = None,
     """Construct a policy by name.
 
     ``stream`` (the BTB access pcs) is required for ``"opt"``; ``hints``
-    (pc → temperature category) is required for ``"thermometer"``.  Extra
-    keyword arguments are forwarded to the policy constructor.
+    (pc → temperature category) is required for ``"thermometer"`` and
+    ``"thermometer-dueling"``.  Extra keyword arguments are forwarded to
+    the policy constructor.
     """
     if name == "opt":
         if stream is None:
             raise ValueError("the 'opt' policy requires stream= (the BTB "
                              "access pcs it will replay)")
         return BeladyOptimalPolicy.from_stream(stream, **kwargs)
-    if name == "thermometer":
+    if name in HINTED_POLICY_FACTORIES:
         if hints is None:
-            raise ValueError("the 'thermometer' policy requires hints= "
+            raise ValueError(f"the {name!r} policy requires hints= "
                              "(pc -> temperature category)")
-        return ThermometerPolicy(hints, **kwargs)
+        return HINTED_POLICY_FACTORIES[name](hints, **kwargs)
     factory = _SIMPLE_POLICIES.get(name)
     if factory is None:
         raise ValueError(f"unknown policy {name!r}; known policies: "

@@ -11,7 +11,9 @@ Typical use::
 """
 
 from repro.harness.runner import Harness, HarnessConfig
-from repro.harness.reporting import ExperimentResult, format_table
+from repro.harness.engine import (ArtifactStore, ExperimentEngine, JobResult,
+                                  SimJob)
+from repro.harness.reporting import CacheStats, ExperimentResult, format_table
 from repro.harness.charts import (bar_chart, grouped_bar_chart,
                                   result_chart, sparkline)
 from repro.harness.stats import (ReplicationResult, replicate,
@@ -19,10 +21,15 @@ from repro.harness.stats import (ReplicationResult, replicate,
 from repro.harness import experiments
 
 __all__ = [
+    "ArtifactStore",
+    "CacheStats",
+    "ExperimentEngine",
     "ExperimentResult",
     "Harness",
     "HarnessConfig",
+    "JobResult",
     "ReplicationResult",
+    "SimJob",
     "bar_chart",
     "experiments",
     "format_table",

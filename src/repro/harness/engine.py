@@ -1,0 +1,424 @@
+"""Parallel experiment engine with a persistent artifact cache.
+
+Two layers:
+
+* :class:`ArtifactStore` — a content-addressed on-disk cache for expensive
+  simulation artifacts (synthetic traces, OPT profiles, hint maps, timing
+  results).  Keys are SHA-256 hashes of the *full recipe* that produced an
+  artifact (app/input/length, :class:`~repro.btb.config.BTBConfig`,
+  :class:`~repro.frontend.params.FrontendParams`, policy, thresholds) plus
+  a version salt, so any change to the recipe — or to the artifact format —
+  naturally invalidates old entries.  Writes are atomic (temp file +
+  ``os.replace``) and every payload carries an integrity digest, so
+  concurrent writers cannot torn-write and corrupted files are detected and
+  recomputed instead of crashing.
+
+* :class:`ExperimentEngine` — fans :class:`SimJob` simulation jobs out over
+  a ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) or runs them
+  serially in-process (``jobs == 1``, the default).  Every worker shares
+  the same on-disk store, so traces and profiles are computed once per
+  machine and reused across processes, benchmark runs, and CLI
+  invocations.
+
+Environment knobs:
+
+* ``REPRO_JOBS`` — default worker count (:func:`default_jobs`).
+* ``REPRO_CACHE_DIR`` — default store location (:func:`default_cache_dir`);
+  the CLI fallback is ``~/.cache/repro-thermometer``.
+
+The engine is *provably equivalent* to the serial
+:class:`~repro.harness.runner.Harness` path: every simulation is keyed on
+everything that can affect its outcome and all generators are
+seed-deterministic, which ``tests/test_engine_equivalence.py`` checks
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from repro.btb.config import (BTBConfig, DEFAULT_BTB_CONFIG,
+                              THERMOMETER_7979_CONFIG)
+from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
+from repro.harness.reporting import CacheStats
+from repro.harness.runner import Harness, HarnessConfig
+
+__all__ = ["ArtifactStore", "ExperimentEngine", "JobResult", "SimJob",
+           "STORE_VERSION", "artifact_key", "default_cache_dir",
+           "default_jobs", "execute_job", "run_job"]
+
+#: Bump to invalidate every cached artifact (format or semantics change).
+STORE_VERSION = "1"
+
+#: Policies whose construction requires a profile-derived hint map.
+HINTED_POLICIES = ("thermometer", "thermometer-7979", "thermometer-dueling")
+
+_MAGIC = b"RPRO"
+_DIGEST_BYTES = 32  # sha256
+
+
+def default_jobs() -> int:
+    """Worker-count default: ``REPRO_JOBS`` or 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def default_cache_dir() -> Path:
+    """Store-location default: ``REPRO_CACHE_DIR`` or a per-user cache."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-thermometer"
+
+
+# ----------------------------------------------------------------------
+# Content-addressed keys
+# ----------------------------------------------------------------------
+
+def _canonical(value: Any) -> Any:
+    """Reduce a value to JSON-stable primitives for hashing.
+
+    Dataclasses are tagged with their type name so two configs with
+    coincidentally equal fields still key differently.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: _canonical(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__type__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def artifact_key(kind: str, salt: str = STORE_VERSION, **fields) -> str:
+    """SHA-256 content key for an artifact of ``kind`` built from
+    ``fields``.  Stable across processes and machines (no reliance on
+    ``hash()`` or dict order)."""
+    payload = json.dumps({"kind": kind, "salt": salt,
+                          "fields": _canonical(fields)},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# On-disk store
+# ----------------------------------------------------------------------
+
+class ArtifactStore:
+    """Content-addressed pickle store with atomic writes and integrity
+    checks.
+
+    Layout: ``<root>/<kind>/<key[:2]>/<key>.pkl`` where each file is
+    ``MAGIC + sha256(payload) + payload``.  A file that is missing, has a
+    bad digest, or fails to unpickle is a cache miss (and is unlinked);
+    the caller recomputes and overwrites it.
+    """
+
+    def __init__(self, root: Union[str, Path], salt: str = STORE_VERSION):
+        self.root = Path(root).expanduser()
+        self.salt = salt
+        self.stats = CacheStats()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- keys and paths --------------------------------------------------
+    def key(self, kind: str, **fields) -> str:
+        return artifact_key(kind, salt=self.salt, **fields)
+
+    def path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    # -- encode / decode -------------------------------------------------
+    @staticmethod
+    def _encode(obj: Any) -> bytes:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return _MAGIC + hashlib.sha256(payload).digest() + payload
+
+    @staticmethod
+    def _decode(blob: bytes) -> Optional[Tuple[Any]]:
+        """The stored object wrapped in a 1-tuple, or None if corrupt."""
+        header = len(_MAGIC) + _DIGEST_BYTES
+        if len(blob) < header or not blob.startswith(_MAGIC):
+            return None
+        digest = blob[len(_MAGIC):header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        try:
+            return (pickle.loads(payload),)
+        except Exception:
+            return None
+
+    # -- store protocol --------------------------------------------------
+    def get(self, kind: str, key: str) -> Optional[Any]:
+        """The cached artifact, or None on a miss (absent or corrupt)."""
+        path = self.path(kind, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        decoded = self._decode(blob)
+        if decoded is None:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(blob)
+        return decoded[0]
+
+    def put(self, kind: str, key: str, obj: Any) -> None:
+        """Atomically persist an artifact (write-to-temp + rename, so a
+        concurrent reader never observes a partial file)."""
+        path = self.path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = self._encode(obj)
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{key[:8]}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.bytes_written += len(blob)
+
+    def fetch(self, kind: str, key: str, compute: Callable[[], Any]) -> Any:
+        """get-or-compute-and-put, timing the compute under stage
+        ``kind``."""
+        cached = self.get(kind, key)
+        if cached is not None:
+            return cached
+        with self.stats.stage(kind):
+            value = compute()
+        self.put(kind, key, value)
+        return value
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation: (workload, policy, machine) → result.
+
+    ``mode`` selects the result type: ``"sim"`` runs the full frontend
+    timing model (→ :class:`~repro.frontend.simulator.SimResult`);
+    ``"misses"`` replays only the BTB (→
+    :class:`~repro.btb.btb.BTBStats`)."""
+
+    app: str
+    policy: str = "lru"
+    input_id: int = 0
+    length: Optional[int] = None
+    mode: str = "sim"
+    btb_config: BTBConfig = DEFAULT_BTB_CONFIG
+    params: FrontendParams = DEFAULT_FRONTEND_PARAMS
+    thresholds: Tuple[float, ...] = (50.0, 80.0)
+    default_category: int = 1
+    warmup_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("sim", "misses"):
+            raise ValueError(f"mode must be 'sim' or 'misses', "
+                             f"got {self.mode!r}")
+
+    @property
+    def needs_hints(self) -> bool:
+        return self.policy in HINTED_POLICIES
+
+    def harness_config(self) -> HarnessConfig:
+        return HarnessConfig(
+            apps=(self.app,), length=self.length,
+            btb_config=self.btb_config, params=self.params,
+            thresholds=tuple(self.thresholds),
+            default_category=self.default_category,
+            warmup_fraction=self.warmup_fraction)
+
+    def key_fields(self) -> Dict[str, Any]:
+        """Everything that can change this job's result."""
+        return dict(app=self.app, policy=self.policy,
+                    input_id=self.input_id, length=self.length,
+                    btb_config=self.btb_config, params=self.params,
+                    thresholds=tuple(self.thresholds),
+                    default_category=self.default_category,
+                    warmup_fraction=self.warmup_fraction)
+
+    def cache_key(self, salt: str = STORE_VERSION) -> str:
+        return artifact_key(self.mode, salt=salt, **self.key_fields())
+
+
+@dataclass
+class JobResult:
+    """One finished job: its value plus cache provenance."""
+
+    job: SimJob
+    value: Any
+    #: True when the *job-level* result came straight from the store.
+    cached: bool
+    seconds: float
+    stats: CacheStats = field(default_factory=CacheStats)
+
+
+def execute_job(job: SimJob, harness: Optional[Harness] = None,
+                store: Optional[ArtifactStore] = None) -> Any:
+    """Run one job through a :class:`Harness` (no job-level caching)."""
+    h = harness if harness is not None else Harness(job.harness_config(),
+                                                   store=store)
+    trace = h.trace(job.app, job.input_id)
+    hints = None
+    if job.needs_hints:
+        # Hints must be profiled against the geometry the policy runs
+        # with; the iso-storage variant swaps in the 7979-entry config.
+        hint_config = (THERMOMETER_7979_CONFIG
+                       if job.policy == "thermometer-7979"
+                       else job.btb_config)
+        hints = h.hints(job.app, job.input_id, btb_config=hint_config)
+    if job.mode == "misses":
+        return h.run_misses(trace, job.policy, btb_config=job.btb_config,
+                            hints=hints)
+    return h.run_sim(trace, job.policy, btb_config=job.btb_config,
+                     hints=hints, params=job.params)
+
+
+def run_job(job: SimJob, cache_root: Optional[str] = None,
+            salt: str = STORE_VERSION,
+            store: Optional[ArtifactStore] = None,
+            harness: Optional[Harness] = None) -> JobResult:
+    """Worker entry point (module-level so process pools can pickle it).
+
+    Checks the store for the finished result first; on a miss, computes it
+    through a harness whose intermediate artifacts (trace, profile, hints)
+    are themselves store-backed.
+    """
+    if store is None and cache_root is not None:
+        store = ArtifactStore(cache_root, salt=salt)
+    baseline = copy.deepcopy(store.stats) if store is not None else None
+    start = time.perf_counter()
+    cached = False
+    if store is not None:
+        key = job.cache_key(salt=store.salt)
+        value = store.get(job.mode, key)
+        cached = value is not None
+        if value is None:
+            with store.stats.stage(job.mode):
+                value = execute_job(job, harness=harness, store=store)
+            store.put(job.mode, key, value)
+    else:
+        value = execute_job(job, harness=harness)
+    elapsed = time.perf_counter() - start
+    stats = (_stats_delta(store.stats, baseline)
+             if store is not None else CacheStats())
+    return JobResult(job=job, value=value, cached=cached,
+                     seconds=elapsed, stats=stats)
+
+
+def _stats_delta(current: CacheStats, baseline: CacheStats) -> CacheStats:
+    """This job's contribution to a (possibly shared) store's stats."""
+    delta = CacheStats(
+        hits=current.hits - baseline.hits,
+        misses=current.misses - baseline.misses,
+        corrupt=current.corrupt - baseline.corrupt,
+        bytes_read=current.bytes_read - baseline.bytes_read,
+        bytes_written=current.bytes_written - baseline.bytes_written)
+    for name, secs in current.stage_seconds.items():
+        diff = secs - baseline.stage_seconds.get(name, 0.0)
+        if diff > 0.0:
+            delta.stage_seconds[name] = diff
+    for name, count in current.stage_counts.items():
+        diff = count - baseline.stage_counts.get(name, 0)
+        if diff > 0:
+            delta.stage_counts[name] = diff
+    return delta
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+class ExperimentEngine:
+    """Fan :class:`SimJob` batches out over processes, backed by one
+    shared :class:`ArtifactStore`.
+
+    ``jobs == 1`` (or a single-job batch) runs serially in-process —
+    bit-identical to driving a :class:`Harness` by hand — and reuses one
+    harness per distinct machine configuration so in-memory caches
+    amortize exactly as before.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None,
+                 jobs: Optional[int] = None, salt: str = STORE_VERSION):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.salt = salt
+        self.cache_dir = Path(cache_dir).expanduser() if cache_dir else None
+        self.store = (ArtifactStore(self.cache_dir, salt=salt)
+                      if self.cache_dir else None)
+        self.stats = CacheStats()
+
+    @classmethod
+    def from_env(cls, jobs: Optional[int] = None) -> "ExperimentEngine":
+        """An engine at the default cache location and ``REPRO_JOBS``."""
+        return cls(cache_dir=default_cache_dir(), jobs=jobs)
+
+    def run(self, jobs: Sequence[SimJob]) -> List[JobResult]:
+        """Run every job, returning results in input order."""
+        jobs = list(jobs)
+        if self.jobs <= 1 or len(jobs) <= 1:
+            return self._run_serial(jobs)
+        return self._run_parallel(jobs)
+
+    def _run_serial(self, jobs: Sequence[SimJob]) -> List[JobResult]:
+        harnesses: Dict[HarnessConfig, Harness] = {}
+        results = []
+        for job in jobs:
+            config = job.harness_config()
+            harness = harnesses.get(config)
+            if harness is None:
+                harness = Harness(config, store=self.store)
+                harnesses[config] = harness
+            result = run_job(job, store=self.store, harness=harness,
+                             salt=self.salt)
+            self.stats.merge(result.stats)
+            results.append(result)
+        return results
+
+    def _run_parallel(self, jobs: Sequence[SimJob]) -> List[JobResult]:
+        cache_root = str(self.cache_dir) if self.cache_dir else None
+        workers = min(self.jobs, len(jobs))
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(run_job, job, cache_root, self.salt): i
+                       for i, job in enumerate(jobs)}
+            for future, index in futures.items():
+                result = future.result()
+                self.stats.merge(result.stats)
+                results[index] = result
+        return results  # type: ignore[return-value]

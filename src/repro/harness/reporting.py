@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["CacheStats", "ExperimentResult", "format_table"]
 
 
 def _format_cell(value) -> str:
@@ -29,6 +31,72 @@ def format_table(columns: Sequence[str], rows: Sequence[Sequence]) -> str:
     lines = [fmt(list(columns)), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in cells)
     return "\n".join(lines)
+
+
+@dataclass
+class CacheStats:
+    """Artifact-store accounting: hit/miss counters, I/O volume, and
+    per-stage compute wall time (seconds spent *building* artifacts that
+    were not in the cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Artifacts whose on-disk bytes failed integrity checks (treated as
+    #: misses and recomputed).
+    corrupt: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: stage name (``trace``/``profile``/``hints``/``sim``/``misses``) →
+    #: cumulative seconds spent computing artifacts of that stage.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: stage name → number of artifacts computed (cache misses filled).
+    stage_counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one artifact computation under stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[name] = (self.stage_seconds.get(name, 0.0)
+                                        + elapsed)
+            self.stage_counts[name] = self.stage_counts.get(name, 0) + 1
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another stats object (e.g. from a worker process) in."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.corrupt += other.corrupt
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        for name, secs in other.stage_seconds.items():
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + secs
+        for name, count in other.stage_counts.items():
+            self.stage_counts[name] = self.stage_counts.get(name, 0) + count
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def render(self) -> str:
+        """Human-readable summary (one header line + a per-stage table)."""
+        header = (f"artifact cache: {self.hits} hits / {self.misses} misses"
+                  f" ({100.0 * self.hit_rate:.0f}% hit rate, "
+                  f"{self.corrupt} corrupt), "
+                  f"{self.bytes_read / 1e6:.1f} MB read, "
+                  f"{self.bytes_written / 1e6:.1f} MB written")
+        if not self.stage_seconds:
+            return header
+        rows = [[name, self.stage_counts.get(name, 0), secs]
+                for name, secs in sorted(self.stage_seconds.items())]
+        table = format_table(["stage", "computed", "seconds"], rows)
+        return header + "\n" + table
 
 
 @dataclass

@@ -7,7 +7,12 @@ traces):
 * ``--preset full``  — the lengths EXPERIMENTS.md was produced with.
 
 Select a subset with ``--only fig11,fig12``; write markdown with
-``--output results.md``.
+``--output results.md``.  ``--jobs N`` (default ``REPRO_JOBS``) runs whole
+figures in parallel worker processes; all workers share one persistent
+artifact store (``--cache-dir``, default ``REPRO_CACHE_DIR`` or
+``~/.cache/repro-thermometer``) so traces, OPT profiles, hint maps, and
+baseline runs are computed once per machine.  ``--no-cache`` disables the
+store.
 """
 
 from __future__ import annotations
@@ -16,9 +21,12 @@ import argparse
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from repro.harness.engine import (ArtifactStore, default_cache_dir,
+                                  default_jobs)
 from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.reporting import CacheStats
 from repro.harness.runner import Harness, HarnessConfig
 
 __all__ = ["main", "run_experiments", "PRESETS"]
@@ -44,58 +52,76 @@ def _experiment_kwargs(name: str, settings: dict) -> dict:
     return {}
 
 
-def _run_one(name: str, preset: str, apps: Optional[List[str]]):
+def _harness_config(settings: dict,
+                    apps: Optional[List[str]]) -> HarnessConfig:
+    if apps:
+        return HarnessConfig(apps=tuple(apps), length=settings["length"])
+    return HarnessConfig(length=settings["length"])
+
+
+def _run_one(name: str, preset: str, apps: Optional[List[str]],
+             cache_dir: Optional[str] = None):
     """Worker entry point (must be module-level for process pools)."""
     settings = PRESETS[preset]
-    config = HarnessConfig(length=settings["length"])
-    if apps:
-        config = HarnessConfig(apps=tuple(apps), length=settings["length"])
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    harness = Harness(_harness_config(settings, apps), store=store)
     start = time.perf_counter()
-    result = ALL_EXPERIMENTS[name](Harness(config),
+    result = ALL_EXPERIMENTS[name](harness,
                                    **_experiment_kwargs(name, settings))
-    return name, result, time.perf_counter() - start
+    stats = store.stats if store is not None else CacheStats()
+    return name, result, time.perf_counter() - start, stats
 
 
 def run_experiments(names: Optional[List[str]] = None,
                     preset: str = "full",
                     apps: Optional[List[str]] = None,
                     stream=sys.stdout,
-                    jobs: int = 1) -> Dict[str, "ExperimentResult"]:
+                    jobs: int = 1,
+                    cache_dir: Union[str, None] = None
+                    ) -> Dict[str, "ExperimentResult"]:
     """Run the named experiments (all by default) and stream their tables.
 
-    ``jobs > 1`` runs whole figures in parallel worker processes (each with
-    its own harness; per-process caching still amortizes within a figure).
+    ``jobs > 1`` runs whole figures in parallel worker processes.
+    ``cache_dir`` points every process at one shared on-disk artifact
+    store, so per-figure harnesses reuse each other's traces, profiles,
+    hints, and LRU baselines (and so do later invocations).
     """
     settings = PRESETS[preset]
-    config = HarnessConfig(length=settings["length"])
-    if apps:
-        config = HarnessConfig(apps=tuple(apps), length=settings["length"])
     names = names or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiments: {unknown}; available: "
                          f"{list(ALL_EXPERIMENTS)}")
+    cache_dir = str(cache_dir) if cache_dir else None
     results = {}
-    if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_one, name, preset, apps)
-                       for name in names]
-            for future in futures:
-                name, result, elapsed = future.result()
-                results[name] = result
-                print(result.render(), file=stream)
-                print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
-                stream.flush()
-        return results
-    harness = Harness(config)
-    for name in names:
-        start = time.perf_counter()
-        result = ALL_EXPERIMENTS[name](
-            harness, **_experiment_kwargs(name, settings))
-        elapsed = time.perf_counter() - start
+    cache_stats = CacheStats()
+
+    def emit(name, result, elapsed, stats):
         results[name] = result
+        cache_stats.merge(stats)
         print(result.render(), file=stream)
         print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
+        stream.flush()
+
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_one, name, preset, apps, cache_dir)
+                       for name in names]
+            for future in futures:
+                emit(*future.result())
+    else:
+        store = ArtifactStore(cache_dir) if cache_dir else None
+        harness = Harness(_harness_config(settings, apps), store=store)
+        for name in names:
+            start = time.perf_counter()
+            result = ALL_EXPERIMENTS[name](
+                harness, **_experiment_kwargs(name, settings))
+            emit(name, result, time.perf_counter() - start,
+                 CacheStats())
+        if store is not None:
+            cache_stats.merge(store.stats)
+    if cache_dir:
+        print(cache_stats.render(), file=stream)
         stream.flush()
     return results
 
@@ -112,16 +138,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated subset of the 13 applications")
     parser.add_argument("--output", default=None,
                         help="also write results as markdown to this file")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="run figures in N parallel processes")
+    parser.add_argument("--jobs", type=int, default=default_jobs(),
+                        help="run figures in N parallel processes "
+                             "(default: REPRO_JOBS or 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent artifact store location (default: "
+                             "REPRO_CACHE_DIR or ~/.cache/repro-thermometer)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent artifact store")
     parser.add_argument("--validate", action="store_true",
                         help="check the reproduction claims against the "
                              "results and exit non-zero on failures")
     args = parser.parse_args(argv)
     names = args.only.split(",") if args.only else None
     apps = args.apps.split(",") if args.apps else None
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(default_cache_dir())
     results = run_experiments(names=names, preset=args.preset, apps=apps,
-                              jobs=args.jobs)
+                              jobs=args.jobs, cache_dir=cache_dir)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             for result in results.values():

@@ -9,7 +9,6 @@ from repro.btb.btb import BTB, BTBStats, btb_access_stream, run_btb
 from repro.btb.config import (BTBConfig, DEFAULT_BTB_CONFIG,
                               THERMOMETER_7979_CONFIG)
 from repro.btb.replacement.registry import make_policy
-from repro.btb.replacement.thermometer import ThermometerPolicy
 from repro.core.hints import HintMap, ThresholdQuantizer
 from repro.core.pipeline import bypass_recommended
 from repro.core.profiler import OptProfile, profile_trace
@@ -49,13 +48,28 @@ class Harness:
     One harness = one machine configuration; experiments that sweep a
     parameter (BTB size, FTQ depth, ...) construct variant configs
     explicitly and bypass the caches where the variant matters.
+
+    ``store`` (an :class:`~repro.harness.engine.ArtifactStore`) adds a
+    second, persistent cache level: artifacts missing from the in-memory
+    dicts are loaded from disk when available and written back when
+    computed, so they are shared across processes and CLI invocations.
     """
 
-    def __init__(self, config: HarnessConfig = HarnessConfig()):
-        self.config = config
+    def __init__(self, config: Optional[HarnessConfig] = None, store=None):
+        # None-and-construct (not a default instance): a shared default
+        # object would alias config-derived state across harnesses.
+        self.config = config if config is not None else HarnessConfig()
+        self.store = store
         self._traces: Dict[Tuple[str, int], BranchTrace] = {}
         self._profiles: Dict[Tuple[str, int, BTBConfig], OptProfile] = {}
         self._lru_sims: Dict[Tuple[str, int], SimResult] = {}
+
+    def _fetch(self, kind: str, fields: dict, compute):
+        """Compute an artifact through the persistent store, if any."""
+        if self.store is None:
+            return compute()
+        return self.store.fetch(kind, self.store.key(kind, **fields),
+                                compute)
 
     def lru_sim(self, app: str, input_id: int = 0) -> SimResult:
         """Cached LRU-baseline timing run (the denominator of every
@@ -63,7 +77,16 @@ class Harness:
         key = (app, input_id)
         cached = self._lru_sims.get(key)
         if cached is None:
-            cached = self.run_sim(self.trace(app, input_id), "lru")
+            fields = dict(app=app, policy="lru", input_id=input_id,
+                          length=self.config.length,
+                          btb_config=self.config.btb_config,
+                          params=self.config.params,
+                          thresholds=tuple(self.config.thresholds),
+                          default_category=self.config.default_category,
+                          warmup_fraction=self.config.warmup_fraction)
+            cached = self._fetch(
+                "sim", fields,
+                lambda: self.run_sim(self.trace(app, input_id), "lru"))
             self._lru_sims[key] = cached
         return cached
 
@@ -74,8 +97,12 @@ class Harness:
         key = (app, input_id)
         cached = self._traces.get(key)
         if cached is None:
-            cached = make_app_trace(app, input_id=input_id,
-                                    length=self.config.length)
+            fields = dict(app=app, input_id=input_id,
+                          length=self.config.length)
+            cached = self._fetch(
+                "trace", fields,
+                lambda: make_app_trace(app, input_id=input_id,
+                                       length=self.config.length))
             self._traces[key] = cached
         return cached
 
@@ -85,7 +112,12 @@ class Harness:
         key = (app, input_id, btb_config)
         cached = self._profiles.get(key)
         if cached is None:
-            cached = profile_trace(self.trace(app, input_id), btb_config)
+            fields = dict(app=app, input_id=input_id,
+                          length=self.config.length, btb_config=btb_config)
+            cached = self._fetch(
+                "profile", fields,
+                lambda: profile_trace(self.trace(app, input_id),
+                                      btb_config))
             self._profiles[key] = cached
         return cached
 
@@ -98,10 +130,18 @@ class Harness:
     def hints(self, app: str, input_id: int = 0,
               btb_config: Optional[BTBConfig] = None,
               thresholds: Optional[Sequence[float]] = None) -> HintMap:
-        quantizer = ThresholdQuantizer(thresholds or self.config.thresholds)
-        return quantizer.quantize(
-            self.temperatures(app, input_id, btb_config),
-            default_category=self.config.default_category)
+        thresholds = tuple(thresholds or self.config.thresholds)
+
+        def compute() -> HintMap:
+            return ThresholdQuantizer(thresholds).quantize(
+                self.temperatures(app, input_id, btb_config),
+                default_category=self.config.default_category)
+
+        fields = dict(app=app, input_id=input_id, length=self.config.length,
+                      btb_config=btb_config or self.config.btb_config,
+                      thresholds=thresholds,
+                      default_category=self.config.default_category)
+        return self._fetch("hints", fields, compute)
 
     # ------------------------------------------------------------------
     # Policy / BTB construction
@@ -118,11 +158,12 @@ class Harness:
         if policy_name == "thermometer-7979":
             btb_config = THERMOMETER_7979_CONFIG
             policy_name = "thermometer"
-        if policy_name == "thermometer":
+        if policy_name in ("thermometer", "thermometer-dueling"):
             if hints is None:
-                raise ValueError("thermometer needs hints")
-            policy = ThermometerPolicy(
-                hints, default_category=self.config.default_category,
+                raise ValueError(f"{policy_name} needs hints")
+            policy = make_policy(
+                policy_name, hints=hints,
+                default_category=self.config.default_category,
                 bypass_enabled=bypass_recommended(hints, btb_config))
         elif policy_name == "opt":
             pcs, _ = btb_access_stream(trace)

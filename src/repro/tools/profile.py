@@ -10,7 +10,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.btb.config import BTBConfig
@@ -21,6 +23,28 @@ from repro.core.temperature import TemperatureProfile
 from repro.trace.formats import read_trace
 
 __all__ = ["main"]
+
+
+def _cached_profile(trace_path: str, trace, config: BTBConfig,
+                    cache_dir: Optional[str]):
+    """OPT-profile ``trace`` through the persistent artifact store.
+
+    Profiles are keyed on the SHA-256 of the trace file's *bytes* (not its
+    path), so renamed/copied traces still hit and edited traces miss.
+    Returns ``(profile, cached)``.
+    """
+    if cache_dir is None:
+        return profile_trace(trace, config), False
+    from repro.harness.engine import ArtifactStore
+    store = ArtifactStore(cache_dir)
+    digest = hashlib.sha256(Path(trace_path).read_bytes()).hexdigest()
+    key = store.key("profile", trace_sha256=digest, btb_config=config)
+    cached = store.get("profile", key)
+    if cached is not None:
+        return cached, True
+    profile = profile_trace(trace, config)
+    store.put("profile", key, profile)
+    return profile, False
 
 
 def _parse_thresholds(text: str) -> tuple:
@@ -48,6 +72,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--default-category", type=int, default=1)
     parser.add_argument("--crossval", action="store_true",
                         help="two-fold cross-validate thresholds first")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent artifact store for OPT profiles "
+                             "(default: REPRO_CACHE_DIR or "
+                             "~/.cache/repro-thermometer)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always recompute the OPT profile")
     args = parser.parse_args(argv)
 
     trace = read_trace(args.trace)
@@ -60,15 +90,20 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"(held-out hit rate {result.hit_rate:.4f} vs default "
               f"{result.default_hit_rate:.4f})")
 
-    profile = profile_trace(trace, config)
+    cache_dir = None
+    if not args.no_cache:
+        from repro.harness.engine import default_cache_dir
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    profile, cached = _cached_profile(args.trace, trace, config, cache_dir)
     temps = TemperatureProfile.from_opt_profile(profile)
     hints = ThresholdQuantizer(thresholds).quantize(
         temps, default_category=args.default_category)
     hints.to_json(args.output)
 
     counts = hints.category_counts()
+    provenance = " (cached)" if cached else ""
     print(f"profiled {profile.num_branches} branches in "
-          f"{profile.elapsed_seconds:.2f}s "
+          f"{profile.elapsed_seconds:.2f}s{provenance} "
           f"(OPT hit rate {profile.stats.hit_rate:.4f})")
     print(f"wrote {args.output}: categories "
           + " / ".join(f"{c}" for c in counts)

@@ -1,17 +1,25 @@
 """Replay a trace under a replacement policy (hardware side, step 4).
 
-Examples::
+Single-trace mode replays one trace file::
 
     python -m repro.tools.simulate t.btrc.gz --policy srrip
     python -m repro.tools.simulate t.btrc --policy thermometer \\
         --hints hints.json --baseline lru
     python -m repro.tools.simulate t.btrc --policy opt --ipc
+
+Sweep mode fans an (apps × policies) matrix out through the parallel
+experiment engine, with every artifact cached in the persistent store
+(so a re-run is near-instant)::
+
+    python -m repro.tools.simulate --apps cassandra,drupal,kafka,tomcat \\
+        --policies lru,srrip,thermometer --jobs 4 --ipc
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.btb.btb import BTB, btb_access_stream, run_btb
@@ -19,7 +27,9 @@ from repro.btb.config import BTBConfig
 from repro.btb.replacement.registry import make_policy, policy_names
 from repro.core.hints import HintMap
 from repro.frontend.simulator import simulate as run_timing
+from repro.harness.reporting import format_table
 from repro.trace.formats import read_trace
+from repro.workloads import app_names
 
 __all__ = ["main"]
 
@@ -28,12 +38,63 @@ def _build_policy(name: str, trace, hints_path: Optional[str]):
     if name == "opt":
         pcs, _ = btb_access_stream(trace)
         return make_policy("opt", stream=pcs)
-    if name == "thermometer":
+    if name in ("thermometer", "thermometer-dueling"):
         if not hints_path:
-            raise ValueError("--policy thermometer requires --hints "
+            raise ValueError(f"--policy {name} requires --hints "
                              "(from repro.tools.profile)")
-        return make_policy("thermometer", hints=HintMap.from_json(hints_path))
+        return make_policy(name, hints=HintMap.from_json(hints_path))
     return make_policy(name)
+
+
+def _run_sweep(args) -> int:
+    """(apps × policies) matrix through the parallel experiment engine."""
+    from repro.harness.engine import (ExperimentEngine, SimJob,
+                                      default_cache_dir)
+    apps = [a for a in args.apps.split(",") if a]
+    policies = [p for p in args.policies.split(",") if p]
+    known_apps = set(app_names())
+    known_policies = set(policy_names()) | {"thermometer-7979"}
+    for app in apps:
+        if app not in known_apps:
+            print(f"error: unknown app {app!r}; available: "
+                  f"{', '.join(sorted(known_apps))}", file=sys.stderr)
+            return 2
+    for policy in policies:
+        if policy not in known_policies:
+            print(f"error: unknown policy {policy!r}; available: "
+                  f"{', '.join(sorted(known_policies))}", file=sys.stderr)
+            return 2
+    config = BTBConfig(entries=args.entries, ways=args.ways)
+    mode = "sim" if args.ipc else "misses"
+    jobs = [SimJob(app=app, policy=policy, length=args.length,
+                   input_id=args.input_id, mode=mode, btb_config=config)
+            for app in apps for policy in policies]
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    engine = ExperimentEngine(cache_dir=cache_dir, jobs=args.jobs)
+    start = time.perf_counter()
+    results = engine.run(jobs)
+    elapsed = time.perf_counter() - start
+
+    columns = ["app", "policy", "accesses", "misses", "hit_rate", "cached"]
+    if args.ipc:
+        columns.insert(5, "ipc")
+    rows = []
+    for res in results:
+        stats = res.value.btb_stats if args.ipc else res.value
+        row = [res.job.app, res.job.policy, stats.accesses, stats.misses,
+               f"{stats.hit_rate:.4f}"]
+        if args.ipc:
+            row.append(f"{res.value.ipc:.3f}")
+        row.append("hit" if res.cached else "miss")
+        rows.append(row)
+    print(format_table(columns, rows))
+    print(f"\n{len(jobs)} jobs in {elapsed:.1f}s "
+          f"({args.jobs} worker{'s' if args.jobs != 1 else ''})")
+    if cache_dir:
+        print(engine.stats.render())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -41,7 +102,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.tools.simulate",
         description="Replay a branch trace through the BTB (and optionally "
                     "the frontend timing model).")
-    parser.add_argument("trace", help="trace file (.btrc/.btxt[.gz])")
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="trace file (.btrc/.btxt[.gz]); omit when "
+                             "using --apps sweep mode")
     parser.add_argument("--policy", default="lru",
                         help=f"one of: {', '.join(policy_names())}")
     parser.add_argument("--hints", default=None,
@@ -52,7 +115,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also run POLICY and report relative numbers")
     parser.add_argument("--ipc", action="store_true",
                         help="run the frontend timing model too")
+    sweep = parser.add_argument_group(
+        "sweep mode (parallel engine + artifact cache)")
+    sweep.add_argument("--apps", default=None,
+                       help="comma-separated application names; runs an "
+                            "(apps x policies) matrix through the engine")
+    sweep.add_argument("--policies", default="lru",
+                       help="comma-separated policy names for --apps mode")
+    sweep.add_argument("--length", type=int, default=None,
+                       help="per-app trace length for --apps mode")
+    sweep.add_argument("--input-id", type=int, default=0,
+                       help="workload input configuration for --apps mode")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="parallel worker processes for --apps mode")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="artifact store location (default: "
+                            "REPRO_CACHE_DIR or ~/.cache/repro-thermometer)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent artifact store")
     args = parser.parse_args(argv)
+
+    if args.apps:
+        if args.trace:
+            parser.error("give either a trace file or --apps, not both")
+        return _run_sweep(args)
+    if not args.trace:
+        parser.error("a trace file (or --apps) is required")
 
     trace = read_trace(args.trace)
     config = BTBConfig(entries=args.entries, ways=args.ways)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.btb.config import BTBConfig
@@ -12,6 +14,20 @@ from repro.workloads.generator import (LayoutParams, MixParams,
 
 
 from tests.helpers import branch, trace_of_pcs  # noqa: F401 (re-export)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point the persistent artifact store at a per-session tmpdir so tests
+    never read from (or pollute) the user-level cache."""
+    root = tmp_path_factory.mktemp("artifact-store")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

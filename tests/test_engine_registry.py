@@ -1,0 +1,86 @@
+"""Registry completeness: every policy in ``repro.btb.replacement`` must be
+constructible through :func:`~repro.btb.replacement.registry.make_policy`
+and must round-trip through the experiment engine.
+
+This is the tripwire for the next policy someone adds but forgets to
+register (exactly what happened to ``thermometer-dueling`` before this
+suite existed).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro.btb.replacement as replacement_pkg
+from repro.btb.replacement.base import ReplacementPolicy
+from repro.btb.replacement.registry import (HINTED_POLICY_FACTORIES,
+                                            make_policy, policy_names)
+from repro.harness.engine import ExperimentEngine, SimJob
+
+
+def _concrete_policy_classes():
+    """Every non-abstract ReplacementPolicy subclass defined anywhere in
+    the ``repro.btb.replacement`` package."""
+    classes = set()
+    for info in pkgutil.iter_modules(replacement_pkg.__path__):
+        if info.name in ("base", "registry"):
+            continue
+        module = importlib.import_module(
+            f"{replacement_pkg.__name__}.{info.name}")
+        for _, obj in inspect.getmembers(module, inspect.isclass):
+            if (issubclass(obj, ReplacementPolicy)
+                    and obj.__module__ == module.__name__
+                    and not inspect.isabstract(obj)):
+                classes.add(obj)
+    return classes
+
+
+def _registered_policy_types():
+    """name → concrete type for every name make_policy can build."""
+    types = {}
+    for name in policy_names():
+        if name == "opt":
+            policy = make_policy(name, stream=[4, 8, 4])
+        elif name in HINTED_POLICY_FACTORIES:
+            policy = make_policy(name, hints={4: 0})
+        else:
+            policy = make_policy(name)
+        types[name] = type(policy)
+    return types
+
+
+def test_every_policy_module_is_registered():
+    concrete = _concrete_policy_classes()
+    assert concrete, "policy discovery found nothing — wrong package?"
+    registered = set(_registered_policy_types().values())
+    missing = {cls.__name__ for cls in concrete} - \
+              {cls.__name__ for cls in registered}
+    assert not missing, (
+        f"policies defined in repro/btb/replacement/ but absent from "
+        f"registry.make_policy: {sorted(missing)} — register them so the "
+        f"harness sweeps and the engine can reach them")
+
+
+def test_policy_names_sorted_and_unique():
+    names = policy_names()
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
+
+
+@pytest.mark.parametrize("policy", sorted(
+    set(policy_names()) | {"thermometer-7979"}))
+def test_policy_round_trips_through_engine(tmp_path, policy):
+    """Every registered policy (plus the iso-storage alias) runs through
+    the engine, caches, and reloads without error."""
+    job = SimJob(app="tomcat", policy=policy, length=2500, mode="misses")
+    engine = ExperimentEngine(cache_dir=tmp_path / "store", jobs=1)
+    cold = engine.run([job])[0]
+    assert cold.value.accesses > 0
+    warm = ExperimentEngine(cache_dir=tmp_path / "store",
+                            jobs=1).run([job])[0]
+    assert warm.cached
+    assert warm.value == cold.value

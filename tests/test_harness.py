@@ -46,6 +46,14 @@ class TestReporting:
 
 
 class TestRunner:
+    def test_default_config_is_not_shared(self):
+        """Regression: the default config used to be one module-level
+        ``HarnessConfig()`` instance evaluated at ``def`` time, so every
+        default-constructed harness aliased the same object."""
+        first, second = Harness(), Harness()
+        assert first.config == second.config
+        assert first.config is not second.config
+
     def test_trace_cached(self, harness):
         assert harness.trace("tomcat") is harness.trace("tomcat")
 

@@ -11,10 +11,11 @@ from repro.btb.replacement.registry import (make_policy, policy_names,
 
 class TestRegistry:
     def test_all_names_constructible(self):
+        from repro.btb.replacement.registry import HINTED_POLICY_FACTORIES
         for name in policy_names():
             if name == "opt":
                 policy = make_policy(name, stream=[4, 8])
-            elif name == "thermometer":
+            elif name in HINTED_POLICY_FACTORIES:
                 policy = make_policy(name, hints={})
             else:
                 policy = make_policy(name)
