@@ -29,13 +29,15 @@ Quickstart::
     print(f"hit rate {stats.hit_rate:.3f}")
 """
 
-from repro.trace import (BranchKind, BranchRecord, BranchTrace, TraceStats,
-                         read_trace, write_trace)
+from repro.trace import (AccessStream, BranchKind, BranchRecord, BranchTrace,
+                         TraceStats, access_stream_for, read_trace,
+                         write_trace)
 from repro.workloads import (APPLICATIONS, SyntheticWorkload, WorkloadSpec,
                              app_names, make_app_trace, make_app_workload,
                              make_cbp5_suite, make_ipc1_suite)
-from repro.btb import (BTB, BTBConfig, BTBStats, BeladyOptimalPolicy,
-                       GHRPPolicy, HawkeyePolicy, LRUPolicy, SRRIPPolicy,
+from repro.btb import (BTB, BTBConfig, BTBObserver, BTBStats,
+                       BeladyOptimalPolicy, EventRecorder, GHRPPolicy,
+                       HawkeyePolicy, LRUPolicy, SRRIPPolicy,
                        ThermometerPolicy, btb_access_stream, make_policy,
                        policy_names, run_btb)
 from repro.core import (HintMap, OptProfile, TemperatureProfile,
@@ -50,13 +52,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "APPLICATIONS",
+    "AccessStream",
     "BTB",
     "BTBConfig",
+    "BTBObserver",
     "BTBStats",
     "BeladyOptimalPolicy",
     "BranchKind",
     "BranchRecord",
     "BranchTrace",
+    "EventRecorder",
     "FrontendParams",
     "FrontendSimulator",
     "GHRPPolicy",
@@ -75,6 +80,7 @@ __all__ = [
     "ThresholdQuantizer",
     "TraceStats",
     "WorkloadSpec",
+    "access_stream_for",
     "app_names",
     "btb_access_stream",
     "cross_validate_thresholds",

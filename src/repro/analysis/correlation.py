@@ -16,10 +16,10 @@ from typing import Dict, List
 import numpy as np
 
 from repro.analysis.reuse import set_reuse_distance_sequences
-from repro.btb.btb import btb_access_stream
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.core.profiler import OptProfile, profile_trace
 from repro.trace.record import BranchKind, BranchTrace
+from repro.trace.stream import access_stream_for
 
 __all__ = ["BranchFeatures", "CorrelationResult",
            "branch_property_correlations"]
@@ -69,26 +69,26 @@ def branch_property_correlations(trace: BranchTrace,
                                  profile: OptProfile | None = None,
                                  min_samples: int = 2) -> CorrelationResult:
     """Compute the four Fig. 8 correlations for one application."""
+    stream = access_stream_for(trace, config)
     if profile is None:
-        profile = profile_trace(trace, config)
-    pcs, _ = btb_access_stream(trace)
-    set_indices = [config.set_index(int(pc)) for pc in pcs]
-    reuse = set_reuse_distance_sequences(pcs, set_indices)
+        profile = profile_trace(trace, config, stream=stream)
+    reuse = set_reuse_distance_sequences(stream.pcs_list, stream.sets_list)
 
     # Static/dynamic per-branch properties from the full trace.
+    t_pcs, t_targets, t_kinds, t_taken, _ = stream.trace_columns()
     kind_by_pc: Dict[int, int] = {}
     target_by_pc: Dict[int, int] = {}
     taken_counts: Dict[int, List[int]] = {}
-    for i in range(len(trace)):
-        pc = int(trace.pcs[i])
+    for i in range(len(t_pcs)):
+        pc = t_pcs[i]
         counts = taken_counts.get(pc)
         if counts is None:
             counts = [0, 0]
             taken_counts[pc] = counts
-            kind_by_pc[pc] = int(trace.kinds[i])
-            target_by_pc[pc] = int(trace.targets[i])
+            kind_by_pc[pc] = t_kinds[i]
+            target_by_pc[pc] = t_targets[i]
         counts[0] += 1
-        if trace.taken[i]:
+        if t_taken[i]:
             counts[1] += 1
 
     features: List[BranchFeatures] = []

@@ -1,38 +1,50 @@
-"""Hit-to-taken distribution analyses (Figs. 6 and 7)."""
+"""Hit-to-taken distribution analyses (Figs. 6 and 7).
+
+These curves are pure views over the OPT profile — the next-use distances
+they depend on are computed once in the shared
+:class:`~repro.trace.stream.AccessStream` consumed by
+:func:`~repro.core.profiler.profile_trace` (this module never recomputes
+them).  Callers that already hold a profile can pass it through
+``profile=`` to skip the replay entirely.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
-from repro.core.profiler import profile_trace
+from repro.core.profiler import OptProfile, profile_trace
 from repro.core.temperature import TemperatureProfile
 from repro.trace.record import BranchTrace
 
 __all__ = ["hit_to_taken_curve", "dynamic_cdf_curve", "temperature_regions"]
 
 
-def _temperatures(trace: BranchTrace,
-                  config: BTBConfig) -> TemperatureProfile:
-    return TemperatureProfile.from_opt_profile(profile_trace(trace, config))
+def _temperatures(trace: BranchTrace, config: BTBConfig,
+                  profile: Optional[OptProfile] = None) -> TemperatureProfile:
+    if profile is None:
+        profile = profile_trace(trace, config)
+    return TemperatureProfile.from_opt_profile(profile)
 
 
 def hit_to_taken_curve(trace: BranchTrace,
-                       config: BTBConfig = DEFAULT_BTB_CONFIG
+                       config: BTBConfig = DEFAULT_BTB_CONFIG,
+                       profile: Optional[OptProfile] = None
                        ) -> Tuple[np.ndarray, np.ndarray]:
     """Fig. 6 for one application: x = % of unique taken branches sorted by
     descending temperature, y = hit-to-taken % under OPT."""
-    return _temperatures(trace, config).sorted_curve()
+    return _temperatures(trace, config, profile).sorted_curve()
 
 
 def dynamic_cdf_curve(trace: BranchTrace,
-                      config: BTBConfig = DEFAULT_BTB_CONFIG
+                      config: BTBConfig = DEFAULT_BTB_CONFIG,
+                      profile: Optional[OptProfile] = None
                       ) -> Tuple[np.ndarray, np.ndarray]:
     """Fig. 7 for one application: cumulative % of dynamic execution covered
     by the hottest x% of unique branches."""
-    return _temperatures(trace, config).dynamic_cdf()
+    return _temperatures(trace, config, profile).dynamic_cdf()
 
 
 def temperature_regions(xs: np.ndarray, ys: np.ndarray,

@@ -24,9 +24,9 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.btb.btb import btb_access_stream
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.trace.record import BranchTrace
+from repro.trace.stream import access_stream_for
 
 __all__ = ["set_reuse_distance_sequences", "forward_set_reuse_distances",
            "transient_variance", "holistic_variance",
@@ -149,9 +149,9 @@ def variance_summary(trace: BranchTrace,
     Distances are log2-compressed by default (raw stack distances span four
     orders of magnitude; the paper plots unit-scale variances).
     """
-    pcs, _ = btb_access_stream(trace)
-    set_indices = [config.set_index(int(pc)) for pc in pcs]
-    sequences = set_reuse_distance_sequences(pcs, set_indices)
+    stream = access_stream_for(trace, config)
+    sequences = set_reuse_distance_sequences(stream.pcs_list,
+                                             stream.sets_list)
     transients: List[float] = []
     holistics: List[float] = []
     for seq in sequences.values():

@@ -21,11 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.btb.btb import BTB, btb_access_stream
+from repro.btb.btb import BTB
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.btb.replacement.base import ReplacementPolicy
 from repro.btb.replacement.lru import LRUPolicy
 from repro.trace.record import BranchTrace
+from repro.trace.stream import access_stream_for
 
 __all__ = ["MissClassification", "classify_misses"]
 
@@ -73,16 +74,20 @@ def classify_misses(trace: BranchTrace,
     if policy is None:
         policy = LRUPolicy()
     btb = BTB(config, policy)
-    pcs, targets = btb_access_stream(trace)
+    stream = access_stream_for(trace, config)
+    pcs = stream.pcs_list
+    targets = stream.targets_list
+    sets = stream.sets_list
 
     # Per-set LRU stacks track the set-local reuse distance of each access
     # independently of the policy under test.
     stacks: Dict[int, List[int]] = {}
     compulsory = capacity = conflict = hits = 0
     ways = config.ways
+    access = btb._access_with_set
     for i in range(len(pcs)):
-        pc = int(pcs[i])
-        set_idx = config.set_index(pc)
+        pc = pcs[i]
+        set_idx = sets[i]
         stack = stacks.get(set_idx)
         if stack is None:
             stack = []
@@ -95,7 +100,7 @@ def classify_misses(trace: BranchTrace,
             del stack[depth]
         stack.insert(0, pc)
 
-        if btb.access(pc, int(targets[i]), i):
+        if access(set_idx, pc, targets[i], i):
             hits += 1
         elif depth < 0:
             compulsory += 1

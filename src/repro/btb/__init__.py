@@ -8,7 +8,9 @@ the BTB — see DESIGN.md §5).
 
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.btb.entry import BTBEntry
-from repro.btb.btb import BTB, BTBStats, IndirectBTB, btb_access_stream, run_btb
+from repro.btb.btb import (BTB, BTBStats, IndirectBTB, btb_access_stream,
+                           replay_stream, run_btb)
+from repro.btb.observer import BTBEvent, BTBObserver, EventRecorder
 from repro.btb.block_btb import BlockBTB, BlockBTBStats, run_block_btb
 from repro.btb.compressed import PartialTagBTB, iso_storage_compressed_config
 from repro.btb.hierarchy import TwoLevelBTB, TwoLevelStats
@@ -27,8 +29,11 @@ __all__ = [
     "BTB",
     "BTBConfig",
     "BTBEntry",
+    "BTBEvent",
+    "BTBObserver",
     "BTBStats",
     "BYPASS",
+    "EventRecorder",
     "BlockBTB",
     "BlockBTBStats",
     "BTBEntryLayout",
@@ -57,6 +62,7 @@ __all__ = [
     "iso_storage_entries",
     "make_policy",
     "policy_names",
+    "replay_stream",
     "run_block_btb",
     "run_btb",
 ]

@@ -18,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.btb.btb import BTBStats
+from repro.btb.btb import BTBStats, replay_stream
 from repro.btb.config import BTBConfig
+from repro.btb.observer import BTBObserver
 from repro.btb.replacement.base import BYPASS, ReplacementPolicy
 from repro.trace.record import BranchTrace
-from repro.btb.btb import btb_access_stream
+from repro.trace.stream import access_stream_for
 
 __all__ = ["BlockBTB", "BlockBTBStats", "run_block_btb"]
 
@@ -63,6 +64,20 @@ class BlockBTB:
         # Per (set, way): insertion-ordered {branch pc: target}.
         self._branches: List[List[Dict[int, int]]] = \
             [[{} for _ in range(ways)] for _ in range(nsets)]
+        self._observers: List[BTBObserver] = []
+
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: BTBObserver) -> BTBObserver:
+        """Attach a structured event observer; returns it for chaining.
+
+        Events are reported at block granularity: the ``pc`` field of
+        hit/fill/evict events carries the fetch-block base address.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: BTBObserver) -> None:
+        self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     def block_of(self, pc: int) -> int:
@@ -95,8 +110,14 @@ class BlockBTB:
                 branches = self._branches[s][way]
                 if pc in branches:
                     self.stats.hits += 1
+                    if branches[pc] != target:
+                        self.stats.target_mismatches += 1
                     branches[pc] = target
                     self.policy.on_hit(s, way, block, index)
+                    if self._observers:
+                        for observer in self._observers:
+                            observer.on_hit(self, s, way, block, target,
+                                            index)
                     return True
                 # Block resident, branch slot missing.
                 self.stats.misses += 1
@@ -116,20 +137,33 @@ class BlockBTB:
                 self._branches[s][way] = {pc: target}
                 self.stats.compulsory_fills += 1
                 self.policy.on_fill(s, way, block, index)
+                if self._observers:
+                    for observer in self._observers:
+                        observer.on_fill(self, s, way, block, target, index)
                 return False
         victim = self.policy.choose_victim(s, blocks, block, index)
         if victim == BYPASS:
             self.stats.bypasses += 1
             self.policy.on_bypass(s, block, index)
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_bypass(self, s, block, index)
             return False
         if not 0 <= victim < self.config.ways:
             raise ValueError(f"invalid victim way {victim}")
         self.stats.evictions += 1
+        if self._observers:
+            for observer in self._observers:
+                observer.on_evict(self, s, victim, blocks[victim], block,
+                                  index)
         self.policy.on_evict(s, victim, blocks[victim],
                              bool(self._branches[s][victim]))
         blocks[victim] = block
         self._branches[s][victim] = {pc: target}
         self.policy.on_fill(s, victim, block, index)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_fill(self, s, victim, block, target, index)
         return False
 
     # ------------------------------------------------------------------
@@ -158,9 +192,9 @@ class BlockBTB:
 
 
 def run_block_btb(trace: BranchTrace, btb: BlockBTB) -> BlockBTBStats:
-    """Replay a trace's BTB access stream through a block BTB."""
-    pcs, targets = btb_access_stream(trace)
-    access = btb.access
-    for i in range(len(pcs)):
-        access(int(pcs[i]), int(targets[i]), i)
-    return btb.stats
+    """Replay a trace's BTB access stream through a block BTB.
+
+    Drives the shared replay kernel through its generic path (a BlockBTB
+    maps pcs to sets at block granularity, so it resolves its own sets).
+    """
+    return replay_stream(access_stream_for(trace, btb.config), btb)

@@ -1,18 +1,21 @@
-"""Set-associative BTB model and trace replay helpers."""
+"""Set-associative BTB model and the branch-event replay kernel."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.btb.entry import BTBEntry
+from repro.btb.observer import BTBObserver
 from repro.btb.replacement.base import BYPASS, ReplacementPolicy
 from repro.trace.record import BranchKind, BranchTrace
+from repro.trace.stream import AccessStream, access_stream_for
 
-__all__ = ["BTB", "BTBStats", "IndirectBTB", "btb_access_stream", "run_btb"]
+__all__ = ["BTB", "BTBStats", "IndirectBTB", "btb_access_stream",
+           "replay_stream", "run_btb"]
 
 _INVALID = -1
 
@@ -28,6 +31,9 @@ class BTBStats:
     bypasses: int = 0
     #: Misses that filled a previously-invalid way (cold-start fills).
     compulsory_fills: int = 0
+    #: Hits whose stored target differed from the access's resolved target
+    #: (indirect-branch target drift; the BTB silently re-learns on hit).
+    target_mismatches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -50,14 +56,25 @@ class BTBStats:
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
             bypasses=self.bypasses + other.bypasses,
-            compulsory_fills=self.compulsory_fills + other.compulsory_fills)
+            compulsory_fills=self.compulsory_fills + other.compulsory_fills,
+            target_mismatches=(self.target_mismatches
+                               + other.target_mismatches))
 
 
 class BTB:
     """A set-associative branch target buffer with a pluggable policy.
 
-    The hot path stores tags/targets in flat per-set lists; the richer
-    :class:`BTBEntry` view is materialized on demand for inspection.
+    Storage is flat numpy: one ``(num_sets, ways)`` array per field, so
+    whole-BTB inspection (``resident_pcs``, occupancy, snapshotting) is
+    vectorized.  The per-access tag match runs through a per-set pc → way
+    directory kept in lockstep with the tag array — constant-time instead
+    of a way scan — while the policy interface is unchanged, so every
+    registry policy runs as before.
+
+    Structured observation: :meth:`add_observer` attaches a
+    :class:`~repro.btb.observer.BTBObserver` that receives hit / fill /
+    evict / bypass events (this replaced the old ``eviction_listener``
+    callable seam).
     """
 
     def __init__(self, config: BTBConfig = DEFAULT_BTB_CONFIG,
@@ -68,23 +85,33 @@ class BTB:
         self.policy.bind(config.num_sets, config.ways)
         self.stats = BTBStats()
         nsets, ways = config.num_sets, config.ways
-        self._tags: List[List[int]] = [[_INVALID] * ways for _ in range(nsets)]
-        self._targets: List[List[int]] = [[0] * ways for _ in range(nsets)]
-        self._reused: List[List[bool]] = [[False] * ways for _ in range(nsets)]
-        self._fill_index: List[List[int]] = [[0] * ways for _ in range(nsets)]
-        #: Optional callable ``(set_idx, victim_pc, incoming_pc, index)``
-        #: invoked on every eviction — used by replacement-accuracy probes.
-        self.eviction_listener = None
+        self._tags = np.full((nsets, ways), _INVALID, dtype=np.int64)
+        self._targets = np.zeros((nsets, ways), dtype=np.int64)
+        self._reused = np.zeros((nsets, ways), dtype=np.bool_)
+        self._fill_index = np.zeros((nsets, ways), dtype=np.int64)
+        #: Per-set pc → way directory mirroring ``_tags``.
+        self._dir: List[Dict[int, int]] = [{} for _ in range(nsets)]
+        self._observers: List[BTBObserver] = []
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: BTBObserver) -> BTBObserver:
+        """Attach a structured event observer; returns it for chaining."""
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: BTBObserver) -> None:
+        self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     def lookup(self, pc: int) -> Optional[int]:
         """Non-mutating probe: the stored target for ``pc``, or None."""
         s = self.config.set_index(pc)
-        tags = self._tags[s]
-        for way in range(self.config.ways):
-            if tags[way] == pc:
-                return self._targets[s][way]
-        return None
+        way = self._dir[s].get(pc)
+        if way is None:
+            return None
+        return int(self._targets[s, way])
 
     def contains(self, pc: int) -> bool:
         return self.lookup(pc) is not None
@@ -95,18 +122,29 @@ class BTB:
         On a miss the branch is inserted (possibly evicting a victim chosen
         by the policy, or bypassing if the policy so decides).
         """
-        cfg = self.config
-        s = cfg.set_index(pc)
-        tags = self._tags[s]
-        self.stats.accesses += 1
-        for way in range(cfg.ways):
-            if tags[way] == pc:
-                self.stats.hits += 1
-                self._reused[s][way] = True
-                self._targets[s][way] = target
-                self.policy.on_hit(s, way, pc, index)
-                return True
-        self.stats.misses += 1
+        return self._access_with_set(self.config.set_index(pc), pc, target,
+                                     index)
+
+    def _access_with_set(self, s: int, pc: int, target: int,
+                         index: int) -> bool:
+        """The access hot path with the set index already resolved —
+        replay kernels pass the stream's precomputed ``set_indices``."""
+        stats = self.stats
+        stats.accesses += 1
+        way = self._dir[s].get(pc)
+        if way is not None:
+            stats.hits += 1
+            targets_row = self._targets[s]
+            if targets_row[way] != target:
+                stats.target_mismatches += 1
+                targets_row[way] = target
+            self._reused[s, way] = True
+            self.policy.on_hit(s, way, pc, index)
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_hit(self, s, way, pc, target, index)
+            return True
+        stats.misses += 1
         self._insert(s, pc, target, index)
         return False
 
@@ -118,11 +156,10 @@ class BTB:
         accesses in :attr:`stats`.
         """
         s = self.config.set_index(pc)
-        tags = self._tags[s]
-        for way in range(self.config.ways):
-            if tags[way] == pc:
-                self._targets[s][way] = target
-                return False
+        way = self._dir[s].get(pc)
+        if way is not None:
+            self._targets[s, way] = target
+            return False
         self.policy.prefetch_fill_in_progress = True
         try:
             return self._insert(s, pc, target, index)
@@ -130,55 +167,69 @@ class BTB:
             self.policy.prefetch_fill_in_progress = False
 
     def _insert(self, s: int, pc: int, target: int, index: int) -> bool:
-        cfg = self.config
         tags = self._tags[s]
-        for way in range(cfg.ways):
-            if tags[way] == _INVALID:
-                tags[way] = pc
-                self._targets[s][way] = target
-                self._reused[s][way] = False
-                self._fill_index[s][way] = index
-                self.stats.compulsory_fills += 1
-                self.policy.on_fill(s, way, pc, index)
-                return True
-        victim = self.policy.choose_victim(s, tags, pc, index)
+        directory = self._dir[s]
+        if len(directory) < self.config.ways:
+            way = int((tags == _INVALID).argmax())
+            tags[way] = pc
+            self._targets[s, way] = target
+            self._reused[s, way] = False
+            self._fill_index[s, way] = index
+            directory[pc] = way
+            self.stats.compulsory_fills += 1
+            self.policy.on_fill(s, way, pc, index)
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_fill(self, s, way, pc, target, index)
+            return True
+        victim = self.policy.choose_victim(s, tags.tolist(), pc, index)
         if victim == BYPASS:
             self.stats.bypasses += 1
             self.policy.on_bypass(s, pc, index)
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_bypass(self, s, pc, index)
             return False
-        if not 0 <= victim < cfg.ways:
+        if not 0 <= victim < self.config.ways:
             raise ValueError(
                 f"policy {self.policy.name!r} returned invalid victim way "
-                f"{victim} (ways={cfg.ways})")
+                f"{victim} (ways={self.config.ways})")
         self.stats.evictions += 1
-        if self.eviction_listener is not None:
-            self.eviction_listener(s, tags[victim], pc, index)
-        self.policy.on_evict(s, victim, tags[victim], self._reused[s][victim])
+        victim_pc = int(tags[victim])
+        if self._observers:
+            for observer in self._observers:
+                observer.on_evict(self, s, victim, victim_pc, pc, index)
+        self.policy.on_evict(s, victim, victim_pc,
+                             bool(self._reused[s, victim]))
+        del directory[victim_pc]
+        directory[pc] = victim
         tags[victim] = pc
-        self._targets[s][victim] = target
-        self._reused[s][victim] = False
-        self._fill_index[s][victim] = index
+        self._targets[s, victim] = target
+        self._reused[s, victim] = False
+        self._fill_index[s, victim] = index
         self.policy.on_fill(s, victim, pc, index)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_fill(self, s, victim, pc, target, index)
         return True
 
     # ------------------------------------------------------------------
     def entry(self, set_idx: int, way: int) -> Optional[BTBEntry]:
         """Materialize the entry stored at ``(set_idx, way)``, if valid."""
-        if self._tags[set_idx][way] == _INVALID:
+        if self._tags[set_idx, way] == _INVALID:
             return None
-        return BTBEntry(pc=self._tags[set_idx][way],
-                        target=self._targets[set_idx][way],
-                        fill_index=self._fill_index[set_idx][way],
-                        reused=self._reused[set_idx][way])
+        return BTBEntry(pc=int(self._tags[set_idx, way]),
+                        target=int(self._targets[set_idx, way]),
+                        fill_index=int(self._fill_index[set_idx, way]),
+                        reused=bool(self._reused[set_idx, way]))
 
     def resident_pcs(self) -> List[int]:
-        """All valid tags currently stored (unordered)."""
-        return [tag for set_tags in self._tags for tag in set_tags
-                if tag != _INVALID]
+        """All valid tags currently stored (unordered) — vectorized."""
+        return self._tags[self._tags != _INVALID].tolist()
 
     @property
     def occupancy(self) -> int:
-        return len(self.resident_pcs())
+        return int((self._tags != _INVALID).sum())
 
     def __repr__(self) -> str:
         return (f"BTB(entries={self.config.entries}, ways={self.config.ways}, "
@@ -223,36 +274,57 @@ class IndirectBTB:
 
 
 # ----------------------------------------------------------------------
-# Trace replay
+# Trace replay — the branch-event kernel
 # ----------------------------------------------------------------------
 
 def btb_access_stream(trace: BranchTrace) -> Tuple[np.ndarray, np.ndarray]:
     """The (pcs, targets) of the BTB demand-access stream of a trace.
 
     Taken branches only; returns are excluded because they are served by the
-    return address stack, not the BTB (DESIGN.md §5).
+    return address stack, not the BTB (DESIGN.md §5).  For the full
+    columnar view (set indices, next-use distances, list mirrors) build an
+    :class:`~repro.trace.stream.AccessStream` instead.
     """
     mask = trace.taken & (trace.kinds != int(BranchKind.RETURN))
     return trace.pcs[mask], trace.targets[mask]
 
 
-def run_btb(trace: BranchTrace, btb: BTB,
-            record_per_branch: bool = False):
-    """Replay a trace's BTB access stream through ``btb``.
+def replay_stream(stream: AccessStream, btb,
+                  record_per_branch: bool = False):
+    """Replay one columnar access stream through any BTB model.
 
-    Returns the BTB's stats; with ``record_per_branch`` also returns a dict
+    This is the single replay kernel shared by :func:`run_btb`, the OPT
+    profiler, and the harness miss paths.  When ``btb`` is a plain
+    :class:`BTB` on the stream's geometry, the stream's precomputed set
+    indices feed the hot path directly; any other model (partial-tag,
+    block-based, hierarchies) is driven through its own ``access``.
+
+    Returns ``btb.stats``; with ``record_per_branch`` also returns a dict
     pc → [accesses, hits] used by the profiling pipeline.
     """
-    pcs, targets = btb_access_stream(trace)
-    access = btb.access
+    pcs = stream.pcs_list
+    targets = stream.targets_list
+    fast = (type(btb) is BTB and btb.config == stream.config)
     if not record_per_branch:
-        for i in range(len(pcs)):
-            access(int(pcs[i]), int(targets[i]), i)
+        if fast:
+            access = btb._access_with_set
+            for i, s in enumerate(stream.sets_list):
+                access(s, pcs[i], targets[i], i)
+        else:
+            access = btb.access
+            for i, pc in enumerate(pcs):
+                access(pc, targets[i], i)
         return btb.stats
     per_branch: Dict[int, List[int]] = {}
-    for i in range(len(pcs)):
-        pc = int(pcs[i])
-        hit = access(pc, int(targets[i]), i)
+    if fast:
+        access = btb._access_with_set
+        sets = stream.sets_list
+    else:
+        access = btb.access
+        sets = None
+    for i, pc in enumerate(pcs):
+        hit = (access(sets[i], pc, targets[i], i) if sets is not None
+               else access(pc, targets[i], i))
         counts = per_branch.get(pc)
         if counts is None:
             counts = [0, 0]
@@ -261,3 +333,19 @@ def run_btb(trace: BranchTrace, btb: BTB,
         if hit:
             counts[1] += 1
     return btb.stats, per_branch
+
+
+def run_btb(trace_or_stream: Union[BranchTrace, AccessStream], btb,
+            record_per_branch: bool = False):
+    """Replay a trace's BTB access stream through ``btb``.
+
+    Accepts either a :class:`~repro.trace.record.BranchTrace` (the shared
+    :class:`~repro.trace.stream.AccessStream` for ``btb.config`` is looked
+    up or built) or an already-built stream.  Returns the BTB's stats;
+    with ``record_per_branch`` also returns a dict pc → [accesses, hits].
+    """
+    if isinstance(trace_or_stream, AccessStream):
+        stream = trace_or_stream
+    else:
+        stream = access_stream_for(trace_or_stream, btb.config)
+    return replay_stream(stream, btb, record_per_branch=record_per_branch)

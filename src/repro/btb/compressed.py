@@ -59,12 +59,11 @@ class PartialTagBTB(BTB):
     def access(self, pc: int, target: int = 0, index: int = 0) -> bool:
         cfg = self.config
         s = cfg.set_index(pc)
-        tags = self._tags[s]
+        tags_row = self._tags[s].tolist()
         self.stats.accesses += 1
         self.last_hit_was_false = False
         wanted = self.partial_tag(pc)
-        for way in range(cfg.ways):
-            stored = tags[way]
+        for way, stored in enumerate(tags_row):
             if stored == _INVALID_PC:
                 continue
             if cfg.set_index(stored) == s and \
@@ -74,13 +73,22 @@ class PartialTagBTB(BTB):
                     # Aliased entry: the hardware believes it hit, serves
                     # the wrong target, and re-learns this branch's target
                     # into the aliased entry (tag unchanged — they are
-                    # indistinguishable).
+                    # indistinguishable).  The pc → way directory tracks
+                    # the true identity takeover.
                     self.false_hits += 1
                     self.last_hit_was_false = True
-                    self._tags[s][way] = pc
-                self._reused[s][way] = True
-                self._targets[s][way] = target
+                    self._tags[s, way] = pc
+                    directory = self._dir[s]
+                    del directory[stored]
+                    directory[pc] = way
+                elif self._targets[s, way] != target:
+                    self.stats.target_mismatches += 1
+                self._reused[s, way] = True
+                self._targets[s, way] = target
                 self.policy.on_hit(s, way, pc, index)
+                if self._observers:
+                    for observer in self._observers:
+                        observer.on_hit(self, s, way, pc, target, index)
                 return True
         self.stats.misses += 1
         self._insert(s, pc, target, index)

@@ -20,9 +20,23 @@ from typing import Optional
 
 from repro.btb.btb import BTB
 from repro.btb.config import BTBConfig
+from repro.btb.observer import BTBObserver
 from repro.btb.replacement.base import ReplacementPolicy
 
 __all__ = ["TwoLevelBTB", "TwoLevelStats"]
+
+
+class _L1VictimWriter(BTBObserver):
+    """Installs L1 evictions into L2 (victim-buffer write-back)."""
+
+    def __init__(self, owner: "TwoLevelBTB"):
+        self.owner = owner
+
+    def on_evict(self, btb, set_idx, way, victim_pc, incoming_pc,
+                 index) -> None:
+        owner = self.owner
+        target = owner._victim_target.get(victim_pc, 0)
+        owner.l2.insert(victim_pc, target, index)
 
 
 @dataclass
@@ -59,8 +73,8 @@ class TwoLevelBTB:
         self.l2 = l2
         self.stats = TwoLevelStats()
         # Victim path: evictions from L1 are installed into L2.
-        self.l1.eviction_listener = self._on_l1_evict
         self._victim_target: dict = {}
+        self.l1.add_observer(_L1VictimWriter(self))
 
     @classmethod
     def build(cls, l1_entries: int = 1024, l2_entries: int = 8192,
@@ -76,11 +90,6 @@ class TwoLevelBTB:
         return cls(l1, l2)
 
     # ------------------------------------------------------------------
-    def _on_l1_evict(self, set_idx: int, victim_pc: int, incoming_pc: int,
-                     index: int) -> None:
-        target = self._victim_target.get(victim_pc, 0)
-        self.l2.insert(victim_pc, target, index)
-
     def access(self, pc: int, target: int = 0, index: int = 0) -> str:
         """One demand access; returns ``'l1'``, ``'l2'``, or ``'miss'``."""
         self.stats.accesses += 1

@@ -3,8 +3,9 @@
 OPT evicts the entry whose next use lies furthest in the future; if the
 *incoming* branch's next use is furthest of all, it bypasses the BTB (the
 MIN variant).  This requires future knowledge, so the policy is constructed
-from the full BTB access stream: :func:`compute_next_use` precomputes, for
-every access, the stream index of the next access to the same pc.
+from the full BTB access stream — preferably the shared columnar
+:class:`~repro.trace.stream.AccessStream` (:meth:`from_access_stream`),
+whose precomputed ``next_use`` column is reused instead of recomputed.
 
 OPT serves three roles in the reproduction, as in the paper:
 
@@ -22,30 +23,21 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.btb.replacement.base import BYPASS, ReplacementPolicy, new_grid
+from repro.trace.stream import (NEVER, AccessStream,
+                                compute_next_use_indices)
 
 __all__ = ["BeladyOptimalPolicy", "compute_next_use", "compute_occurrences",
            "NEVER"]
-
-#: Sentinel next-use index meaning "never accessed again".
-NEVER = np.iinfo(np.int64).max
 
 
 def compute_next_use(pcs: Sequence[int]) -> np.ndarray:
     """For each position ``i`` in ``pcs``, the next position ``j > i`` with
     ``pcs[j] == pcs[i]``, or :data:`NEVER`.
 
-    Single reverse pass, O(n) time and O(unique pcs) extra space.
+    Vectorized via a stable argsort (see
+    :func:`repro.trace.stream.compute_next_use_indices`).
     """
-    n = len(pcs)
-    next_use = np.full(n, NEVER, dtype=np.int64)
-    last_seen: dict = {}
-    for i in range(n - 1, -1, -1):
-        pc = pcs[i]
-        nxt = last_seen.get(pc)
-        if nxt is not None:
-            next_use[i] = nxt
-        last_seen[pc] = i
-    return next_use
+    return compute_next_use_indices(np.asarray(pcs, dtype=np.int64))
 
 
 def compute_occurrences(pcs: Sequence[int]) -> Dict[int, List[int]]:
@@ -64,9 +56,12 @@ def compute_occurrences(pcs: Sequence[int]) -> Dict[int, List[int]]:
 class BeladyOptimalPolicy(ReplacementPolicy):
     """Future-knowledge optimal replacement over a fixed access stream.
 
-    The ``index`` argument threaded through the policy hooks must be the
-    position of the current access in the same stream the policy was built
-    from; :func:`repro.btb.btb.run_btb` does this automatically.
+    The ``index`` argument threaded through the policy hooks must walk the
+    same stream the policy was built from, in order; the replay kernel
+    (:func:`repro.btb.btb.replay_stream`) passes the stream's canonical
+    indices, and the policy validates that each index stays inside the
+    stream and never runs backwards — one monotonicity check instead of
+    the old per-call range bookkeeping.
     """
 
     name = "opt"
@@ -74,34 +69,59 @@ class BeladyOptimalPolicy(ReplacementPolicy):
 
     def __init__(self, next_use: np.ndarray, bypass_enabled: bool = True,
                  stream_pcs: Optional[Sequence[int]] = None,
-                 occurrences: Optional[Dict[int, List[int]]] = None):
+                 occurrences: Optional[Dict[int, List[int]]] = None,
+                 shared_stream: Optional[AccessStream] = None):
         super().__init__()
         self._next_use = np.asarray(next_use, dtype=np.int64)
+        self._length = len(self._next_use)
         self.bypass_enabled = bypass_enabled
-        self._stream = stream_pcs
+        self._stream = (list(stream_pcs) if stream_pcs is not None
+                        else None)
         self._occurrences = occurrences
+        self._shared_stream = shared_stream
+        self._last_index = 0
 
     @classmethod
     def from_stream(cls, pcs: Sequence[int],
                     bypass_enabled: bool = True) -> "BeladyOptimalPolicy":
         """Build the policy from the BTB access stream (pcs of taken,
-        non-return branches in order)."""
-        pcs_list = [int(pc) for pc in pcs]
-        return cls(compute_next_use(pcs_list), bypass_enabled=bypass_enabled,
-                   stream_pcs=pcs_list,
-                   occurrences=compute_occurrences(pcs_list))
+        non-return branches in order).  Occurrence lists (only needed when
+        a prefetcher fills pcs out of stream order) are built lazily."""
+        pcs_arr = np.asarray(pcs, dtype=np.int64)
+        return cls(compute_next_use_indices(pcs_arr),
+                   bypass_enabled=bypass_enabled,
+                   stream_pcs=pcs_arr.tolist())
+
+    @classmethod
+    def from_access_stream(cls, stream: AccessStream,
+                           bypass_enabled: bool = True
+                           ) -> "BeladyOptimalPolicy":
+        """Build the policy on a shared columnar stream, reusing its
+        precomputed ``next_use`` column and occurrence lists outright."""
+        return cls(stream.next_use, bypass_enabled=bypass_enabled,
+                   stream_pcs=stream.pcs_list, shared_stream=stream)
 
     # ------------------------------------------------------------------
     def _allocate(self) -> None:
         # Next-use distance of the entry resident in each way.
         self._resident_next = new_grid(self.num_sets, self.num_ways, NEVER)
+        self._last_index = 0
 
-    def _check_index(self, index: int) -> None:
-        if not 0 <= index < len(self._next_use):
+    def _advance(self, index: int) -> int:
+        """Validate ``index`` against the stream's canonical positions:
+        inside the stream, and non-decreasing across the replay."""
+        if not self._last_index <= index < self._length:
+            if 0 <= index < self._length:
+                raise IndexError(
+                    f"access index {index} ran backwards (last index "
+                    f"{self._last_index}); OPT must replay its stream's "
+                    f"canonical indices in order")
             raise IndexError(
                 f"access index {index} outside the stream this OPT policy "
-                f"was built from (length {len(self._next_use)}); OPT must "
+                f"was built from (length {self._length}); OPT must "
                 f"replay exactly the stream given to from_stream()")
+        self._last_index = index
+        return index
 
     def _next_use_of(self, pc: int, index: int) -> int:
         """Next use of ``pc`` strictly after stream position ``index``.
@@ -112,8 +132,12 @@ class BeladyOptimalPolicy(ReplacementPolicy):
         """
         if self._stream is not None and self._stream[index] == pc:
             return int(self._next_use[index])
+        if self._shared_stream is not None:
+            return self._shared_stream.next_use_of(pc, index)
         if self._occurrences is None:
-            return NEVER
+            if self._stream is None:
+                return NEVER
+            self._occurrences = compute_occurrences(self._stream)
         occ = self._occurrences.get(pc)
         if not occ:
             return NEVER
@@ -121,16 +145,16 @@ class BeladyOptimalPolicy(ReplacementPolicy):
         return occ[j] if j < len(occ) else NEVER
 
     def on_hit(self, set_idx: int, way: int, pc: int, index: int) -> None:
-        self._check_index(index)
-        self._resident_next[set_idx][way] = self._next_use_of(pc, index)
+        self._resident_next[set_idx][way] = \
+            self._next_use_of(pc, self._advance(index))
 
     def on_fill(self, set_idx: int, way: int, pc: int, index: int) -> None:
-        self._check_index(index)
-        self._resident_next[set_idx][way] = self._next_use_of(pc, index)
+        self._resident_next[set_idx][way] = \
+            self._next_use_of(pc, self._advance(index))
 
     def choose_victim(self, set_idx: int, resident_pcs: Sequence[int],
                       incoming_pc: int, index: int) -> int:
-        self._check_index(index)
+        self._advance(index)
         nexts = self._resident_next[set_idx]
         victim_way = 0
         victim_next = nexts[0]

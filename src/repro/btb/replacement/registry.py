@@ -22,6 +22,7 @@ from repro.btb.replacement.plru import TreePLRUPolicy
 from repro.btb.replacement.ship import SHiPPolicy
 from repro.btb.replacement.srrip import BRRIPPolicy, SRRIPPolicy
 from repro.btb.replacement.thermometer import ThermometerPolicy
+from repro.trace.stream import AccessStream
 
 __all__ = ["make_policy", "policy_names", "register_policy",
            "HINTED_POLICY_FACTORIES"]
@@ -70,15 +71,20 @@ def make_policy(name: str, *, stream: Optional[Sequence[int]] = None,
                 **kwargs) -> ReplacementPolicy:
     """Construct a policy by name.
 
-    ``stream`` (the BTB access pcs) is required for ``"opt"``; ``hints``
+    ``stream`` is required for ``"opt"`` — either a shared
+    :class:`~repro.trace.stream.AccessStream` (its precomputed next-use
+    column is reused) or the raw sequence of BTB access pcs; ``hints``
     (pc → temperature category) is required for ``"thermometer"`` and
     ``"thermometer-dueling"``.  Extra keyword arguments are forwarded to
     the policy constructor.
     """
     if name == "opt":
         if stream is None:
-            raise ValueError("the 'opt' policy requires stream= (the BTB "
-                             "access pcs it will replay)")
+            raise ValueError("the 'opt' policy requires stream= (an "
+                             "AccessStream or the BTB access pcs it will "
+                             "replay)")
+        if isinstance(stream, AccessStream):
+            return BeladyOptimalPolicy.from_access_stream(stream, **kwargs)
         return BeladyOptimalPolicy.from_stream(stream, **kwargs)
     if name in HINTED_POLICY_FACTORIES:
         if hints is None:

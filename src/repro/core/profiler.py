@@ -14,10 +14,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.btb.btb import BTB, BTBStats, btb_access_stream
+from repro.btb.btb import BTB, BTBStats
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.btb.replacement.opt import BeladyOptimalPolicy
 from repro.trace.record import BranchTrace
+from repro.trace.stream import AccessStream, access_stream_for
 
 __all__ = ["BranchProfile", "OptProfile", "profile_trace"]
 
@@ -76,28 +77,38 @@ class OptProfile:
 def profile_trace(trace: BranchTrace,
                   config: BTBConfig = DEFAULT_BTB_CONFIG,
                   bypass_enabled: bool = True,
-                  policy: Optional[BeladyOptimalPolicy] = None) -> OptProfile:
+                  policy: Optional[BeladyOptimalPolicy] = None,
+                  stream: Optional[AccessStream] = None) -> OptProfile:
     """Replay ``trace`` under Belady-optimal replacement, collecting
     per-branch statistics.
 
-    ``policy`` may supply a pre-built OPT policy (it must have been built
-    from this trace's access stream); otherwise one is constructed.
+    ``stream`` may supply the trace's shared columnar access stream for
+    ``config`` (otherwise the memoized one is looked up); ``policy`` may
+    supply a pre-built OPT policy (it must have been built from this
+    trace's access stream).
     """
-    pcs, targets = btb_access_stream(trace)
+    if stream is None:
+        stream = access_stream_for(trace, config)
+    elif stream.config != config:
+        raise ValueError(
+            f"stream was built for {stream.config}, not {config}")
     if policy is None:
-        policy = BeladyOptimalPolicy.from_stream(pcs,
-                                                 bypass_enabled=bypass_enabled)
+        policy = BeladyOptimalPolicy.from_access_stream(
+            stream, bypass_enabled=bypass_enabled)
     btb = BTB(config, policy)
     profile = OptProfile(trace_name=trace.name, config=config)
     branches = profile.branches
-    access = btb.access
+    pcs = stream.pcs_list
+    targets = stream.targets_list
+    sets = stream.sets_list
+    access = btb._access_with_set
     stats = btb.stats
     start = time.perf_counter()
     for i in range(len(pcs)):
-        pc = int(pcs[i])
+        pc = pcs[i]
         bypasses_before = stats.bypasses
         fills_before = stats.compulsory_fills + stats.evictions
-        hit = access(pc, int(targets[i]), i)
+        hit = access(sets[i], pc, targets[i], i)
         record = branches.get(pc)
         if record is None:
             record = BranchProfile(pc=pc)

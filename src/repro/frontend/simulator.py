@@ -20,6 +20,7 @@ from repro.frontend.icache import InstructionHierarchy
 from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
 from repro.frontend.ras import ReturnAddressStack
 from repro.trace.record import INSTRUCTION_BYTES, BranchKind, BranchTrace
+from repro.trace.stream import AccessStream, access_stream_for
 
 __all__ = ["FrontendSimulator", "SimResult", "simulate"]
 
@@ -114,8 +115,131 @@ class FrontendSimulator:
         self._l2_misses_at_warmup = 0
 
     # ------------------------------------------------------------------
+    # Pipeline stages.  Each stage consumes plain-int scalars from the
+    # shared stream's columns, mutates its own slice of the SimResult, and
+    # returns the stall cycles it charged; the replay loop owns the single
+    # ``cycles`` accumulator so the float-addition order (and therefore
+    # the reported cycle count, bit for bit) matches the old monolith.
+    # ------------------------------------------------------------------
+    def _stage_fetch(self, ilen: int, next_fetch: int, result: SimResult):
+        """Base pipeline work plus the I-cache fetch of the record's block.
+
+        Returns ``(demand, exposed)`` — backend cycles for the block's
+        instructions, and the I-cache fill latency FDIP failed to hide.
+        """
+        demand = ilen * self.params.backend_cpi
+        result.base_cycles += demand
+        fdip = self.fdip
+        fdip.advance(demand)
+        fill = self.icache.fetch_block_latency(next_fetch, ilen)
+        if fill:
+            exposed = fdip.absorb(fill)
+            result.icache_stall_cycles += exposed
+            return demand, exposed
+        return demand, 0.0
+
+    def _stage_direction(self, pc: int, was_taken: bool,
+                         result: SimResult) -> float:
+        """Conditional-direction prediction; returns the mispredict
+        penalty charged (0.0 on a correct prediction)."""
+        if self.predictor.predict_and_train(pc, was_taken):
+            return 0.0
+        penalty = self.params.mispredict_penalty
+        result.mispredict_stall_cycles += penalty
+        result.mispredicts += 1
+        self.fdip.redirect()
+        return penalty
+
+    def _stage_target(self, pc: int, target: int, kind: int, btb_index: int,
+                      set_idx: Optional[int], result: SimResult) -> float:
+        """Target supply for a taken branch: RAS for returns, BTB (+IBTB
+        for indirects) otherwise.  Returns the stall cycles charged.
+
+        ``set_idx`` is the access's precomputed BTB set from the shared
+        stream (None when the BTB resolves its own sets).
+        """
+        params = self.params
+        if kind == _RETURN:
+            if self.ras.pop(target):
+                return 0.0
+            result.ras_stall_cycles += params.ras_penalty
+            result.ras_mispredicts += 1
+            self.fdip.redirect()
+            return params.ras_penalty
+        btb = self.btb
+        if self.perfect_btb:
+            hit = True
+        else:
+            if set_idx is not None:
+                hit = btb._access_with_set(set_idx, pc, target, btb_index)
+            else:
+                hit = btb.access(pc, target, btb_index)
+            if self.prefetcher is not None:
+                self.prefetcher.on_access(pc, target, hit, btb, btb_index)
+        if not hit:
+            result.btb_stall_cycles += params.btb_miss_penalty
+            self.fdip.redirect()
+            return params.btb_miss_penalty
+        if getattr(btb, "last_hit_was_false", False):
+            # Partial-tag alias: the BTB served a wrong target
+            # (compressed-BTB model) — execute-time redirect.
+            result.indirect_stall_cycles += params.indirect_penalty
+            result.indirect_mispredicts += 1
+            self.fdip.redirect()
+            return params.indirect_penalty
+        if kind in (_UNCOND_INDIRECT, _CALL_INDIRECT):
+            if not self.ibtb.predict_and_update(pc, target):
+                result.indirect_stall_cycles += params.indirect_penalty
+                result.indirect_mispredicts += 1
+                self.fdip.redirect()
+                return params.indirect_penalty
+        return 0.0
+
+    def _replay_region(self, lo: int, hi: int, columns, sets,
+                       next_fetch: int, btb_index: int, result: SimResult):
+        """Drive records ``[lo, hi)`` through the stages; returns the
+        region's ``(cycles, next_fetch, btb_index)``."""
+        pcs, targets, kinds, taken, ilens = columns
+        ras = self.ras
+        stage_fetch = self._stage_fetch
+        stage_direction = self._stage_direction
+        stage_target = self._stage_target
+        cycles = 0.0
+        for i in range(lo, hi):
+            pc = pcs[i]
+            kind = kinds[i]
+
+            demand, exposed = stage_fetch(ilens[i], next_fetch, result)
+            cycles += demand
+            if exposed:
+                cycles += exposed
+
+            was_taken = taken[i]
+            if kind == _COND:
+                cycles += stage_direction(pc, was_taken, result)
+
+            if was_taken:
+                target = targets[i]
+                if kind == _RETURN:
+                    cycles += stage_target(pc, target, kind, btb_index,
+                                           None, result)
+                else:
+                    cycles += stage_target(
+                        pc, target, kind, btb_index,
+                        sets[btb_index] if sets is not None else None,
+                        result)
+                    btb_index += 1
+                next_fetch = target
+            else:
+                next_fetch = pc + INSTRUCTION_BYTES
+
+            if kind in (_CALL_DIRECT, _CALL_INDIRECT):
+                ras.push(pc + INSTRUCTION_BYTES)
+        return cycles, next_fetch, btb_index
+
     def simulate(self, trace: BranchTrace,
-                 warmup_fraction: float = 0.2) -> SimResult:
+                 warmup_fraction: float = 0.2,
+                 stream: Optional[AccessStream] = None) -> SimResult:
         """Run the whole trace; returns cycle accounting for the measured
         (post-warmup) region.
 
@@ -123,113 +247,61 @@ class FrontendSimulator:
         predictors without contributing to the reported cycles — standard
         trace-simulation practice, and necessary on synthetic traces whose
         compulsory misses would otherwise dominate the short run.
+
+        ``stream`` may supply the trace's shared
+        :class:`~repro.trace.stream.AccessStream`; when the machine's BTB
+        matches its geometry, the stream's precomputed set indices feed the
+        BTB hot path and its cached column lists are shared across every
+        simulation of the same trace.  Without one, the memoized stream
+        for the BTB's geometry is looked up automatically.
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
-        params = self.params
-        result = SimResult(trace_name=trace.name,
-                           instructions=trace.num_instructions)
-        fdip = self.fdip
-        icache = self.icache
-        predictor = self.predictor
-        ras = self.ras
         btb = self.btb
-        prefetcher = self.prefetcher
-        backend_cpi = params.backend_cpi
+        if stream is not None and stream.trace is not trace:
+            raise ValueError("stream was built from a different trace")
+        if stream is None and btb is not None:
+            config = getattr(btb, "config", None)
+            if config is not None:
+                stream = access_stream_for(trace, config)
+        columns = (stream.trace_columns() if stream is not None
+                   else (trace.pcs.tolist(), trace.targets.tolist(),
+                         trace.kinds.tolist(), trace.taken.tolist(),
+                         trace.ilens.tolist()))
+        pcs, _, _, _, ilens = columns
+        # Precomputed per-access sets apply only to a plain BTB on the
+        # stream's exact geometry (subclasses may remap tags or sets).
+        sets = None
+        if (stream is not None and not self.perfect_btb
+                and type(btb) is BTB and btb.config == stream.config):
+            sets = stream.sets_list
 
-        pcs, targets = trace.pcs, trace.targets
-        kinds, taken, ilens = trace.kinds, trace.taken, trace.ilens
         n = len(pcs)
         warmup_end = int(n * warmup_fraction)
-        btb_index = 0
-        cycles = 0.0
         # The first block begins at the start of the first branch's block.
-        next_fetch = int(pcs[0]) - (int(ilens[0]) - 1) * INSTRUCTION_BYTES \
-            if n else 0
+        next_fetch = pcs[0] - (ilens[0] - 1) * INSTRUCTION_BYTES if n else 0
 
-        for i in range(n):
-            if i == warmup_end:
-                # Reset accounting; keep all microarchitectural state warm.
-                cycles = 0.0
-                result = SimResult(trace_name=trace.name)
-                self._l2_misses_at_warmup = self.icache.l2.misses
-            pc = int(pcs[i])
-            target = int(targets[i])
-            kind = int(kinds[i])
-            was_taken = bool(taken[i])
-            ilen = int(ilens[i])
+        # Warmup region: throwaway accounting, every microarchitectural
+        # structure stays warm for the measured region.
+        warm_result = SimResult(trace_name=trace.name,
+                                instructions=trace.num_instructions)
+        _, next_fetch, btb_index = self._replay_region(
+            0, warmup_end, columns, sets, next_fetch, 0, warm_result)
+        self._l2_misses_at_warmup = self.icache.l2.misses
 
-            # -- base pipeline work and I-cache fetch ----------------------
-            demand = ilen * backend_cpi
-            cycles += demand
-            result.base_cycles += demand
-            fdip.advance(demand)
-            fill = icache.fetch_block_latency(next_fetch, ilen)
-            if fill:
-                exposed = fdip.absorb(fill)
-                cycles += exposed
-                result.icache_stall_cycles += exposed
-
-            # -- direction prediction --------------------------------------
-            if kind == _COND:
-                if not predictor.predict_and_train(pc, was_taken):
-                    cycles += params.mispredict_penalty
-                    result.mispredict_stall_cycles += params.mispredict_penalty
-                    result.mispredicts += 1
-                    fdip.redirect()
-
-            # -- target supply ---------------------------------------------
-            if was_taken:
-                if kind == _RETURN:
-                    if not ras.pop(target):
-                        cycles += params.ras_penalty
-                        result.ras_stall_cycles += params.ras_penalty
-                        result.ras_mispredicts += 1
-                        fdip.redirect()
-                else:
-                    if self.perfect_btb:
-                        hit = True
-                    else:
-                        hit = btb.access(pc, target, btb_index)
-                        if prefetcher is not None:
-                            prefetcher.on_access(pc, target, hit, btb,
-                                                 btb_index)
-                    btb_index += 1
-                    if not hit:
-                        cycles += params.btb_miss_penalty
-                        result.btb_stall_cycles += params.btb_miss_penalty
-                        fdip.redirect()
-                    elif getattr(btb, "last_hit_was_false", False):
-                        # Partial-tag alias: the BTB served a wrong target
-                        # (compressed-BTB model) — execute-time redirect.
-                        cycles += params.indirect_penalty
-                        result.indirect_stall_cycles += \
-                            params.indirect_penalty
-                        result.indirect_mispredicts += 1
-                        fdip.redirect()
-                    elif kind in (_UNCOND_INDIRECT, _CALL_INDIRECT):
-                        if not self.ibtb.predict_and_update(pc, target):
-                            cycles += params.indirect_penalty
-                            result.indirect_stall_cycles += \
-                                params.indirect_penalty
-                            result.indirect_mispredicts += 1
-                            fdip.redirect()
-                next_fetch = target
-            else:
-                next_fetch = pc + INSTRUCTION_BYTES
-
-            if kind in (_CALL_DIRECT, _CALL_INDIRECT):
-                ras.push(pc + INSTRUCTION_BYTES)
+        result = SimResult(trace_name=trace.name)
+        cycles, _, _ = self._replay_region(
+            warmup_end, n, columns, sets, next_fetch, btb_index, result)
 
         result.cycles = cycles
-        result.instructions = int(ilens[warmup_end:].sum()) if n else 0
+        result.instructions = int(trace.ilens[warmup_end:].sum()) if n else 0
         if btb is not None:
             result.btb_stats = btb.stats
         l2_misses = self.icache.l2.misses - self._l2_misses_at_warmup
         if result.instructions > 0:
             result.l2_instruction_mpki = 1000.0 * l2_misses \
                 / result.instructions
-        result.fdip_hide_rate = fdip.hide_rate
+        result.fdip_hide_rate = self.fdip.hide_rate
         return result
 
 

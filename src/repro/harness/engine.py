@@ -15,7 +15,10 @@ Two layers:
 
 * :class:`ExperimentEngine` — fans :class:`SimJob` simulation jobs out over
   a ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) or runs them
-  serially in-process (``jobs == 1``, the default).  Every worker shares
+  serially in-process (``jobs == 1``, the default).  Parallel jobs are
+  grouped by (app, input, machine config) so each worker builds one trace
+  and one shared :class:`~repro.trace.stream.AccessStream` per group and
+  replays them across every policy in the group.  Every worker shares
   the same on-disk store, so traces and profiles are computed once per
   machine and reused across processes, benchmark runs, and CLI
   invocations.
@@ -57,10 +60,12 @@ from repro.harness.runner import Harness, HarnessConfig
 
 __all__ = ["ArtifactStore", "ExperimentEngine", "JobResult", "SimJob",
            "STORE_VERSION", "artifact_key", "default_cache_dir",
-           "default_jobs", "execute_job", "run_job"]
+           "default_jobs", "execute_job", "run_job", "run_job_batch"]
 
 #: Bump to invalidate every cached artifact (format or semantics change).
-STORE_VERSION = "1"
+#: "2": BTBStats grew the ``target_mismatches`` counter, so version-1
+#: pickles would deserialize without the field.
+STORE_VERSION = "2"
 
 #: Policies whose construction requires a profile-derived hint map.
 HINTED_POLICIES = ("thermometer", "thermometer-7979", "thermometer-dueling")
@@ -341,6 +346,32 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
                      seconds=elapsed, stats=stats)
 
 
+def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
+                  salt: str = STORE_VERSION) -> List[JobResult]:
+    """Worker entry point for a *group* of jobs (module-level so process
+    pools can pickle it).
+
+    The engine groups parallel jobs by (app, input, machine config) so one
+    worker runs a whole group through one :class:`Harness` — the trace,
+    its shared :class:`~repro.trace.stream.AccessStream`, the OPT profile,
+    and the hint maps are built once and replayed across every policy in
+    the group instead of once per job.
+    """
+    store = (ArtifactStore(cache_root, salt=salt)
+             if cache_root is not None else None)
+    harnesses: Dict[HarnessConfig, Harness] = {}
+    results: List[JobResult] = []
+    for job in jobs:
+        config = job.harness_config()
+        harness = harnesses.get(config)
+        if harness is None:
+            harness = Harness(config, store=store)
+            harnesses[config] = harness
+        results.append(run_job(job, store=store, harness=harness,
+                               salt=salt))
+    return results
+
+
 def _stats_delta(current: CacheStats, baseline: CacheStats) -> CacheStats:
     """This job's contribution to a (possibly shared) store's stats."""
     delta = CacheStats(
@@ -410,15 +441,37 @@ class ExperimentEngine:
             results.append(result)
         return results
 
+    @staticmethod
+    def _batch(jobs: Sequence[SimJob], target: int) -> List[List[int]]:
+        """Group job indices by (app, input, machine config) so each
+        worker replays one shared access stream across its group's
+        policies; large groups are split while workers would sit idle."""
+        groups: Dict[Any, List[int]] = {}
+        for i, job in enumerate(jobs):
+            key = (job.app, job.input_id, job.harness_config())
+            groups.setdefault(key, []).append(i)
+        batches = list(groups.values())
+        while len(batches) < target:
+            largest = max(batches, key=len)
+            if len(largest) <= 1:
+                break
+            batches.remove(largest)
+            mid = len(largest) // 2
+            batches.extend([largest[:mid], largest[mid:]])
+        return batches
+
     def _run_parallel(self, jobs: Sequence[SimJob]) -> List[JobResult]:
         cache_root = str(self.cache_dir) if self.cache_dir else None
-        workers = min(self.jobs, len(jobs))
+        batches = self._batch(jobs, min(self.jobs, len(jobs)))
+        workers = min(self.jobs, len(batches))
         results: List[Optional[JobResult]] = [None] * len(jobs)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(run_job, job, cache_root, self.salt): i
-                       for i, job in enumerate(jobs)}
-            for future, index in futures.items():
-                result = future.result()
-                self.stats.merge(result.stats)
-                results[index] = result
+            futures = {
+                pool.submit(run_job_batch, [jobs[i] for i in batch],
+                            cache_root, self.salt): batch
+                for batch in batches}
+            for future, batch in futures.items():
+                for index, result in zip(batch, future.result()):
+                    self.stats.merge(result.stats)
+                    results[index] = result
         return results  # type: ignore[return-value]

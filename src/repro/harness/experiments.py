@@ -19,6 +19,7 @@ from repro.analysis.reuse import (forward_set_reuse_distances,
                                   variance_summary)
 from repro.btb.btb import BTB, btb_access_stream, run_btb
 from repro.btb.config import BTBConfig
+from repro.btb.observer import BTBObserver
 from repro.btb.replacement.registry import make_policy
 from repro.btb.replacement.thermometer import ThermometerPolicy
 from repro.core.crossval import cross_validate_thresholds
@@ -383,7 +384,7 @@ def fig15(h: Optional[Harness] = None) -> ExperimentResult:
     return result
 
 
-class _AccuracyProbe:
+class _AccuracyProbe(BTBObserver):
     """Judges each eviction by the victim's reuse distance *from the
     eviction point* (Fig. 16).
 
@@ -403,10 +404,10 @@ class _AccuracyProbe:
         self._pending: Dict[int, Dict[int, int]] = {}
         self.accurate = 0
         self.total = 0
-        btb.eviction_listener = self._on_evict
+        btb.add_observer(self)
 
-    def _on_evict(self, set_idx: int, victim_pc: int, incoming_pc: int,
-                  index: int) -> None:
+    def on_evict(self, btb, set_idx: int, way: int, victim_pc: int,
+                 incoming_pc: int, index: int) -> None:
         events = self._events.setdefault(set_idx, [])
         self._pending.setdefault(set_idx, {})[victim_pc] = len(events)
 

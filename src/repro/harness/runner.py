@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.btb.btb import BTB, BTBStats, btb_access_stream, run_btb
+from repro.btb.btb import BTB, BTBStats, run_btb
 from repro.btb.config import (BTBConfig, DEFAULT_BTB_CONFIG,
                               THERMOMETER_7979_CONFIG)
 from repro.btb.replacement.registry import make_policy
@@ -16,6 +16,7 @@ from repro.core.temperature import TemperatureProfile
 from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
 from repro.frontend.simulator import FrontendSimulator, SimResult
 from repro.trace.record import BranchTrace
+from repro.trace.stream import AccessStream, access_stream_for
 from repro.workloads.datacenter import app_names, make_app_trace
 
 __all__ = ["Harness", "HarnessConfig", "PRIOR_POLICIES"]
@@ -143,6 +144,14 @@ class Harness:
                       default_category=self.config.default_category)
         return self._fetch("hints", fields, compute)
 
+    def stream(self, trace: BranchTrace,
+               btb_config: Optional[BTBConfig] = None) -> AccessStream:
+        """The shared columnar access stream for ``trace`` under the
+        harness's (or the given) BTB geometry — memoized process-wide, so
+        every policy in a sweep replays the same precomputed columns."""
+        return access_stream_for(trace,
+                                 btb_config or self.config.btb_config)
+
     # ------------------------------------------------------------------
     # Policy / BTB construction
     # ------------------------------------------------------------------
@@ -166,8 +175,10 @@ class Harness:
                 default_category=self.config.default_category,
                 bypass_enabled=bypass_recommended(hints, btb_config))
         elif policy_name == "opt":
-            pcs, _ = btb_access_stream(trace)
-            policy = make_policy("opt", stream=pcs)
+            # The shared stream's next-use column is computed once per
+            # (trace, geometry) and reused across every OPT consumer.
+            policy = make_policy(
+                "opt", stream=access_stream_for(trace, btb_config))
         else:
             policy = make_policy(policy_name)
         return BTB(btb_config, policy)

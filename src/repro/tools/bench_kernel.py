@@ -1,0 +1,118 @@
+"""Branch-event-kernel benchmark: per-job replay vs. shared-stream sweep.
+
+Runs the same (apps × policies) miss sweep twice:
+
+* **isolated** — one fresh :class:`~repro.harness.runner.Harness` per job
+  with the stream memo cleared between jobs, so every replay rebuilds its
+  trace columns and next-use distances (the pre-kernel cost model, where
+  each layer re-walked the trace independently);
+* **shared** — one harness per app replaying one memoized
+  :class:`~repro.trace.stream.AccessStream` across every policy (the
+  kernel's sweep path).
+
+Writes a ``BENCH_kernel.json`` record so CI tracks the perf trajectory::
+
+    python -m repro.tools.bench_kernel --length 60000 --output BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.runner import Harness, HarnessConfig
+from repro.trace.stream import clear_stream_cache
+
+__all__ = ["main", "run_benchmark"]
+
+DEFAULT_APPS = ("tomcat", "python")
+DEFAULT_POLICIES = ("lru", "srrip", "thermometer", "opt")
+
+
+def _hints_for(harness: Harness, app: str, policy: str):
+    if policy in ("thermometer", "thermometer-dueling"):
+        return harness.hints(app)
+    return None
+
+
+def _run_isolated(apps, policies, length: int) -> float:
+    """Every job on its own harness, stream memo cleared between jobs."""
+    start = time.perf_counter()
+    for app in apps:
+        for policy in policies:
+            clear_stream_cache()
+            harness = Harness(HarnessConfig(apps=(app,), length=length))
+            trace = harness.trace(app)
+            harness.run_misses(trace, policy,
+                               hints=_hints_for(harness, app, policy))
+    return time.perf_counter() - start
+
+
+def _run_shared(apps, policies, length: int) -> float:
+    """One harness per app; every policy replays the shared stream."""
+    clear_stream_cache()
+    start = time.perf_counter()
+    for app in apps:
+        harness = Harness(HarnessConfig(apps=(app,), length=length))
+        trace = harness.trace(app)
+        for policy in policies:
+            harness.run_misses(trace, policy,
+                               hints=_hints_for(harness, app, policy))
+    return time.perf_counter() - start
+
+
+def run_benchmark(apps=DEFAULT_APPS, policies=DEFAULT_POLICIES,
+                  length: int = 60000, repeats: int = 1) -> dict:
+    """Best-of-``repeats`` timings for both modes, as a JSON-ready dict."""
+    isolated = min(_run_isolated(apps, policies, length)
+                   for _ in range(repeats))
+    shared = min(_run_shared(apps, policies, length)
+                 for _ in range(repeats))
+    return {
+        "bench": "kernel",
+        "apps": list(apps),
+        "policies": list(policies),
+        "length": length,
+        "jobs": len(apps) * len(policies),
+        "isolated_seconds": round(isolated, 4),
+        "shared_seconds": round(shared, 4),
+        "speedup": round(isolated / shared, 3) if shared else 0.0,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.bench_kernel",
+        description="Benchmark per-job replay vs. the shared branch-event "
+                    "kernel on a small miss sweep.")
+    parser.add_argument("--apps", default=",".join(DEFAULT_APPS),
+                        help="comma-separated application names")
+    parser.add_argument("--policies", default=",".join(DEFAULT_POLICIES),
+                        help="comma-separated policy names")
+    parser.add_argument("--length", type=int, default=60000,
+                        help="per-app trace length")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="repetitions per mode (best-of is reported)")
+    parser.add_argument("--output", default="BENCH_kernel.json",
+                        help="where to write the JSON record ('-' = stdout "
+                             "only)")
+    args = parser.parse_args(argv)
+
+    apps = [a for a in args.apps.split(",") if a]
+    policies = [p for p in args.policies.split(",") if p]
+    record = run_benchmark(apps, policies, args.length,
+                           repeats=max(1, args.repeats))
+    rendered = json.dumps(record, indent=2)
+    print(rendered)
+    if args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,22 +22,25 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.btb.btb import BTB, btb_access_stream, run_btb
+from repro.btb.btb import BTB, run_btb
 from repro.btb.config import BTBConfig
 from repro.btb.replacement.registry import make_policy, policy_names
 from repro.core.hints import HintMap
 from repro.frontend.simulator import simulate as run_timing
 from repro.harness.reporting import format_table
 from repro.trace.formats import read_trace
+from repro.trace.stream import access_stream_for
 from repro.workloads import app_names
 
 __all__ = ["main"]
 
 
-def _build_policy(name: str, trace, hints_path: Optional[str]):
+def _build_policy(name: str, trace, hints_path: Optional[str],
+                  config: BTBConfig):
     if name == "opt":
-        pcs, _ = btb_access_stream(trace)
-        return make_policy("opt", stream=pcs)
+        # The shared stream is memoized per (trace, config): the policy,
+        # the miss replay, and the optional timing run all reuse it.
+        return make_policy("opt", stream=access_stream_for(trace, config))
     if name in ("thermometer", "thermometer-dueling"):
         if not hints_path:
             raise ValueError(f"--policy {name} requires --hints "
@@ -146,11 +149,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = BTBConfig(entries=args.entries, ways=args.ways)
 
     def run(policy_name: str):
-        policy = _build_policy(policy_name, trace, args.hints)
+        policy = _build_policy(policy_name, trace, args.hints, config)
         stats = run_btb(trace, BTB(config, policy))
         timing = None
         if args.ipc:
-            policy = _build_policy(policy_name, trace, args.hints)
+            policy = _build_policy(policy_name, trace, args.hints, config)
             timing = run_timing(trace, btb=BTB(config, policy))
         return stats, timing
 

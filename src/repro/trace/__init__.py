@@ -9,12 +9,15 @@ summary statistics.
 from repro.trace.record import BranchKind, BranchRecord, BranchTrace
 from repro.trace.formats import read_trace, write_trace
 from repro.trace.stats import TraceStats
+from repro.trace.stream import AccessStream, access_stream_for
 
 __all__ = [
+    "AccessStream",
     "BranchKind",
     "BranchRecord",
     "BranchTrace",
     "TraceStats",
+    "access_stream_for",
     "read_trace",
     "write_trace",
 ]

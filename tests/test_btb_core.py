@@ -5,6 +5,7 @@ import pytest
 from repro.btb.btb import BTB, BTBStats, IndirectBTB, btb_access_stream, \
     run_btb
 from repro.btb.config import BTBConfig
+from repro.btb.observer import EventRecorder
 from repro.btb.replacement.base import BYPASS, ReplacementPolicy
 from repro.btb.replacement.lru import LRUPolicy
 from repro.trace.record import BranchKind, BranchTrace
@@ -99,14 +100,47 @@ class TestBTBBasics:
         assert btb.stats.evictions == 0
         assert not btb.contains(0x20)
 
-    def test_eviction_listener_invoked(self, tiny_config):
-        events = []
+    def test_observer_sees_eviction(self, tiny_config):
         btb = BTB(tiny_config, LRUPolicy())
-        btb.eviction_listener = lambda s, victim, incoming, i: \
-            events.append((victim, incoming))
+        recorder = btb.add_observer(EventRecorder())
         for pc in (0x0, 0x10, 0x20):
             btb.access(pc, 0)
-        assert events == [(0x0, 0x20)]
+        evictions = [(e.pc, e.other) for e in recorder.of_kind("evict")]
+        assert evictions == [(0x0, 0x20)]
+
+    def test_observer_full_event_stream(self, tiny_config):
+        btb = BTB(tiny_config, LRUPolicy())
+        recorder = btb.add_observer(EventRecorder())
+        btb.access(0x0, 0x100, index=0)     # fill
+        btb.access(0x10, 0x200, index=1)    # fill
+        btb.access(0x0, 0x104, index=2)     # hit (target drift)
+        btb.access(0x20, 0x300, index=3)    # evict 0x10 (LRU) + fill
+        kinds = [e.kind for e in recorder.events]
+        assert kinds == ["fill", "fill", "hit", "evict", "fill"]
+        hit = recorder.of_kind("hit")[0]
+        assert (hit.pc, hit.other, hit.index) == (0x0, 0x104, 2)
+        evict = recorder.of_kind("evict")[0]
+        assert (evict.pc, evict.other) == (0x10, 0x20)
+        assert btb.stats.target_mismatches == 1
+        btb.remove_observer(recorder)
+        btb.access(0x30, 0x400, index=4)
+        assert len(recorder.events) == 5
+
+    def test_observer_sees_bypass(self, tiny_config):
+        class AlwaysBypass(ReplacementPolicy):
+            name = "always-bypass"
+            supports_bypass = True
+            def choose_victim(self, set_idx, resident_pcs, incoming_pc,
+                              index):
+                return BYPASS
+        btb = BTB(tiny_config, AlwaysBypass())
+        recorder = btb.add_observer(EventRecorder())
+        for pc in (0x0, 0x10, 0x20):
+            btb.access(pc, 0)
+        bypasses = recorder.of_kind("bypass")
+        assert len(bypasses) == 1
+        assert bypasses[0].pc == 0x20
+        assert bypasses[0].way == -1
 
 
 class TestBTBStats:

@@ -1,0 +1,138 @@
+"""The columnar access stream (repro.trace.stream)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.btb.config import BTBConfig
+from repro.trace.record import BranchKind, BranchRecord, BranchTrace
+from repro.trace.stream import (AccessStream, NEVER, access_stream_for,
+                                clear_stream_cache, compute_next_use_indices,
+                                compute_set_indices)
+
+from .helpers import branch, trace_of_pcs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_stream_cache()
+    yield
+    clear_stream_cache()
+
+
+def mixed_trace():
+    """Taken/not-taken/return mix exercising the access mask."""
+    records = [
+        branch(0x100),                                        # access 0
+        branch(0x200, kind=BranchKind.COND_DIRECT, taken=False),
+        branch(0x300, kind=BranchKind.CALL_DIRECT),           # access 1
+        branch(0x400, kind=BranchKind.RETURN),                # masked out
+        branch(0x100),                                        # access 2
+        branch(0x500, kind=BranchKind.UNCOND_INDIRECT),       # access 3
+    ]
+    return BranchTrace.from_records(records, name="mixed")
+
+
+class TestNextUse:
+    def test_pinned_values(self):
+        got = compute_next_use_indices(np.array([1, 2, 1, 3, 2]))
+        assert got.tolist() == [2, 4, NEVER, NEVER, NEVER]
+
+    def test_matches_naive_reference(self):
+        rng = np.random.default_rng(7)
+        pcs = rng.integers(0, 40, size=500)
+        naive = []
+        for i in range(len(pcs)):
+            later = np.flatnonzero(pcs[i + 1:] == pcs[i])
+            naive.append(int(later[0]) + i + 1 if len(later) else NEVER)
+        assert compute_next_use_indices(pcs).tolist() == naive
+
+    def test_empty_and_singleton(self):
+        assert compute_next_use_indices(np.array([], dtype=np.int64)).size == 0
+        assert compute_next_use_indices(np.array([5])).tolist() == [NEVER]
+
+
+class TestSetIndices:
+    def test_matches_scalar_set_index(self):
+        config = BTBConfig(entries=256, ways=4)
+        pcs = np.arange(0, 4096, 12, dtype=np.int64)
+        expected = [config.set_index(int(pc)) for pc in pcs]
+        assert compute_set_indices(pcs, config).tolist() == expected
+
+    def test_subclass_override_uses_scalar_fallback(self):
+        class OddConfig(BTBConfig):
+            def set_index(self, pc):
+                return (pc // 8) % self.num_sets
+
+        config = OddConfig(entries=64, ways=2)
+        pcs = np.arange(0, 512, 4, dtype=np.int64)
+        expected = [config.set_index(int(pc)) for pc in pcs]
+        assert compute_set_indices(pcs, config).tolist() == expected
+
+
+class TestAccessStream:
+    def test_masks_not_taken_and_returns(self):
+        stream = AccessStream(mixed_trace(), BTBConfig(entries=64, ways=2))
+        assert stream.pcs_list == [0x100, 0x300, 0x100, 0x500]
+        assert stream.trace_positions.tolist() == [0, 2, 4, 5]
+        assert len(stream) == 4
+
+    def test_set_indices_and_lists_are_plain_ints(self):
+        config = BTBConfig(entries=64, ways=2)
+        stream = AccessStream(mixed_trace(), config)
+        assert stream.sets_list == [config.set_index(pc)
+                                    for pc in stream.pcs_list]
+        assert all(type(v) is int for v in stream.pcs_list)
+        assert all(type(v) is int for v in stream.sets_list)
+
+    def test_next_use_column(self):
+        stream = AccessStream(mixed_trace(), BTBConfig(entries=64, ways=2))
+        assert stream.next_use.tolist() == [2, NEVER, NEVER, NEVER]
+
+    def test_next_use_of_demand_and_prefetch_paths(self):
+        stream = AccessStream(mixed_trace(), BTBConfig(entries=64, ways=2))
+        # Demand path: pc is the stream record at the index.
+        assert stream.next_use_of(0x100, 0) == 2
+        # Prefetch path: pc differs from the record -> occurrence bisect.
+        assert stream.next_use_of(0x100, 1) == 2
+        assert stream.next_use_of(0x100, 2) == NEVER
+        assert stream.next_use_of(0xDEAD, 0) == NEVER
+
+    def test_trace_columns_cover_full_trace(self):
+        trace = mixed_trace()
+        stream = AccessStream(trace, BTBConfig(entries=64, ways=2))
+        pcs, targets, kinds, taken, ilens = stream.trace_columns()
+        assert pcs == trace.pcs.tolist()
+        assert taken == trace.taken.tolist()
+        assert len(kinds) == len(trace) == len(ilens) == len(targets)
+        assert stream.trace_columns() is stream._trace_columns  # memoized
+
+    def test_empty_trace(self):
+        trace = BranchTrace.from_records([], name="empty")
+        stream = AccessStream(trace, BTBConfig(entries=64, ways=2))
+        assert len(stream) == 0
+        assert stream.next_use.size == 0
+        assert stream.pcs_list == []
+
+
+class TestMemo:
+    def test_same_trace_and_config_share_one_stream(self):
+        trace = trace_of_pcs([0x10, 0x20, 0x10])
+        config = BTBConfig(entries=64, ways=2)
+        first = access_stream_for(trace, config)
+        assert access_stream_for(trace, config) is first
+
+    def test_distinct_configs_get_distinct_streams(self):
+        trace = trace_of_pcs([0x10, 0x20, 0x10])
+        a = access_stream_for(trace, BTBConfig(entries=64, ways=2))
+        b = access_stream_for(trace, BTBConfig(entries=128, ways=4))
+        assert a is not b
+        assert a.config != b.config
+
+    def test_clear_drops_entries(self):
+        trace = trace_of_pcs([0x10, 0x20])
+        config = BTBConfig(entries=64, ways=2)
+        first = access_stream_for(trace, config)
+        clear_stream_cache()
+        assert access_stream_for(trace, config) is not first
