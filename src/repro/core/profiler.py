@@ -17,6 +17,7 @@ from typing import Dict, Optional
 from repro.btb.btb import BTB, BTBStats
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.telemetry.metrics import get_registry
 from repro.trace.record import BranchTrace
 from repro.trace.stream import AccessStream, access_stream_for
 
@@ -103,23 +104,28 @@ def profile_trace(trace: BranchTrace,
     sets = stream.sets_list
     access = btb._access_with_set
     stats = btb.stats
-    start = time.perf_counter()
-    for i in range(len(pcs)):
-        pc = pcs[i]
-        bypasses_before = stats.bypasses
-        fills_before = stats.compulsory_fills + stats.evictions
-        hit = access(sets[i], pc, targets[i], i)
-        record = branches.get(pc)
-        if record is None:
-            record = BranchProfile(pc=pc)
-            branches[pc] = record
-        record.taken += 1
-        if hit:
-            record.hits += 1
-        elif stats.bypasses > bypasses_before:
-            record.bypasses += 1
-        elif stats.compulsory_fills + stats.evictions > fills_before:
-            record.inserts += 1
-    profile.elapsed_seconds = time.perf_counter() - start
+    registry = get_registry()
+    with registry.span("opt-replay"):
+        start = time.perf_counter()
+        for i in range(len(pcs)):
+            pc = pcs[i]
+            bypasses_before = stats.bypasses
+            fills_before = stats.compulsory_fills + stats.evictions
+            hit = access(sets[i], pc, targets[i], i)
+            record = branches.get(pc)
+            if record is None:
+                record = BranchProfile(pc=pc)
+                branches[pc] = record
+            record.taken += 1
+            if hit:
+                record.hits += 1
+            elif stats.bypasses > bypasses_before:
+                record.bypasses += 1
+            elif stats.compulsory_fills + stats.evictions > fills_before:
+                record.inserts += 1
+        profile.elapsed_seconds = time.perf_counter() - start
     profile.stats = btb.stats
+    registry.count("profiler/replays")
+    registry.count("profiler/accesses", stats.accesses)
+    registry.count("profiler/static_branches", len(branches))
     return profile

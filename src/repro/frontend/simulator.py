@@ -19,6 +19,7 @@ from repro.frontend.fdip import FDIPEngine
 from repro.frontend.icache import InstructionHierarchy
 from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
 from repro.frontend.ras import ReturnAddressStack
+from repro.telemetry.metrics import get_registry
 from repro.trace.record import INSTRUCTION_BYTES, BranchKind, BranchTrace
 from repro.trace.stream import AccessStream, access_stream_for
 
@@ -282,16 +283,24 @@ class FrontendSimulator:
         next_fetch = pcs[0] - (ilens[0] - 1) * INSTRUCTION_BYTES if n else 0
 
         # Warmup region: throwaway accounting, every microarchitectural
-        # structure stays warm for the measured region.
+        # structure stays warm for the measured region.  The two regions
+        # run under telemetry spans — whole-region wall time only, the
+        # per-record loop itself is never instrumented.
+        registry = get_registry()
         warm_result = SimResult(trace_name=trace.name,
                                 instructions=trace.num_instructions)
-        _, next_fetch, btb_index = self._replay_region(
-            0, warmup_end, columns, sets, next_fetch, 0, warm_result)
-        self._l2_misses_at_warmup = self.icache.l2.misses
+        with registry.span("simulate"):
+            with registry.span("warmup"):
+                _, next_fetch, btb_index = self._replay_region(
+                    0, warmup_end, columns, sets, next_fetch, 0,
+                    warm_result)
+            self._l2_misses_at_warmup = self.icache.l2.misses
 
-        result = SimResult(trace_name=trace.name)
-        cycles, _, _ = self._replay_region(
-            warmup_end, n, columns, sets, next_fetch, btb_index, result)
+            result = SimResult(trace_name=trace.name)
+            with registry.span("measure"):
+                cycles, _, _ = self._replay_region(
+                    warmup_end, n, columns, sets, next_fetch, btb_index,
+                    result)
 
         result.cycles = cycles
         result.instructions = int(trace.ilens[warmup_end:].sum()) if n else 0
@@ -302,7 +311,38 @@ class FrontendSimulator:
             result.l2_instruction_mpki = 1000.0 * l2_misses \
                 / result.instructions
         result.fdip_hide_rate = self.fdip.hide_rate
+        self._record_telemetry(registry, result)
         return result
+
+    def _record_telemetry(self, registry, result: SimResult) -> None:
+        """Fold one run's stage accounting into the metrics registry.
+
+        Per-stage numbers are the accumulated stall charges the fetch /
+        direction / target stages made while replaying — recorded once
+        per simulation, so the per-record hot loop stays untouched.
+        """
+        if not registry.enabled:
+            return
+        registry.count("sim/runs")
+        registry.count("sim/instructions", result.instructions)
+        registry.count("sim/cycles", result.cycles)
+        registry.count("sim/stage/fetch/base_cycles", result.base_cycles)
+        registry.count("sim/stage/fetch/icache_stall_cycles",
+                       result.icache_stall_cycles)
+        registry.count("sim/stage/direction/mispredict_stall_cycles",
+                       result.mispredict_stall_cycles)
+        registry.count("sim/stage/direction/mispredicts",
+                       result.mispredicts)
+        registry.count("sim/stage/target/btb_stall_cycles",
+                       result.btb_stall_cycles)
+        registry.count("sim/stage/target/indirect_stall_cycles",
+                       result.indirect_stall_cycles)
+        registry.count("sim/stage/target/indirect_mispredicts",
+                       result.indirect_mispredicts)
+        registry.count("sim/stage/target/ras_stall_cycles",
+                       result.ras_stall_cycles)
+        registry.count("sim/stage/target/ras_mispredicts",
+                       result.ras_mispredicts)
 
 
 def simulate(trace: BranchTrace,

@@ -42,6 +42,7 @@ import copy
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -57,6 +58,10 @@ from repro.btb.config import (BTBConfig, DEFAULT_BTB_CONFIG,
 from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
 from repro.harness.reporting import CacheStats
 from repro.harness.runner import Harness, HarnessConfig
+from repro.telemetry.metrics import get_registry, snapshot_delta
+from repro.telemetry.profile_hooks import worker_profile
+
+log = logging.getLogger(__name__)
 
 __all__ = ["ArtifactStore", "ExperimentEngine", "JobResult", "SimJob",
            "STORE_VERSION", "artifact_key", "default_cache_dir",
@@ -159,33 +164,49 @@ class ArtifactStore:
         return _MAGIC + hashlib.sha256(payload).digest() + payload
 
     @staticmethod
-    def _decode(blob: bytes) -> Optional[Tuple[Any]]:
-        """The stored object wrapped in a 1-tuple, or None if corrupt."""
+    def _decode(blob: bytes) -> Tuple[Optional[Tuple[Any]], Optional[str]]:
+        """``((obj,), None)`` on success, or ``(None, reason)`` where
+        ``reason`` is ``"format"`` (bad magic / truncated header),
+        ``"digest"`` (integrity-digest mismatch), or ``"unpickle"``."""
         header = len(_MAGIC) + _DIGEST_BYTES
         if len(blob) < header or not blob.startswith(_MAGIC):
-            return None
+            return None, "format"
         digest = blob[len(_MAGIC):header]
         payload = blob[header:]
         if hashlib.sha256(payload).digest() != digest:
-            return None
+            return None, "digest"
         try:
-            return (pickle.loads(payload),)
+            return (pickle.loads(payload),), None
         except Exception:
-            return None
+            return None, "unpickle"
 
     # -- store protocol --------------------------------------------------
     def get(self, kind: str, key: str) -> Optional[Any]:
-        """The cached artifact, or None on a miss (absent or corrupt)."""
+        """The cached artifact, or None on a miss (absent or corrupt).
+
+        Corruption — a bad integrity digest, mangled header, or
+        unpicklable payload — is counted, logged as a warning, and the
+        file quarantined (unlinked) so the caller recomputes it.
+        """
+        registry = get_registry()
         path = self.path(kind, key)
         try:
             blob = path.read_bytes()
         except OSError:
             self.stats.misses += 1
+            registry.count("store/miss")
             return None
-        decoded = self._decode(blob)
+        decoded, reason = self._decode(blob)
         if decoded is None:
             self.stats.corrupt += 1
+            if reason == "digest":
+                self.stats.digest_failures += 1
             self.stats.misses += 1
+            registry.count("store/miss")
+            registry.count("store/corrupt")
+            log.warning("corrupt %s artifact %s (%s, %d bytes); "
+                        "quarantined for recompute", kind, key[:12],
+                        reason, len(blob))
             try:
                 path.unlink()
             except OSError:
@@ -193,6 +214,8 @@ class ArtifactStore:
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(blob)
+        registry.count("store/hit")
+        registry.count("store/bytes_read", len(blob))
         return decoded[0]
 
     def put(self, kind: str, key: str, obj: Any) -> None:
@@ -214,6 +237,7 @@ class ArtifactStore:
                 pass
             raise
         self.stats.bytes_written += len(blob)
+        get_registry().count("store/bytes_written", len(blob))
 
     def fetch(self, kind: str, key: str, compute: Callable[[], Any]) -> Any:
         """get-or-compute-and-put, timing the compute under stage
@@ -291,6 +315,10 @@ class JobResult:
     cached: bool
     seconds: float
     stats: CacheStats = field(default_factory=CacheStats)
+    #: This job's telemetry-registry snapshot delta (counters, spans,
+    #: histograms recorded while it ran) — merged by the parent into the
+    #: run manifest.  See :mod:`repro.telemetry.metrics`.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
 
 def execute_job(job: SimJob, harness: Optional[Harness] = None,
@@ -327,6 +355,8 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
     if store is None and cache_root is not None:
         store = ArtifactStore(cache_root, salt=salt)
     baseline = copy.deepcopy(store.stats) if store is not None else None
+    registry = get_registry()
+    telemetry_before = registry.snapshot() if registry.enabled else None
     start = time.perf_counter()
     cached = False
     if store is not None:
@@ -342,8 +372,10 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
     elapsed = time.perf_counter() - start
     stats = (_stats_delta(store.stats, baseline)
              if store is not None else CacheStats())
+    telemetry = (snapshot_delta(registry.snapshot(), telemetry_before)
+                 if telemetry_before is not None else {})
     return JobResult(job=job, value=value, cached=cached,
-                     seconds=elapsed, stats=stats)
+                     seconds=elapsed, stats=stats, telemetry=telemetry)
 
 
 def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
@@ -356,19 +388,33 @@ def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
     its shared :class:`~repro.trace.stream.AccessStream`, the OPT profile,
     and the hint maps are built once and replayed across every policy in
     the group instead of once per job.
+
+    ``REPRO_PROFILE=cprofile|tracemalloc`` wraps the batch in a deep
+    profiler (see :mod:`repro.telemetry.profile_hooks`).
     """
     store = (ArtifactStore(cache_root, salt=salt)
              if cache_root is not None else None)
     harnesses: Dict[HarnessConfig, Harness] = {}
     results: List[JobResult] = []
-    for job in jobs:
-        config = job.harness_config()
-        harness = harnesses.get(config)
-        if harness is None:
-            harness = Harness(config, store=store)
-            harnesses[config] = harness
-        results.append(run_job(job, store=store, harness=harness,
-                               salt=salt))
+    with worker_profile(cache_root):
+        for job in jobs:
+            config = job.harness_config()
+            harness = harnesses.get(config)
+            if harness is None:
+                harness = Harness(config, store=store)
+                harnesses[config] = harness
+            results.append(run_job(job, store=store, harness=harness,
+                                   salt=salt))
+    # The profile hook records its gauges after every per-job delta was
+    # taken; piggy-back them on the last result so they reach the parent.
+    registry = get_registry()
+    if results and registry.enabled and registry.gauges:
+        profile_gauges = {name: value
+                          for name, value in registry.gauges.items()
+                          if name.startswith("profile/")}
+        if profile_gauges:
+            results[-1].telemetry.setdefault("gauges", {}).update(
+                profile_gauges)
     return results
 
 
@@ -378,6 +424,8 @@ def _stats_delta(current: CacheStats, baseline: CacheStats) -> CacheStats:
         hits=current.hits - baseline.hits,
         misses=current.misses - baseline.misses,
         corrupt=current.corrupt - baseline.corrupt,
+        digest_failures=(current.digest_failures
+                         - baseline.digest_failures),
         bytes_read=current.bytes_read - baseline.bytes_read,
         bytes_written=current.bytes_written - baseline.bytes_written)
     for name, secs in current.stage_seconds.items():
@@ -403,16 +451,40 @@ class ExperimentEngine:
     bit-identical to driving a :class:`Harness` by hand — and reuses one
     harness per distinct machine configuration so in-memory caches
     amortize exactly as before.
+
+    Every :meth:`run` against a cache directory also writes a **run
+    manifest** (``manifest.jsonl`` + ``summary.json``) under
+    ``<cache_dir>/runs/<run id>`` — per-job timings, cache provenance,
+    merged telemetry, worker utilization, and any exception (see
+    :mod:`repro.telemetry.manifest` and ``docs/TELEMETRY.md``).  Disable
+    with ``write_manifest=False`` or point it elsewhere with
+    ``manifest_dir``.
     """
 
     def __init__(self, cache_dir: Union[str, Path, None] = None,
-                 jobs: Optional[int] = None, salt: str = STORE_VERSION):
+                 jobs: Optional[int] = None, salt: str = STORE_VERSION,
+                 manifest_dir: Union[str, Path, None] = None,
+                 write_manifest: bool = True):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.salt = salt
         self.cache_dir = Path(cache_dir).expanduser() if cache_dir else None
         self.store = (ArtifactStore(self.cache_dir, salt=salt)
                       if self.cache_dir else None)
         self.stats = CacheStats()
+        if manifest_dir is not None:
+            self.manifest_dir: Optional[Path] = \
+                Path(manifest_dir).expanduser()
+        elif self.cache_dir is not None:
+            self.manifest_dir = self.cache_dir / "runs"
+        else:
+            self.manifest_dir = None
+        if not write_manifest:
+            self.manifest_dir = None
+        #: The most recent run's manifest directory (None until a run
+        #: completes with manifests enabled).
+        self.last_manifest: Optional[Path] = None
+        #: The most recent run's merged telemetry snapshot.
+        self.last_run_telemetry: Dict[str, Any] = {}
 
     @classmethod
     def from_env(cls, jobs: Optional[int] = None) -> "ExperimentEngine":
@@ -420,11 +492,65 @@ class ExperimentEngine:
         return cls(cache_dir=default_cache_dir(), jobs=jobs)
 
     def run(self, jobs: Sequence[SimJob]) -> List[JobResult]:
-        """Run every job, returning results in input order."""
+        """Run every job, returning results in input order.
+
+        A failing job propagates its exception, but the run manifest is
+        still written first (with the error recorded), so a crashed
+        sweep leaves a forensic record of what did complete.
+        """
         jobs = list(jobs)
-        if self.jobs <= 1 or len(jobs) <= 1:
-            return self._run_serial(jobs)
-        return self._run_parallel(jobs)
+        registry = get_registry()
+        parent_before = registry.snapshot() if registry.enabled else None
+        start = time.perf_counter()
+        results: List[JobResult] = []
+        failure: Optional[dict] = None
+        try:
+            if self.jobs <= 1 or len(jobs) <= 1:
+                results = self._run_serial(jobs)
+            else:
+                results = self._run_parallel(jobs)
+        except BaseException as exc:
+            failure = {"where": type(self).__name__,
+                       "error": f"{type(exc).__name__}: {exc}"}
+            raise
+        finally:
+            wall = time.perf_counter() - start
+            self._write_manifest(results, wall, parent_before, failure)
+        return results
+
+    def _write_manifest(self, results: Sequence[JobResult], wall: float,
+                        parent_before: Optional[dict],
+                        failure: Optional[dict]) -> None:
+        from repro.telemetry.manifest import write_run_manifest
+        from repro.telemetry.metrics import merge_snapshots
+        registry = get_registry()
+        parent_delta = (snapshot_delta(registry.snapshot(), parent_before)
+                        if parent_before is not None else {})
+        # Serial runs record jobs directly into the parent registry; the
+        # parent delta already contains them, so merge job deltas only
+        # for worker processes (whose registries died with them).
+        if self.jobs > 1 and len(results) > 1:
+            snapshots = [r.telemetry for r in results if r.telemetry]
+            snapshots.append(parent_delta)
+            self.last_run_telemetry = merge_snapshots(snapshots)
+        else:
+            self.last_run_telemetry = parent_delta
+        if self.manifest_dir is None:
+            return
+        run_cache = CacheStats()
+        for result in results:
+            run_cache.merge(result.stats)
+        try:
+            self.last_manifest = write_run_manifest(
+                self.manifest_dir, results, wall_seconds=wall,
+                workers=min(self.jobs, max(1, len(results))),
+                cache_stats=run_cache,
+                telemetry=self.last_run_telemetry,
+                exceptions=[failure] if failure else [])
+            log.info("run manifest: %s", self.last_manifest)
+        except OSError as exc:  # pragma: no cover - disk-full etc.
+            log.warning("could not write run manifest under %s: %s",
+                        self.manifest_dir, exc)
 
     def _run_serial(self, jobs: Sequence[SimJob]) -> List[JobResult]:
         harnesses: Dict[HarnessConfig, Harness] = {}

@@ -44,6 +44,9 @@ class CacheStats:
     #: Artifacts whose on-disk bytes failed integrity checks (treated as
     #: misses and recomputed).
     corrupt: int = 0
+    #: The subset of ``corrupt`` whose payload sha256 mismatched its
+    #: stored digest (bit rot / torn write, vs. format or pickle errors).
+    digest_failures: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     #: stage name (``trace``/``profile``/``hints``/``sim``/``misses``) →
@@ -69,6 +72,7 @@ class CacheStats:
         self.hits += other.hits
         self.misses += other.misses
         self.corrupt += other.corrupt
+        self.digest_failures += other.digest_failures
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         for name, secs in other.stage_seconds.items():
@@ -88,7 +92,8 @@ class CacheStats:
         """Human-readable summary (one header line + a per-stage table)."""
         header = (f"artifact cache: {self.hits} hits / {self.misses} misses"
                   f" ({100.0 * self.hit_rate:.0f}% hit rate, "
-                  f"{self.corrupt} corrupt), "
+                  f"{self.corrupt} corrupt / "
+                  f"{self.digest_failures} digest failures), "
                   f"{self.bytes_read / 1e6:.1f} MB read, "
                   f"{self.bytes_written / 1e6:.1f} MB written")
         if not self.stage_seconds:

@@ -28,6 +28,8 @@ from repro.harness.engine import (ArtifactStore, default_cache_dir,
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.reporting import CacheStats
 from repro.harness.runner import Harness, HarnessConfig
+from repro.telemetry.logconfig import (add_logging_args, emit,
+                                       setup_cli_logging)
 
 __all__ = ["main", "run_experiments", "PRESETS"]
 
@@ -96,9 +98,11 @@ def run_experiments(names: Optional[List[str]] = None,
     results = {}
     cache_stats = CacheStats()
 
-    def emit(name, result, elapsed, stats):
+    def record(name, result, elapsed, stats):
         results[name] = result
         cache_stats.merge(stats)
+        # run_experiments is a library API streaming to a caller-chosen
+        # file object, so it writes directly instead of logging.
         print(result.render(), file=stream)
         print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
         stream.flush()
@@ -108,7 +112,7 @@ def run_experiments(names: Optional[List[str]] = None,
             futures = [pool.submit(_run_one, name, preset, apps, cache_dir)
                        for name in names]
             for future in futures:
-                emit(*future.result())
+                record(*future.result())
     else:
         store = ArtifactStore(cache_dir) if cache_dir else None
         harness = Harness(_harness_config(settings, apps), store=store)
@@ -116,8 +120,8 @@ def run_experiments(names: Optional[List[str]] = None,
             start = time.perf_counter()
             result = ALL_EXPERIMENTS[name](
                 harness, **_experiment_kwargs(name, settings))
-            emit(name, result, time.perf_counter() - start,
-                 CacheStats())
+            record(name, result, time.perf_counter() - start,
+                   CacheStats())
         if store is not None:
             cache_stats.merge(store.stats)
     if cache_dir:
@@ -149,7 +153,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--validate", action="store_true",
                         help="check the reproduction claims against the "
                              "results and exit non-zero on failures")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    setup_cli_logging(args)
     names = args.only.split(",") if args.only else None
     apps = args.apps.split(",") if args.apps else None
     cache_dir = None
@@ -162,11 +168,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             for result in results.values():
                 fh.write(result.to_markdown())
                 fh.write("\n\n")
-        print(f"wrote {args.output}")
+        emit(f"wrote {args.output}")
     if args.validate:
         from repro.harness.validate import render_report, validate_results
         outcomes = validate_results(results)
-        print(render_report(outcomes))
+        emit(render_report(outcomes))
         if any(o.status == "FAIL" for o in outcomes):
             return 1
     return 0

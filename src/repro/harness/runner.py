@@ -15,6 +15,7 @@ from repro.core.profiler import OptProfile, profile_trace
 from repro.core.temperature import TemperatureProfile
 from repro.frontend.params import DEFAULT_FRONTEND_PARAMS, FrontendParams
 from repro.frontend.simulator import FrontendSimulator, SimResult
+from repro.telemetry.metrics import get_registry
 from repro.trace.record import BranchTrace
 from repro.trace.stream import AccessStream, access_stream_for
 from repro.workloads.datacenter import app_names, make_app_trace
@@ -66,11 +67,21 @@ class Harness:
         self._lru_sims: Dict[Tuple[str, int], SimResult] = {}
 
     def _fetch(self, kind: str, fields: dict, compute):
-        """Compute an artifact through the persistent store, if any."""
+        """Compute an artifact through the persistent store, if any.
+
+        Actual computes (in-memory and store misses, not store hits) run
+        under a telemetry span named after the artifact kind, so span
+        hierarchy mirrors the build graph (e.g. ``hints/profile/trace``
+        when a hint map transitively computes its profile and trace).
+        """
+        def timed():
+            with get_registry().span(kind):
+                return compute()
+
         if self.store is None:
-            return compute()
+            return timed()
         return self.store.fetch(kind, self.store.key(kind, **fields),
-                                compute)
+                                timed)
 
     def lru_sim(self, app: str, input_id: int = 0) -> SimResult:
         """Cached LRU-baseline timing run (the denominator of every
@@ -190,8 +201,9 @@ class Harness:
                    btb_config: Optional[BTBConfig] = None,
                    hints: Optional[HintMap] = None) -> BTBStats:
         """Replay only the BTB (no timing) — fast path for miss figures."""
-        btb = self.build_btb(policy_name, trace, btb_config, hints)
-        return run_btb(trace, btb)
+        with get_registry().span("misses"):
+            btb = self.build_btb(policy_name, trace, btb_config, hints)
+            return run_btb(trace, btb)
 
     def run_sim(self, trace: BranchTrace, policy_name: Optional[str] = "lru",
                 btb_config: Optional[BTBConfig] = None,
@@ -200,14 +212,15 @@ class Harness:
                 prefetcher=None, **oracle_flags) -> SimResult:
         """Full timing simulation; ``policy_name=None`` with
         ``perfect_btb=True`` runs the perfect-BTB oracle."""
-        params = params or self.config.params
-        btb = None
-        if not oracle_flags.get("perfect_btb"):
-            btb = self.build_btb(policy_name, trace, btb_config, hints)
-        sim = FrontendSimulator(params=params, btb=btb,
-                                prefetcher=prefetcher, **oracle_flags)
-        return sim.simulate(trace,
-                            warmup_fraction=self.config.warmup_fraction)
+        with get_registry().span("sim"):
+            params = params or self.config.params
+            btb = None
+            if not oracle_flags.get("perfect_btb"):
+                btb = self.build_btb(policy_name, trace, btb_config, hints)
+            sim = FrontendSimulator(params=params, btb=btb,
+                                    prefetcher=prefetcher, **oracle_flags)
+            return sim.simulate(trace,
+                                warmup_fraction=self.config.warmup_fraction)
 
     def speedup_pct(self, result: SimResult, baseline: SimResult) -> float:
         """IPC speedup in percent."""

@@ -1,0 +1,60 @@
+"""Unified telemetry: metrics, spans, run manifests, structured logging.
+
+Four pieces, designed to be cheap enough to leave on by default
+(``REPRO_TELEMETRY=0`` turns the registry off entirely):
+
+* :mod:`repro.telemetry.metrics` — a process-local
+  :class:`MetricsRegistry` (counters / gauges / fixed-bucket histograms)
+  plus hierarchical wall-time spans, with mergeable JSON snapshots for
+  cross-process aggregation;
+* :mod:`repro.telemetry.observer` — :class:`TelemetryObserver`, a
+  :class:`~repro.btb.observer.BTBObserver` that folds the hit / fill /
+  evict / bypass event seam into eviction-age and per-set-occupancy
+  histograms;
+* :mod:`repro.telemetry.manifest` — per-run **run manifests**
+  (``manifest.jsonl`` + ``summary.json``) written next to the artifact
+  store by :class:`~repro.harness.engine.ExperimentEngine`, rendered by
+  ``python -m repro.tools.report``;
+* :mod:`repro.telemetry.logconfig` — the shared structured-``logging``
+  setup behind every CLI's ``--verbose/--quiet`` flags.
+
+See ``docs/TELEMETRY.md`` for metric names, the manifest schema, and the
+environment variables (``REPRO_TELEMETRY``, ``REPRO_PROFILE``,
+``REPRO_PROFILE_DIR``).
+"""
+
+from repro.telemetry.logconfig import (add_logging_args, emit,
+                                       setup_cli_logging, setup_logging)
+from repro.telemetry.manifest import (RunManifest, job_row, new_run_id,
+                                      read_run_manifest, render_report,
+                                      write_run_manifest)
+from repro.telemetry.metrics import (DEFAULT_BUCKETS, Histogram,
+                                     MetricsRegistry, get_registry,
+                                     merge_snapshots, set_registry,
+                                     snapshot_delta, telemetry_enabled)
+from repro.telemetry.observer import TelemetryObserver
+from repro.telemetry.profile_hooks import profile_mode, worker_profile
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "TelemetryObserver",
+    "add_logging_args",
+    "emit",
+    "get_registry",
+    "job_row",
+    "merge_snapshots",
+    "new_run_id",
+    "profile_mode",
+    "read_run_manifest",
+    "render_report",
+    "set_registry",
+    "setup_cli_logging",
+    "setup_logging",
+    "snapshot_delta",
+    "telemetry_enabled",
+    "worker_profile",
+    "write_run_manifest",
+]

@@ -1,0 +1,296 @@
+"""Cross-process run manifests for the experiment engine.
+
+Every :meth:`~repro.harness.engine.ExperimentEngine.run` with a cache
+directory writes one **run manifest** next to the artifact store::
+
+    <cache root>/runs/<run id>/manifest.jsonl   one line per job
+    <cache root>/runs/<run id>/summary.json     merged totals
+
+The JSONL rows carry each job's key fields, cache provenance, wall time,
+per-job cache-stats delta, headline BTB/IPC numbers, and the worker's
+telemetry snapshot delta; ``summary.json`` holds the parent-side merge —
+total wall time, worker utilization, merged cache stats, the merged
+telemetry registry (counters ⊕ histograms ⊕ spans), and any exceptions.
+``python -m repro.tools.report`` renders either back into terminal
+tables.
+
+The module is deliberately decoupled from the engine's classes: rows are
+built by duck-typing :class:`~repro.harness.engine.JobResult`, so the
+manifest schema — documented in ``docs/TELEMETRY.md`` — is plain JSON
+that external tooling can consume without importing the simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.telemetry.metrics import merge_snapshots
+
+
+def _format_table(columns, rows) -> str:
+    # Imported lazily: repro.harness transitively imports repro.telemetry
+    # (for spans), so a module-level import here would be circular.
+    from repro.harness.reporting import format_table
+    return format_table(columns, rows)
+
+__all__ = ["RunManifest", "MANIFEST_VERSION", "job_row", "new_run_id",
+           "read_run_manifest", "render_report", "write_run_manifest"]
+
+MANIFEST_VERSION = 1
+
+_RUN_COUNTER = itertools.count()
+
+
+def new_run_id() -> str:
+    """A sortable, collision-free (per machine) run identifier."""
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid()}-{next(_RUN_COUNTER):04d}"
+
+
+def _cache_stats_dict(stats) -> Dict[str, Any]:
+    """A ``CacheStats``-shaped object as plain JSON."""
+    if stats is None:
+        return {}
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "corrupt": stats.corrupt,
+        "digest_failures": getattr(stats, "digest_failures", 0),
+        "bytes_read": stats.bytes_read,
+        "bytes_written": stats.bytes_written,
+        "stage_seconds": dict(stats.stage_seconds),
+        "stage_counts": dict(stats.stage_counts),
+    }
+
+
+def _btb_stats_dict(value) -> Optional[Dict[str, Any]]:
+    stats = getattr(value, "btb_stats", None)
+    if stats is None and hasattr(value, "accesses"):
+        stats = value
+    if stats is None or not hasattr(stats, "accesses"):
+        return None
+    return {
+        "accesses": stats.accesses,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "bypasses": stats.bypasses,
+    }
+
+
+def job_row(result) -> Dict[str, Any]:
+    """One manifest JSONL row from a :class:`JobResult`-shaped object."""
+    job = result.job
+    row = {
+        "app": job.app,
+        "policy": job.policy,
+        "mode": job.mode,
+        "input_id": job.input_id,
+        "length": job.length,
+        "cached": bool(result.cached),
+        "seconds": round(float(result.seconds), 6),
+        "cache": _cache_stats_dict(result.stats),
+        "telemetry": getattr(result, "telemetry", {}) or {},
+    }
+    btb = _btb_stats_dict(result.value)
+    if btb is not None:
+        row["btb"] = btb
+    ipc = getattr(result.value, "ipc", None)
+    if ipc is not None:
+        row["ipc"] = round(float(ipc), 6)
+    return row
+
+
+def write_run_manifest(directory: Union[str, Path],
+                       results: Sequence,
+                       wall_seconds: float,
+                       workers: int,
+                       run_id: Optional[str] = None,
+                       cache_stats=None,
+                       telemetry: Optional[dict] = None,
+                       exceptions: Optional[List[dict]] = None) -> Path:
+    """Write ``manifest.jsonl`` + ``summary.json`` under
+    ``directory/<run_id>``; returns the run directory.
+
+    ``results`` are finished jobs (possibly empty when the run failed);
+    ``cache_stats`` is the run-local merged :class:`CacheStats`;
+    ``telemetry`` is the run's already-merged registry snapshot — when
+    omitted, the per-job deltas carried by the rows are merged instead
+    (correct for worker-produced results; a serial caller should pass
+    its own parent delta, which already contains the jobs' activity).
+    """
+    run_id = run_id or new_run_id()
+    run_dir = Path(directory).expanduser() / run_id
+    run_dir.mkdir(parents=True, exist_ok=True)
+
+    rows = [job_row(result) for result in results]
+    with open(run_dir / "manifest.jsonl", "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+
+    if telemetry is None:
+        telemetry = merge_snapshots(
+            [row["telemetry"] for row in rows if row["telemetry"]])
+    busy = sum(row["seconds"] for row in rows)
+    workers = max(1, int(workers))
+    summary = {
+        "manifest_version": MANIFEST_VERSION,
+        "run_id": run_id,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "wall_seconds": round(float(wall_seconds), 6),
+        "workers": workers,
+        "jobs": len(rows),
+        "cached_jobs": sum(1 for row in rows if row["cached"]),
+        "busy_seconds": round(busy, 6),
+        "worker_utilization": (round(busy / (wall_seconds * workers), 4)
+                               if wall_seconds > 0 else 0.0),
+        "cache": _cache_stats_dict(cache_stats),
+        "telemetry": telemetry,
+        "exceptions": list(exceptions or []),
+    }
+    tmp = run_dir / "summary.json.tmp"
+    tmp.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, run_dir / "summary.json")
+    return run_dir
+
+
+@dataclass
+class RunManifest:
+    """One run read back from disk."""
+
+    path: Path
+    summary: Dict[str, Any]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def run_id(self) -> str:
+        return self.summary.get("run_id", self.path.name)
+
+
+def _resolve_run_dir(path: Path) -> Path:
+    """Accept a run dir, a ``summary.json`` path, or a cache root whose
+    ``runs/`` subdirectory holds runs (latest wins)."""
+    if path.is_file():
+        return path.parent
+    if (path / "summary.json").exists():
+        return path
+    runs = path / "runs" if (path / "runs").is_dir() else path
+    candidates = [p for p in runs.iterdir()
+                  if (p / "summary.json").exists()] if runs.is_dir() else []
+    if not candidates:
+        raise FileNotFoundError(f"no run manifest under {path}")
+    return max(candidates,
+               key=lambda p: (p / "summary.json").stat().st_mtime)
+
+
+def read_run_manifest(path: Union[str, Path]) -> RunManifest:
+    """Load a manifest from a run directory (or ``summary.json``, or a
+    cache root — the most recent run is picked)."""
+    run_dir = _resolve_run_dir(Path(path).expanduser())
+    summary = json.loads((run_dir / "summary.json").read_text())
+    rows: List[Dict[str, Any]] = []
+    jsonl = run_dir / "manifest.jsonl"
+    if jsonl.exists():
+        for line in jsonl.read_text().splitlines():
+            if line.strip():
+                rows.append(json.loads(line))
+    return RunManifest(path=run_dir, summary=summary, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _span_table(summary: dict, wall: float, top: int) -> str:
+    spans = summary.get("telemetry", {}).get("spans", {})
+    if not spans:
+        stage_seconds = summary.get("cache", {}).get("stage_seconds", {})
+        if not stage_seconds:
+            return ""
+        rows = sorted(stage_seconds.items(), key=lambda kv: -kv[1])[:top]
+        counts = summary.get("cache", {}).get("stage_counts", {})
+        return _format_table(
+            ["stage", "computed", "seconds"],
+            [[name, counts.get(name, 0), secs] for name, secs in rows])
+    ranked = sorted(spans.items(), key=lambda kv: -kv[1]["seconds"])[:top]
+    rows = []
+    for path, rec in ranked:
+        pct = 100.0 * rec["seconds"] / wall if wall else 0.0
+        rows.append([path, rec["count"], rec["seconds"],
+                     f"{pct:.1f}%", rec["errors"]])
+    return _format_table(["span", "count", "seconds", "of wall", "errors"],
+                        rows)
+
+
+def _policy_table(rows: List[dict]) -> str:
+    by_policy: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        btb = row.get("btb")
+        if btb is None:
+            continue
+        agg = by_policy.setdefault(row["policy"], {
+            "jobs": 0, "seconds": 0.0, "accesses": 0, "misses": 0,
+            "evictions": 0, "bypasses": 0})
+        agg["jobs"] += 1
+        agg["seconds"] += row["seconds"]
+        for key in ("accesses", "misses", "evictions", "bypasses"):
+            agg[key] += btb.get(key, 0)
+    if not by_policy:
+        return ""
+    table_rows = []
+    for policy in sorted(by_policy):
+        agg = by_policy[policy]
+        accesses = agg["accesses"]
+        table_rows.append([
+            policy, int(agg["jobs"]), int(accesses), int(agg["misses"]),
+            f"{agg['misses'] / accesses:.4f}" if accesses else "-",
+            f"{1000.0 * agg['evictions'] / accesses:.1f}" if accesses
+            else "-",
+            f"{1000.0 * agg['bypasses'] / accesses:.1f}" if accesses
+            else "-",
+            agg["seconds"]])
+    return _format_table(
+        ["policy", "jobs", "accesses", "misses", "miss_rate",
+         "evict/1k", "bypass/1k", "seconds"], table_rows)
+
+
+def render_report(manifest: RunManifest, top: int = 12) -> str:
+    """A multi-section terminal report for one run manifest."""
+    s = manifest.summary
+    wall = s.get("wall_seconds", 0.0)
+    lines = [
+        f"== run {manifest.run_id} ({s.get('created', '?')}) ==",
+        f"{s.get('jobs', 0)} jobs ({s.get('cached_jobs', 0)} cached) in "
+        f"{wall:.2f}s on {s.get('workers', 1)} worker(s); "
+        f"utilization {100.0 * s.get('worker_utilization', 0.0):.0f}%",
+    ]
+    cache = s.get("cache") or {}
+    if cache:
+        total = cache.get("hits", 0) + cache.get("misses", 0)
+        rate = cache.get("hits", 0) / total if total else 0.0
+        lines.append(
+            f"artifact cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses ({100.0 * rate:.0f}% hit "
+            f"rate), {cache.get('corrupt', 0)} corrupt "
+            f"({cache.get('digest_failures', 0)} digest failures), "
+            f"{cache.get('bytes_read', 0) / 1e6:.1f} MB read, "
+            f"{cache.get('bytes_written', 0) / 1e6:.1f} MB written")
+    spans = _span_table(s, wall, top)
+    if spans:
+        lines.extend(["", "-- slowest stages --", spans])
+    policies = _policy_table(manifest.rows)
+    if policies:
+        lines.extend(["", "-- per-policy event rates --", policies])
+    exceptions = s.get("exceptions") or []
+    if exceptions:
+        lines.extend(["", "-- exceptions --"])
+        lines.extend(f"  {exc.get('where', '?')}: {exc.get('error', '?')}"
+                     for exc in exceptions)
+    return "\n".join(lines)

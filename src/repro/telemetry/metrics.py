@@ -1,0 +1,298 @@
+"""Process-local metrics: counters, gauges, histograms, and wall-time spans.
+
+One :class:`MetricsRegistry` lives per process (``get_registry()``); the
+engine, harness, simulator, and artifact store all record into it.  Three
+properties drive the design:
+
+* **Negligible overhead when disabled.**  Every mutator early-returns on
+  ``enabled=False``, so a sweep run with ``REPRO_TELEMETRY=0`` pays one
+  attribute load per call site.
+* **Mergeable snapshots.**  :meth:`MetricsRegistry.snapshot` renders the
+  whole registry as JSON-ready primitives; worker processes ship snapshot
+  *deltas* back inside :class:`~repro.harness.engine.JobResult` and the
+  parent folds them together with :func:`merge_snapshots` — counters and
+  spans add, histograms add bucket-wise, gauges last-write-wins.
+* **Hierarchical spans.**  ``span("hints")`` inside ``span("sim")``
+  records under the path ``"sim/hints"``, so the manifest can show where
+  wall time actually went (trace → profile → hints → sim nesting falls
+  out of the call graph for free).
+
+Metric names are ``/``-separated lowercase paths (``store/hit``,
+``sim/stage/target/btb_stall_cycles``); see ``docs/TELEMETRY.md`` for the
+full catalogue.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Histogram", "MetricsRegistry", "get_registry", "set_registry",
+           "merge_snapshots", "snapshot_delta", "telemetry_enabled",
+           "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds (power-of-4 ladder); values above
+#: the last bound land in the implicit overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+
+def telemetry_enabled() -> bool:
+    """The process-wide default: ``REPRO_TELEMETRY`` unset/1/on → True."""
+    value = os.environ.get("REPRO_TELEMETRY", "1").strip().lower()
+    return value not in ("0", "off", "false", "no", "")
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram: ``len(bounds) + 1`` counts, where
+    ``counts[i]`` holds observations ``<= bounds[i]`` (last bucket is
+    overflow).  Merging requires identical bounds and adds counts
+    element-wise."""
+
+    bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.bounds = tuple(self.bounds)
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"counts must have {len(self.bounds) + 1} buckets, "
+                f"got {len(self.counts)}")
+
+    def observe(self, value: float) -> None:
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if tuple(other.bounds) != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {tuple(other.bounds)}")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+
+    def to_dict(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "sum": self.sum}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        return cls(bounds=tuple(payload["bounds"]),
+                   counts=list(payload["counts"]),
+                   count=int(payload["count"]),
+                   sum=float(payload["sum"]))
+
+
+class MetricsRegistry:
+    """Counters + gauges + histograms + hierarchical wall-time spans.
+
+    Not thread-safe by design: the simulation is single-threaded per
+    process, and worker processes each own their registry.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self.enabled = telemetry_enabled() if enabled is None else enabled
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: span path → [count, seconds, errors]
+        self.spans: Dict[str, List[float]] = {}
+        self._span_stack: List[str] = []
+
+    # -- mutators --------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Sequence[float]] = None) -> None:
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(bounds=tuple(bounds) if bounds is not None
+                             else DEFAULT_BUCKETS)
+            self.histograms[name] = hist
+        hist.observe(value)
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a block under ``name``, nested inside any active spans
+        (``sim`` inside ``fig11`` records as ``fig11/sim``).  Exceptions
+        propagate but the span is still closed and its ``errors`` count
+        incremented."""
+        if not self.enabled:
+            yield
+            return
+        self._span_stack.append(name)
+        path = "/".join(self._span_stack)
+        start = time.perf_counter()
+        failed = False
+        try:
+            yield
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            self._span_stack.pop()
+            record = self.spans.get(path)
+            if record is None:
+                record = [0, 0.0, 0]
+                self.spans[path] = record
+            record[0] += 1
+            record[1] += elapsed
+            record[2] += 1 if failed else 0
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.spans.clear()
+        self._span_stack.clear()
+
+    # -- snapshots -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The registry as JSON-ready primitives (deep copies)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: h.to_dict()
+                           for name, h in self.histograms.items()},
+            "spans": {path: {"count": int(rec[0]),
+                             "seconds": float(rec[1]),
+                             "errors": int(rec[2])}
+                      for path, rec in self.spans.items()},
+        }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a snapshot (e.g. from a worker) into this registry."""
+        for name, value in snap.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(snap.get("gauges", {}))
+        for name, payload in snap.get("histograms", {}).items():
+            incoming = Histogram.from_dict(payload)
+            existing = self.histograms.get(name)
+            if existing is None:
+                self.histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+        for path, rec in snap.get("spans", {}).items():
+            record = self.spans.get(path)
+            if record is None:
+                record = [0, 0.0, 0]
+                self.spans[path] = record
+            record[0] += rec.get("count", 0)
+            record[1] += rec.get("seconds", 0.0)
+            record[2] += rec.get("errors", 0)
+
+    def span_seconds(self, path: str) -> float:
+        rec = self.spans.get(path)
+        return float(rec[1]) if rec is not None else 0.0
+
+
+def empty_snapshot() -> dict:
+    return {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge N snapshots into one (parent ⊕ workers semantics)."""
+    acc = MetricsRegistry(enabled=True)
+    for snap in snapshots:
+        acc.merge_snapshot(snap)
+    return acc.snapshot()
+
+
+def snapshot_delta(after: dict, before: dict) -> dict:
+    """``after - before``, dropping entries that did not change.
+
+    Counters, span counts/seconds, and histogram buckets subtract;
+    gauges keep their ``after`` value (a gauge is a level, not a rate).
+    """
+    delta = empty_snapshot()
+    before_counters = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        diff = value - before_counters.get(name, 0)
+        if diff:
+            delta["counters"][name] = diff
+    before_gauges = before.get("gauges", {})
+    for name, value in after.get("gauges", {}).items():
+        if name not in before_gauges or before_gauges[name] != value:
+            delta["gauges"][name] = value
+    before_hists = before.get("histograms", {})
+    for name, payload in after.get("histograms", {}).items():
+        base = before_hists.get(name)
+        if base is None:
+            if payload["count"]:
+                delta["histograms"][name] = dict(payload)
+            continue
+        if tuple(base["bounds"]) != tuple(payload["bounds"]):
+            raise ValueError(f"histogram {name!r} changed bounds "
+                             "between snapshots")
+        counts = [a - b for a, b in zip(payload["counts"], base["counts"])]
+        count = payload["count"] - base["count"]
+        if count:
+            delta["histograms"][name] = {
+                "bounds": list(payload["bounds"]), "counts": counts,
+                "count": count, "sum": payload["sum"] - base["sum"]}
+    before_spans = before.get("spans", {})
+    for path, rec in after.get("spans", {}).items():
+        base = before_spans.get(path, {})
+        count = rec["count"] - base.get("count", 0)
+        seconds = rec["seconds"] - base.get("seconds", 0.0)
+        errors = rec["errors"] - base.get("errors", 0)
+        if count or errors or seconds:
+            delta["spans"][path] = {"count": count, "seconds": seconds,
+                                    "errors": errors}
+    return delta
+
+
+# ----------------------------------------------------------------------
+# Process-local default registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local default registry (created on first use, honoring
+    ``REPRO_TELEMETRY``)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-local registry (returns the previous one) — used
+    by benchmarks and tests to isolate measurements."""
+    global _REGISTRY
+    previous = get_registry()
+    _REGISTRY = registry
+    return previous

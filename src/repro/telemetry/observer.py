@@ -1,0 +1,123 @@
+"""A :class:`~repro.btb.observer.BTBObserver` that aggregates events into
+metrics instead of materializing them.
+
+:class:`~repro.btb.observer.EventRecorder` keeps every event — fine for
+tests, ruinous for a 10M-access sweep.  :class:`TelemetryObserver` folds
+the same hit/fill/evict/bypass seam into O(btb-size) state:
+
+* event counters (hits/fills/evictions/bypasses);
+* an **eviction-age histogram** — for each eviction, how many BTB
+  accesses the victim survived since it was filled (the paper's
+  short-residency pathology in Fig. 4 shows up as mass in the low
+  buckets);
+* a **per-set occupancy histogram** — how many ways each set has filled,
+  sampled when :meth:`occupancy_histogram` (or :meth:`record`) is called.
+
+The observer is attached explicitly (``btb.add_observer(...)``), so the
+replay hot path pays nothing when telemetry is off — the BTB only
+iterates observers when at least one is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.btb.observer import BTBObserver
+from repro.telemetry.metrics import (Histogram, MetricsRegistry,
+                                     get_registry)
+
+__all__ = ["TelemetryObserver", "EVICTION_AGE_BUCKETS"]
+
+#: Bucket bounds for eviction age, in BTB accesses survived.
+EVICTION_AGE_BUCKETS: Tuple[float, ...] = (
+    8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0, 32768.0, 131072.0)
+
+
+class TelemetryObserver(BTBObserver):
+    """Aggregate BTB events into counters and histograms.
+
+    One observer may watch several BTBs (e.g. both levels of a
+    :class:`~repro.btb.hierarchy.TwoLevelBTB`); state is keyed by the
+    emitting BTB instance.
+    """
+
+    def __init__(self, prefix: str = "btb",
+                 age_bounds: Tuple[float, ...] = EVICTION_AGE_BUCKETS):
+        self.prefix = prefix
+        self.hits = 0
+        self.fills = 0
+        self.evictions = 0
+        self.bypasses = 0
+        self.eviction_ages = Histogram(bounds=age_bounds)
+        #: (btb id, set, way) → index of the access that filled the way.
+        self._fill_index: Dict[Tuple[int, int, int], int] = {}
+        #: (btb id, set) → number of currently-filled ways.
+        self._set_occupancy: Dict[Tuple[int, int], int] = {}
+
+    # -- event hooks -----------------------------------------------------
+    def on_hit(self, btb, set_idx, way, pc, target, index) -> None:
+        self.hits += 1
+
+    def on_fill(self, btb, set_idx, way, pc, target, index) -> None:
+        self.fills += 1
+        key = (id(btb), set_idx, way)
+        if key not in self._fill_index:
+            set_key = (id(btb), set_idx)
+            self._set_occupancy[set_key] = \
+                self._set_occupancy.get(set_key, 0) + 1
+        self._fill_index[key] = index
+
+    def on_evict(self, btb, set_idx, way, victim_pc, incoming_pc,
+                 index) -> None:
+        self.evictions += 1
+        filled_at = self._fill_index.get((id(btb), set_idx, way))
+        if filled_at is not None:
+            self.eviction_ages.observe(index - filled_at)
+
+    def on_bypass(self, btb, set_idx, pc, index) -> None:
+        self.bypasses += 1
+
+    # -- aggregation -----------------------------------------------------
+    def occupancy_histogram(self, num_sets: Optional[int] = None,
+                            ways: Optional[int] = None) -> Histogram:
+        """Distribution of per-set occupancy (ways filled) over all sets
+        this observer has seen fill events for.
+
+        ``num_sets`` (e.g. ``btb.config.num_sets``) adds never-touched
+        sets as zero-occupancy samples; ``ways`` sets the bucket ladder
+        to one bucket per way count (defaults to the max seen).
+        """
+        occupancies = list(self._set_occupancy.values())
+        if num_sets is not None and num_sets > len(occupancies):
+            occupancies.extend([0] * (num_sets - len(occupancies)))
+        top = ways if ways is not None else max(occupancies, default=0)
+        hist = Histogram(bounds=tuple(float(w) for w in range(top + 1)))
+        for occ in occupancies:
+            hist.observe(occ)
+        return hist
+
+    def record(self, registry: Optional[MetricsRegistry] = None,
+               num_sets: Optional[int] = None,
+               ways: Optional[int] = None) -> MetricsRegistry:
+        """Dump the aggregates into a registry under ``<prefix>/...`` and
+        return it (the process-local default registry if none given)."""
+        reg = registry if registry is not None else get_registry()
+        reg.count(f"{self.prefix}/hits", self.hits)
+        reg.count(f"{self.prefix}/fills", self.fills)
+        reg.count(f"{self.prefix}/evictions", self.evictions)
+        reg.count(f"{self.prefix}/bypasses", self.bypasses)
+        if reg.enabled:
+            ages = reg.histograms.get(f"{self.prefix}/eviction_age")
+            if ages is None:
+                reg.histograms[f"{self.prefix}/eviction_age"] = \
+                    Histogram.from_dict(self.eviction_ages.to_dict())
+            else:
+                ages.merge(self.eviction_ages)
+            occupancy = self.occupancy_histogram(num_sets=num_sets,
+                                                 ways=ways)
+            existing = reg.histograms.get(f"{self.prefix}/set_occupancy")
+            if existing is None:
+                reg.histograms[f"{self.prefix}/set_occupancy"] = occupancy
+            else:
+                existing.merge(occupancy)
+        return reg

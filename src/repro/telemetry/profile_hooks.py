@@ -1,0 +1,97 @@
+"""Opt-in deep profiling for engine workers.
+
+``REPRO_PROFILE`` selects a profiler wrapped around each worker's whole
+job batch (:func:`~repro.harness.engine.run_job_batch`):
+
+* ``cprofile`` — a :mod:`cProfile` session per worker, dumped as
+  ``cprofile-<pid>-<ms>.prof`` (inspect with ``python -m pstats`` or
+  snakeviz);
+* ``tracemalloc`` — peak/current heap per worker, written as
+  ``tracemalloc-<pid>-<ms>.json`` and recorded as registry gauges.
+
+Output lands in ``REPRO_PROFILE_DIR`` if set, else ``<cache
+root>/profiles``, else the working directory.  Unset (the default) costs
+nothing — the context manager is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.telemetry.metrics import get_registry
+
+__all__ = ["profile_mode", "worker_profile"]
+
+log = logging.getLogger(__name__)
+
+
+def profile_mode() -> Optional[str]:
+    """The active ``REPRO_PROFILE`` mode, or None when profiling is off."""
+    mode = os.environ.get("REPRO_PROFILE", "").strip().lower()
+    if mode in ("", "0", "off", "none", "false"):
+        return None
+    return mode
+
+
+def _output_dir(fallback: Union[str, Path, None]) -> Path:
+    env = os.environ.get("REPRO_PROFILE_DIR")
+    if env:
+        return Path(env).expanduser()
+    if fallback is not None:
+        return Path(fallback).expanduser() / "profiles"
+    return Path(".")
+
+
+@contextmanager
+def worker_profile(fallback_dir: Union[str, Path, None] = None):
+    """Profile the enclosed block according to ``REPRO_PROFILE``.
+
+    Safe to nest around arbitrary work; unknown modes warn once and run
+    unprofiled rather than failing the job.
+    """
+    mode = profile_mode()
+    if mode is None:
+        yield
+        return
+    stamp = f"{os.getpid()}-{int(time.time() * 1000)}"
+    out_dir = _output_dir(fallback_dir)
+    if mode == "cprofile":
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield
+        finally:
+            profiler.disable()
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"cprofile-{stamp}.prof"
+            profiler.dump_stats(str(path))
+            log.info("cProfile stats written to %s", path)
+    elif mode == "tracemalloc":
+        import tracemalloc
+        tracemalloc.start()
+        try:
+            yield
+        finally:
+            current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            registry = get_registry()
+            registry.gauge("profile/tracemalloc_peak_bytes", peak)
+            registry.gauge("profile/tracemalloc_current_bytes", current)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"tracemalloc-{stamp}.json"
+            path.write_text(json.dumps(
+                {"pid": os.getpid(), "peak_bytes": peak,
+                 "current_bytes": current}) + "\n")
+            log.info("tracemalloc peak %.1f MB (written to %s)",
+                     peak / 1e6, path)
+    else:
+        log.warning("unknown REPRO_PROFILE=%r (expected 'cprofile' or "
+                    "'tracemalloc'); profiling disabled", mode)
+        yield

@@ -7,4 +7,14 @@
 * ``python -m repro.tools.simulate`` — step 4, the hardware side: replay a
   trace file under any replacement policy (optionally with hints and the
   IPC timing model) and report results.
+
+Operational tools around the pipeline:
+
+* ``python -m repro.tools.report`` — render an engine run manifest
+  (slowest stages, cache effectiveness, per-policy event rates);
+* ``python -m repro.tools.bench_kernel`` — benchmark the shared replay
+  kernel and check the telemetry overhead budget.
+
+Every entrypoint takes ``-v``/``-q`` to adjust diagnostic verbosity;
+primary results go to stdout, diagnostics to stderr.
 """

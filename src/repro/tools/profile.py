@@ -20,6 +20,8 @@ from repro.core.crossval import cross_validate_thresholds
 from repro.core.hints import ThresholdQuantizer
 from repro.core.profiler import profile_trace
 from repro.core.temperature import TemperatureProfile
+from repro.telemetry.logconfig import (add_logging_args, emit,
+                                       setup_cli_logging)
 from repro.trace.formats import read_trace
 
 __all__ = ["main"]
@@ -78,7 +80,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "~/.cache/repro-thermometer)")
     parser.add_argument("--no-cache", action="store_true",
                         help="always recompute the OPT profile")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    setup_cli_logging(args)
 
     trace = read_trace(args.trace)
     config = BTBConfig(entries=args.entries, ways=args.ways)
@@ -86,9 +90,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.crossval:
         result = cross_validate_thresholds(trace, config)
         thresholds = result.thresholds
-        print(f"cross-validated thresholds: {thresholds} "
-              f"(held-out hit rate {result.hit_rate:.4f} vs default "
-              f"{result.default_hit_rate:.4f})")
+        emit(f"cross-validated thresholds: {thresholds} "
+             f"(held-out hit rate {result.hit_rate:.4f} vs default "
+             f"{result.default_hit_rate:.4f})")
 
     cache_dir = None
     if not args.no_cache:
@@ -102,12 +106,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     counts = hints.category_counts()
     provenance = " (cached)" if cached else ""
-    print(f"profiled {profile.num_branches} branches in "
-          f"{profile.elapsed_seconds:.2f}s{provenance} "
-          f"(OPT hit rate {profile.stats.hit_rate:.4f})")
-    print(f"wrote {args.output}: categories "
-          + " / ".join(f"{c}" for c in counts)
-          + f" (coldest first), {hints.hint_bits} bits per branch")
+    emit(f"profiled {profile.num_branches} branches in "
+         f"{profile.elapsed_seconds:.2f}s{provenance} "
+         f"(OPT hit rate {profile.stats.hit_rate:.4f})")
+    emit(f"wrote {args.output}: categories "
+         + " / ".join(f"{c}" for c in counts)
+         + f" (coldest first), {hints.hint_bits} bits per branch")
     return 0
 
 

@@ -18,6 +18,7 @@ experiment engine, with every artifact cached in the persistent store
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from typing import List, Optional
@@ -28,11 +29,17 @@ from repro.btb.replacement.registry import make_policy, policy_names
 from repro.core.hints import HintMap
 from repro.frontend.simulator import simulate as run_timing
 from repro.harness.reporting import format_table
+from repro.telemetry.logconfig import (add_logging_args, emit,
+                                       setup_cli_logging)
 from repro.trace.formats import read_trace
 from repro.trace.stream import access_stream_for
 from repro.workloads import app_names
 
 __all__ = ["main"]
+
+# Stable name: __name__ is "__main__" under python -m, which
+# would escape the repro logger tree.
+log = logging.getLogger("repro.tools.simulate")
 
 
 def _build_policy(name: str, trace, hints_path: Optional[str],
@@ -59,13 +66,13 @@ def _run_sweep(args) -> int:
     known_policies = set(policy_names()) | {"thermometer-7979"}
     for app in apps:
         if app not in known_apps:
-            print(f"error: unknown app {app!r}; available: "
-                  f"{', '.join(sorted(known_apps))}", file=sys.stderr)
+            log.error("unknown app %r; available: %s", app,
+                      ", ".join(sorted(known_apps)))
             return 2
     for policy in policies:
         if policy not in known_policies:
-            print(f"error: unknown policy {policy!r}; available: "
-                  f"{', '.join(sorted(known_policies))}", file=sys.stderr)
+            log.error("unknown policy %r; available: %s", policy,
+                      ", ".join(sorted(known_policies)))
             return 2
     config = BTBConfig(entries=args.entries, ways=args.ways)
     mode = "sim" if args.ipc else "misses"
@@ -92,11 +99,15 @@ def _run_sweep(args) -> int:
             row.append(f"{res.value.ipc:.3f}")
         row.append("hit" if res.cached else "miss")
         rows.append(row)
-    print(format_table(columns, rows))
-    print(f"\n{len(jobs)} jobs in {elapsed:.1f}s "
-          f"({args.jobs} worker{'s' if args.jobs != 1 else ''})")
+    emit(format_table(columns, rows))
+    emit(f"\n{len(jobs)} jobs in {elapsed:.1f}s "
+         f"({args.jobs} worker{'s' if args.jobs != 1 else ''})")
     if cache_dir:
-        print(engine.stats.render())
+        emit(engine.stats.render())
+    if engine.last_manifest is not None:
+        log.info("run manifest: %s (render with "
+                 "python -m repro.tools.report %s)",
+                 engine.last_manifest, engine.last_manifest)
     return 0
 
 
@@ -136,7 +147,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "REPRO_CACHE_DIR or ~/.cache/repro-thermometer)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the persistent artifact store")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    setup_cli_logging(args)
 
     if args.apps:
         if args.trace:
@@ -161,24 +174,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         stats, timing = run(args.policy)
     except ValueError as exc:
         parser.error(str(exc))
-    print(f"{args.policy}: accesses={stats.accesses} hits={stats.hits} "
-          f"misses={stats.misses} bypasses={stats.bypasses} "
-          f"hit_rate={stats.hit_rate:.4f}")
+    emit(f"{args.policy}: accesses={stats.accesses} hits={stats.hits} "
+         f"misses={stats.misses} bypasses={stats.bypasses} "
+         f"hit_rate={stats.hit_rate:.4f}")
     if timing is not None:
-        print(f"  IPC {timing.ipc:.3f} "
-              f"({timing.instructions} instructions, "
-              f"{timing.cycles:.0f} cycles)")
+        emit(f"  IPC {timing.ipc:.3f} "
+             f"({timing.instructions} instructions, "
+             f"{timing.cycles:.0f} cycles)")
 
     if args.baseline:
         base_stats, base_timing = run(args.baseline)
         reduction = (100.0 * (base_stats.misses - stats.misses)
                      / base_stats.misses if base_stats.misses else 0.0)
-        print(f"{args.baseline} (baseline): misses={base_stats.misses} "
-              f"hit_rate={base_stats.hit_rate:.4f}")
-        print(f"  miss reduction vs {args.baseline}: {reduction:.2f}%")
+        emit(f"{args.baseline} (baseline): misses={base_stats.misses} "
+             f"hit_rate={base_stats.hit_rate:.4f}")
+        emit(f"  miss reduction vs {args.baseline}: {reduction:.2f}%")
         if timing is not None and base_timing is not None:
             speedup = 100.0 * timing.speedup_over(base_timing)
-            print(f"  IPC speedup vs {args.baseline}: {speedup:.2f}%")
+            emit(f"  IPC speedup vs {args.baseline}: {speedup:.2f}%")
     return 0
 
 

@@ -13,6 +13,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.telemetry.logconfig import (add_logging_args, emit,
+                                       setup_cli_logging)
 from repro.trace.formats import write_trace
 from repro.trace.record import BranchTrace
 from repro.trace.stats import TraceStats
@@ -59,7 +61,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--stats", action="store_true",
                         help="print trace statistics")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
+    setup_cli_logging(args)
 
     try:
         trace = generate(args.workload, input_id=args.input_id,
@@ -68,10 +72,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(str(exc))
     output = args.output or f"{args.workload.replace(':', '_')}.btrc.gz"
     write_trace(trace, output)
-    print(f"wrote {output}: {len(trace)} records, "
-          f"{trace.num_instructions} instructions")
+    emit(f"wrote {output}: {len(trace)} records, "
+         f"{trace.num_instructions} instructions")
     if args.stats:
-        print(TraceStats.from_trace(trace).summary())
+        emit(TraceStats.from_trace(trace).summary())
     return 0
 
 

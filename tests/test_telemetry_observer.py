@@ -1,0 +1,102 @@
+"""TelemetryObserver aggregates must agree with EventRecorder's ground
+truth on the same replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.btb.btb import BTB, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.observer import EventRecorder
+from repro.btb.replacement.registry import make_policy
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.observer import TelemetryObserver
+from repro.workloads.datacenter import make_app_trace
+
+
+@pytest.fixture(scope="module")
+def replay():
+    """One tiny-BTB replay observed by both observers at once."""
+    config = BTBConfig(entries=64, ways=2)  # small: plenty of evictions
+    trace = make_app_trace("tomcat", length=20_000)
+    btb = BTB(config, make_policy("lru"))
+    recorder = btb.add_observer(EventRecorder())
+    telemetry = btb.add_observer(TelemetryObserver())
+    stats = run_btb(trace, btb)
+    return config, stats, recorder, telemetry
+
+
+class TestAgainstEventRecorder:
+    def test_event_counters_match(self, replay):
+        _, stats, recorder, telemetry = replay
+        assert telemetry.hits == len(recorder.of_kind("hit"))
+        assert telemetry.fills == len(recorder.of_kind("fill"))
+        assert telemetry.evictions == len(recorder.of_kind("evict"))
+        assert telemetry.bypasses == len(recorder.of_kind("bypass"))
+        assert telemetry.hits == stats.hits
+        assert telemetry.evictions == stats.evictions
+
+    def test_every_eviction_has_an_age(self, replay):
+        _, stats, _, telemetry = replay
+        assert stats.evictions > 0
+        assert telemetry.eviction_ages.count == telemetry.evictions
+
+    def test_eviction_ages_match_recorded_fills(self, replay):
+        """Recompute each victim's residency from the raw event log and
+        compare against the histogram's total."""
+        _, _, recorder, telemetry = replay
+        fill_index = {}
+        ages = []
+        for event in recorder.events:
+            if event.kind == "fill":
+                fill_index[(event.set_idx, event.way)] = event.index
+            elif event.kind == "evict":
+                ages.append(event.index - fill_index[(event.set_idx,
+                                                      event.way)])
+        assert telemetry.eviction_ages.sum == sum(ages)
+        assert telemetry.eviction_ages.count == len(ages)
+
+    def test_occupancy_covers_all_sets(self, replay):
+        config, _, _, telemetry = replay
+        hist = telemetry.occupancy_histogram(num_sets=config.num_sets,
+                                             ways=config.ways)
+        assert hist.count == config.num_sets
+        # One bucket per way count (0..ways) plus overflow, which a
+        # well-formed observer never uses.
+        assert len(hist.counts) == config.ways + 2
+        assert hist.counts[-1] == 0
+
+    def test_occupancy_never_exceeds_ways(self, replay):
+        config, _, _, telemetry = replay
+        assert max(telemetry._set_occupancy.values()) <= config.ways
+
+
+class TestRecord:
+    def test_record_into_registry(self, replay):
+        config, _, _, telemetry = replay
+        reg = MetricsRegistry(enabled=True)
+        telemetry.record(reg, num_sets=config.num_sets, ways=config.ways)
+        assert reg.counters["btb/hits"] == telemetry.hits
+        assert reg.counters["btb/evictions"] == telemetry.evictions
+        assert reg.histograms["btb/eviction_age"].count == \
+            telemetry.eviction_ages.count
+        assert reg.histograms["btb/set_occupancy"].count == config.num_sets
+
+    def test_record_respects_disabled_registry(self, replay):
+        _, _, _, telemetry = replay
+        reg = MetricsRegistry(enabled=False)
+        telemetry.record(reg)
+        assert reg.counters == {} and reg.histograms == {}
+
+
+class TestBypassCounting:
+    def test_bypasses_observed(self):
+        """An OPT replay on a tiny BTB exercises the bypass hook."""
+        config = BTBConfig(entries=8, ways=2)
+        trace = make_app_trace("tomcat", length=5_000)
+        from repro.trace.stream import access_stream_for
+        btb = BTB(config, make_policy(
+            "opt", stream=access_stream_for(trace, config)))
+        telemetry = btb.add_observer(TelemetryObserver())
+        stats = run_btb(trace, btb)
+        assert telemetry.bypasses == stats.bypasses > 0

@@ -100,3 +100,64 @@ class TestSimulateTool:
         assert simulate_tool.main([str(trace_file), "--policy", "lru",
                                    "--ipc"]) == 0
         assert "IPC" in capsys.readouterr().out
+
+
+class TestLoggingFlags:
+    """-v/-q tune the stderr diagnostics channel; results stay on
+    stdout until -qq."""
+
+    def test_quiet_keeps_results_on_stdout(self, trace_file, capsys):
+        assert simulate_tool.main([str(trace_file), "--policy", "lru",
+                                   "-q"]) == 0
+        captured = capsys.readouterr()
+        assert "hit_rate=" in captured.out
+        assert "hit_rate=" not in captured.err
+
+    def test_double_quiet_silences_results(self, tmp_path, capsys):
+        path = tmp_path / "t.btrc"
+        assert tracegen.main(["python", "--length", "1000",
+                              "-o", str(path), "-qq"]) == 0
+        assert capsys.readouterr().out == ""
+        assert path.exists()
+
+    def test_verbose_diagnostics_go_to_stderr(self, trace_file, tmp_path,
+                                              capsys):
+        hints_path = tmp_path / "h.json"
+        assert profile_tool.main([str(trace_file), "-o", str(hints_path),
+                                  "--no-cache", "-v"]) == 0
+        captured = capsys.readouterr()
+        assert "profiled" in captured.out
+
+    def test_unknown_sweep_app_logs_error(self, capsys):
+        assert simulate_tool.main(["--apps", "redis",
+                                   "--policies", "lru"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown app" in captured.err
+        assert "unknown app" not in captured.out
+
+
+class TestBenchKernel:
+    def test_records_telemetry_overhead(self, tmp_path, capsys):
+        from repro.tools import bench_kernel
+        out = tmp_path / "BENCH_kernel.json"
+        code = bench_kernel.main(["--apps", "tomcat", "--policies",
+                                  "lru,srrip", "--length", "4000",
+                                  "--max-overhead-pct", "0",
+                                  "--output", str(out)])
+        assert code == 0  # <= 0 disables the budget check
+        record = json.loads(out.read_text())
+        assert record["jobs"] == 2
+        assert record["shared_seconds"] > 0
+        assert record["replay_seconds"] > 0
+        assert record["telemetry_replay_seconds"] > 0
+        assert "telemetry_overhead_pct" in record
+        assert "telemetry_overhead_pct" in capsys.readouterr().out
+
+    def test_overhead_budget_exit_code(self, tmp_path, monkeypatch):
+        from repro.tools import bench_kernel
+        monkeypatch.setattr(
+            bench_kernel, "run_benchmark",
+            lambda *a, **k: {"telemetry_overhead_pct": 50.0,
+                             "bench": "kernel"})
+        assert bench_kernel.main(["--output", "-",
+                                  "--max-overhead-pct", "3"]) == 1
