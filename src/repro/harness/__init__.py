@@ -11,7 +11,8 @@ Typical use::
 """
 
 from repro.harness.runner import Harness, HarnessConfig
-from repro.harness.engine import (ArtifactStore, ExperimentEngine, JobResult,
+from repro.harness.engine import (ArtifactStore, ExperimentEngine,
+                                  ExperimentError, JobResult, JobState,
                                   SimJob)
 from repro.harness.reporting import CacheStats, ExperimentResult, format_table
 from repro.harness.charts import (bar_chart, grouped_bar_chart,
@@ -24,10 +25,12 @@ __all__ = [
     "ArtifactStore",
     "CacheStats",
     "ExperimentEngine",
+    "ExperimentError",
     "ExperimentResult",
     "Harness",
     "HarnessConfig",
     "JobResult",
+    "JobState",
     "ReplicationResult",
     "SimJob",
     "bar_chart",

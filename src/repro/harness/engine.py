@@ -1,4 +1,4 @@
-"""Parallel experiment engine with a persistent artifact cache.
+"""Parallel, fault-tolerant experiment engine with a persistent cache.
 
 Two layers:
 
@@ -9,9 +9,9 @@ Two layers:
   :class:`~repro.frontend.params.FrontendParams`, policy, thresholds) plus
   a version salt, so any change to the recipe — or to the artifact format —
   naturally invalidates old entries.  Writes are atomic (temp file +
-  ``os.replace``) and every payload carries an integrity digest, so
-  concurrent writers cannot torn-write and corrupted files are detected and
-  recomputed instead of crashing.
+  ``os.replace``) and every payload carries an integrity digest; a corrupt
+  file is moved into a ``.quarantine/`` directory for forensics and the
+  artifact is recomputed, never served stale.
 
 * :class:`ExperimentEngine` — fans :class:`SimJob` simulation jobs out over
   a ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) or runs them
@@ -23,17 +23,37 @@ Two layers:
   machine and reused across processes, benchmark runs, and CLI
   invocations.
 
+Fault tolerance (see ``docs/FAULTS.md``): every job moves through the
+:class:`JobState` machine (pending → running → succeeded / failed /
+timed-out / skipped), journalled incrementally to the run directory so a
+SIGKILL'd sweep leaves a forensic record.  Failed or timed-out attempts
+are retried up to ``max_retries`` times with exponential backoff and
+jitter; ``job_timeout`` bounds each attempt's wall clock via a
+SIGALRM-based deadline inside the worker; a worker that dies mid-batch
+breaks only its batch — the engine re-shards the affected jobs into
+isolation batches on a fresh pool instead of failing the sweep.  A sweep
+that still ends with unfinished jobs raises :class:`ExperimentError`
+(after writing its manifest with ``status: failed``) and can be continued
+with ``run(jobs, resume=run_id)``, which skips every job whose artifact
+verifies in the store.
+
 Environment knobs:
 
 * ``REPRO_JOBS`` — default worker count (:func:`default_jobs`).
 * ``REPRO_CACHE_DIR`` — default store location (:func:`default_cache_dir`);
   the CLI fallback is ``~/.cache/repro-thermometer``.
+* ``REPRO_MAX_RETRIES`` / ``REPRO_JOB_TIMEOUT`` — retry/timeout defaults
+  (:func:`default_max_retries`, :func:`default_job_timeout`).
+* ``REPRO_TEST_FAST`` — skip backoff sleeps (tests, CI chaos job).
+* ``REPRO_FAULT_PLAN`` — deterministic fault injection
+  (:mod:`repro.testing.faults`).
 
 The engine is *provably equivalent* to the serial
 :class:`~repro.harness.runner.Harness` path: every simulation is keyed on
 everything that can affect its outcome and all generators are
 seed-deterministic, which ``tests/test_engine_equivalence.py`` checks
-bit-for-bit.
+bit-for-bit; ``tests/test_engine_resume.py`` extends the same check to
+crash-and-resume runs under injected faults.
 """
 
 from __future__ import annotations
@@ -45,13 +65,17 @@ import json
 import logging
 import os
 import pickle
+import random
+import signal
 import tempfile
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
-                    Union)
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple, Union)
 
 from repro.btb.config import (BTBConfig, DEFAULT_BTB_CONFIG,
                               THERMOMETER_7979_CONFIG)
@@ -60,12 +84,16 @@ from repro.harness.reporting import CacheStats
 from repro.harness.runner import Harness, HarnessConfig
 from repro.telemetry.metrics import get_registry, snapshot_delta
 from repro.telemetry.profile_hooks import worker_profile
+from repro.testing.faults import active_fault_plan, corrupt_file, inject
 
 log = logging.getLogger(__name__)
 
-__all__ = ["ArtifactStore", "ExperimentEngine", "JobResult", "SimJob",
-           "STORE_VERSION", "artifact_key", "default_cache_dir",
-           "default_jobs", "execute_job", "run_job", "run_job_batch"]
+__all__ = ["ArtifactStore", "ExperimentEngine", "ExperimentError",
+           "JobResult", "JobState", "JobTimeoutError", "SimJob",
+           "STORE_VERSION", "artifact_key", "backoff_delay",
+           "default_cache_dir", "default_job_timeout", "default_jobs",
+           "default_max_retries", "execute_job", "job_deadline", "run_job",
+           "run_job_batch"]
 
 #: Bump to invalidate every cached artifact (format or semantics change).
 #: "2": BTBStats grew the ``target_mismatches`` counter, so version-1
@@ -77,6 +105,10 @@ HINTED_POLICIES = ("thermometer", "thermometer-7979", "thermometer-dueling")
 
 _MAGIC = b"RPRO"
 _DIGEST_BYTES = 32  # sha256
+
+#: Corrupt artifacts are moved here (under the store root) instead of
+#: being destroyed, so a digest failure stays diagnosable after the fact.
+QUARANTINE_DIR = ".quarantine"
 
 
 def default_jobs() -> int:
@@ -93,6 +125,27 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env).expanduser()
     return Path.home() / ".cache" / "repro-thermometer"
+
+
+def default_max_retries() -> int:
+    """Retry default: ``REPRO_MAX_RETRIES`` or 1."""
+    try:
+        return max(0, int(os.environ.get("REPRO_MAX_RETRIES", "1")))
+    except ValueError:
+        return 1
+
+
+def default_job_timeout() -> Optional[float]:
+    """Per-attempt wall-clock budget: ``REPRO_JOB_TIMEOUT`` seconds or
+    None (unbounded)."""
+    raw = os.environ.get("REPRO_JOB_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return None
+    return seconds if seconds > 0 else None
 
 
 # ----------------------------------------------------------------------
@@ -140,8 +193,9 @@ class ArtifactStore:
 
     Layout: ``<root>/<kind>/<key[:2]>/<key>.pkl`` where each file is
     ``MAGIC + sha256(payload) + payload``.  A file that is missing, has a
-    bad digest, or fails to unpickle is a cache miss (and is unlinked);
-    the caller recomputes and overwrites it.
+    bad digest, or fails to unpickle is a cache miss; the corrupt bytes
+    are quarantined under ``<root>/.quarantine/<kind>/`` and the caller
+    recomputes the artifact — stale or mangled bytes are never returned.
     """
 
     def __init__(self, root: Union[str, Path], salt: str = STORE_VERSION):
@@ -156,6 +210,9 @@ class ArtifactStore:
 
     def path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def quarantine_path(self, kind: str, key: str) -> Path:
+        return self.root / QUARANTINE_DIR / kind / f"{key}.pkl"
 
     # -- encode / decode -------------------------------------------------
     @staticmethod
@@ -180,13 +237,29 @@ class ArtifactStore:
         except Exception:
             return None, "unpickle"
 
+    def _quarantine(self, kind: str, key: str, path: Path) -> None:
+        """Move a corrupt file out of the addressable tree (atomic
+        rename; falls back to unlink) so it can never satisfy a get."""
+        target = self.quarantine_path(kind, key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            self.stats.quarantined += 1
+            get_registry().count("store/quarantined")
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     # -- store protocol --------------------------------------------------
     def get(self, kind: str, key: str) -> Optional[Any]:
         """The cached artifact, or None on a miss (absent or corrupt).
 
         Corruption — a bad integrity digest, mangled header, or
         unpicklable payload — is counted, logged as a warning, and the
-        file quarantined (unlinked) so the caller recomputes it.
+        file quarantined (moved aside) so the caller recomputes the
+        artifact instead of ever receiving stale bytes.
         """
         registry = get_registry()
         path = self.path(kind, key)
@@ -204,13 +277,10 @@ class ArtifactStore:
             self.stats.misses += 1
             registry.count("store/miss")
             registry.count("store/corrupt")
+            self._quarantine(kind, key, path)
             log.warning("corrupt %s artifact %s (%s, %d bytes); "
                         "quarantined for recompute", kind, key[:12],
                         reason, len(blob))
-            try:
-                path.unlink()
-            except OSError:
-                pass
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(blob)
@@ -249,6 +319,95 @@ class ArtifactStore:
             value = compute()
         self.put(kind, key, value)
         return value
+
+
+# ----------------------------------------------------------------------
+# Job states, timeouts, backoff
+# ----------------------------------------------------------------------
+
+class JobState:
+    """The per-job lifecycle: ``pending → running → succeeded``, with
+    ``failed`` / ``timed-out`` after exhausted retries (a retried attempt
+    transitions back to ``pending``) and ``skipped`` for resumed jobs
+    whose artifact already verifies in the store."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMED_OUT = "timed-out"
+    SKIPPED = "skipped"
+
+    #: States a finished run may leave a job in.
+    TERMINAL = (SUCCEEDED, FAILED, TIMED_OUT, SKIPPED)
+    ALL = (PENDING, RUNNING) + TERMINAL
+
+
+class JobTimeoutError(RuntimeError):
+    """An attempt exceeded its ``job_timeout`` wall-clock budget."""
+
+
+class ExperimentError(RuntimeError):
+    """A sweep finished with jobs that never succeeded.
+
+    Raised *after* the run manifest (``status: failed``) is written;
+    ``run_id`` names the run to pass back as ``run(jobs, resume=...)``.
+    """
+
+    def __init__(self, message: str, run_id: Optional[str] = None,
+                 failures: Sequence[dict] = ()):
+        super().__init__(message)
+        self.run_id = run_id
+        self.failures = list(failures)
+
+
+@contextmanager
+def job_deadline(seconds: Optional[float]):
+    """Bound a block to ``seconds`` of wall clock via SIGALRM, raising
+    :class:`JobTimeoutError` on expiry.
+
+    Interval timers only work on the main thread of a POSIX process (true
+    for pool workers and the serial engine path); elsewhere, and for a
+    None/zero budget, this is a no-op.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if (not hasattr(signal, "setitimer")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise JobTimeoutError(
+            f"job exceeded its {seconds:.3g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def backoff_delay(round_no: int, base: float = 0.25, cap: float = 8.0,
+                  rng: Optional[random.Random] = None) -> float:
+    """Exponential backoff with jitter: ``min(cap, base·2^round)`` scaled
+    uniformly into its upper half so colliding retries decorrelate."""
+    delay = min(cap, base * (2 ** max(0, round_no)))
+    roll = (rng or random).random()
+    return delay * (0.5 + 0.5 * roll)
+
+
+def _backoff_sleep(seconds: float) -> None:
+    """Sleep between retry rounds — skipped entirely under
+    ``REPRO_TEST_FAST=1`` so test suites and CI chaos runs stay fast."""
+    fast = os.environ.get("REPRO_TEST_FAST", "").strip().lower()
+    if fast in ("1", "true", "on", "yes"):
+        return
+    if seconds > 0:
+        time.sleep(seconds)
 
 
 # ----------------------------------------------------------------------
@@ -307,7 +466,7 @@ class SimJob:
 
 @dataclass
 class JobResult:
-    """One finished job: its value plus cache provenance."""
+    """One finished attempt: its value plus cache and state provenance."""
 
     job: SimJob
     value: Any
@@ -319,6 +478,14 @@ class JobResult:
     #: histograms recorded while it ran) — merged by the parent into the
     #: run manifest.  See :mod:`repro.telemetry.metrics`.
     telemetry: Dict[str, Any] = field(default_factory=dict)
+    #: Terminal :class:`JobState` of this attempt.
+    state: str = JobState.SUCCEEDED
+    #: Zero-based attempt number (0 = first try).
+    attempt: int = 0
+    #: Position in the sweep's job list (None outside an engine run).
+    index: Optional[int] = None
+    #: ``"ExcType: message"`` for failed / timed-out attempts.
+    error: Optional[str] = None
 
 
 def execute_job(job: SimJob, harness: Optional[Harness] = None,
@@ -345,17 +512,32 @@ def execute_job(job: SimJob, harness: Optional[Harness] = None,
 def run_job(job: SimJob, cache_root: Optional[str] = None,
             salt: str = STORE_VERSION,
             store: Optional[ArtifactStore] = None,
-            harness: Optional[Harness] = None) -> JobResult:
+            harness: Optional[Harness] = None, *,
+            index: Optional[int] = None, attempt: int = 0,
+            in_worker: bool = False) -> JobResult:
     """Worker entry point (module-level so process pools can pickle it).
 
     Checks the store for the finished result first; on a miss, computes it
     through a harness whose intermediate artifacts (trace, profile, hints)
     are themselves store-backed.
+
+    ``index``/``attempt`` identify this attempt within an engine run; when
+    a :mod:`fault plan <repro.testing.faults>` is active they select which
+    injected fault (if any) fires on this exact attempt, on the real
+    execution path.
     """
     if store is None and cache_root is not None:
         store = ArtifactStore(cache_root, salt=salt)
-    baseline = copy.deepcopy(store.stats) if store is not None else None
     registry = get_registry()
+    fault = None
+    if index is not None:
+        plan = active_fault_plan()
+        if plan is not None:
+            fault = plan.fault_for(index, attempt)
+    if fault is not None and fault.kind != "corrupt":
+        registry.count("faults/injected")
+        inject(fault, in_worker=in_worker)
+    baseline = copy.deepcopy(store.stats) if store is not None else None
     telemetry_before = registry.snapshot() if registry.enabled else None
     start = time.perf_counter()
     cached = False
@@ -367,6 +549,11 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
             with store.stats.stage(job.mode):
                 value = execute_job(job, harness=harness, store=store)
             store.put(job.mode, key, value)
+        if fault is not None and fault.kind == "corrupt":
+            registry.count("faults/injected")
+            if corrupt_file(store.path(job.mode, key)):
+                log.warning("injected corruption into stored %s artifact "
+                            "of job %d", job.mode, index)
     else:
         value = execute_job(job, harness=harness)
     elapsed = time.perf_counter() - start
@@ -375,11 +562,48 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
     telemetry = (snapshot_delta(registry.snapshot(), telemetry_before)
                  if telemetry_before is not None else {})
     return JobResult(job=job, value=value, cached=cached,
-                     seconds=elapsed, stats=stats, telemetry=telemetry)
+                     seconds=elapsed, stats=stats, telemetry=telemetry,
+                     attempt=attempt, index=index)
+
+
+def _execute_guarded(job: SimJob, *, index: Optional[int], attempt: int,
+                     store: Optional[ArtifactStore] = None,
+                     harness: Optional[Harness] = None,
+                     salt: str = STORE_VERSION,
+                     job_timeout: Optional[float] = None,
+                     in_worker: bool = False) -> JobResult:
+    """One attempt that *always* returns a :class:`JobResult`.
+
+    Timeouts and exceptions are folded into the result's ``state`` /
+    ``error`` instead of escaping, so a bad job can never take down its
+    batch (the engine, not the worker, decides about retries).
+    """
+    start = time.perf_counter()
+    try:
+        with job_deadline(job_timeout):
+            return run_job(job, store=store, harness=harness, salt=salt,
+                           index=index, attempt=attempt,
+                           in_worker=in_worker)
+    except JobTimeoutError as exc:
+        return JobResult(job=job, value=None, cached=False,
+                         seconds=time.perf_counter() - start,
+                         state=JobState.TIMED_OUT, attempt=attempt,
+                         index=index, error=str(exc))
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        return JobResult(job=job, value=None, cached=False,
+                         seconds=time.perf_counter() - start,
+                         state=JobState.FAILED, attempt=attempt,
+                         index=index,
+                         error=f"{type(exc).__name__}: {exc}")
 
 
 def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
-                  salt: str = STORE_VERSION) -> List[JobResult]:
+                  salt: str = STORE_VERSION,
+                  indices: Optional[Sequence[int]] = None,
+                  attempts: Optional[Sequence[int]] = None,
+                  job_timeout: Optional[float] = None) -> List[JobResult]:
     """Worker entry point for a *group* of jobs (module-level so process
     pools can pickle it).
 
@@ -387,24 +611,32 @@ def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
     worker runs a whole group through one :class:`Harness` — the trace,
     its shared :class:`~repro.trace.stream.AccessStream`, the OPT profile,
     and the hint maps are built once and replayed across every policy in
-    the group instead of once per job.
+    the group instead of once per job.  Each job is individually guarded:
+    a failed or timed-out job yields a failed :class:`JobResult` and the
+    rest of the batch still runs.
 
     ``REPRO_PROFILE=cprofile|tracemalloc`` wraps the batch in a deep
     profiler (see :mod:`repro.telemetry.profile_hooks`).
     """
     store = (ArtifactStore(cache_root, salt=salt)
              if cache_root is not None else None)
+    index_list = (list(indices) if indices is not None
+                  else [None] * len(jobs))
+    attempt_list = (list(attempts) if attempts is not None
+                    else [0] * len(jobs))
     harnesses: Dict[HarnessConfig, Harness] = {}
     results: List[JobResult] = []
     with worker_profile(cache_root):
-        for job in jobs:
+        for job, index, attempt in zip(jobs, index_list, attempt_list):
             config = job.harness_config()
             harness = harnesses.get(config)
             if harness is None:
                 harness = Harness(config, store=store)
                 harnesses[config] = harness
-            results.append(run_job(job, store=store, harness=harness,
-                                   salt=salt))
+            results.append(_execute_guarded(
+                job, index=index, attempt=attempt, store=store,
+                harness=harness, salt=salt, job_timeout=job_timeout,
+                in_worker=True))
     # The profile hook records its gauges after every per-job delta was
     # taken; piggy-back them on the last result so they reach the parent.
     registry = get_registry()
@@ -426,6 +658,7 @@ def _stats_delta(current: CacheStats, baseline: CacheStats) -> CacheStats:
         corrupt=current.corrupt - baseline.corrupt,
         digest_failures=(current.digest_failures
                          - baseline.digest_failures),
+        quarantined=current.quarantined - baseline.quarantined,
         bytes_read=current.bytes_read - baseline.bytes_read,
         bytes_written=current.bytes_written - baseline.bytes_written)
     for name, secs in current.stage_seconds.items():
@@ -443,6 +676,26 @@ def _stats_delta(current: CacheStats, baseline: CacheStats) -> CacheStats:
 # Engine
 # ----------------------------------------------------------------------
 
+@dataclass
+class _RunState:
+    """Mutable bookkeeping for one :meth:`ExperimentEngine.run`."""
+
+    jobs: List[SimJob]
+    states: List[str]
+    attempts: List[int]
+    results: List[Optional[JobResult]]
+    rng: random.Random
+    journal: Optional[Any] = None
+    #: Jobs already counted in ``engine/jobs/retried`` (once per job).
+    retried: Set[int] = field(default_factory=set)
+    #: Jobs already counted in ``engine/jobs/timed_out`` (once per job).
+    timed_out: Set[int] = field(default_factory=set)
+
+    def event(self, index: int, state: str, **extra) -> None:
+        if self.journal is not None:
+            self.journal.event(index=index, state=state, **extra)
+
+
 class ExperimentEngine:
     """Fan :class:`SimJob` batches out over processes, backed by one
     shared :class:`ArtifactStore`.
@@ -452,25 +705,44 @@ class ExperimentEngine:
     harness per distinct machine configuration so in-memory caches
     amortize exactly as before.
 
+    ``max_retries`` / ``job_timeout`` bound each job's attempts and
+    per-attempt wall clock; a worker death re-shards its batch instead of
+    failing the sweep; ``run(jobs, resume=run_id)`` continues an
+    interrupted run, skipping jobs whose artifacts verify in the store
+    (see ``docs/FAULTS.md``).
+
     Every :meth:`run` against a cache directory also writes a **run
-    manifest** (``manifest.jsonl`` + ``summary.json``) under
-    ``<cache_dir>/runs/<run id>`` — per-job timings, cache provenance,
-    merged telemetry, worker utilization, and any exception (see
-    :mod:`repro.telemetry.manifest` and ``docs/TELEMETRY.md``).  Disable
-    with ``write_manifest=False`` or point it elsewhere with
-    ``manifest_dir``.
+    manifest** (``manifest.jsonl`` + ``summary.json``, plus an
+    incremental ``events.jsonl`` job-state journal and a ``jobs.json``
+    index) under ``<cache_dir>/runs/<run id>`` — per-job timings, cache
+    provenance, merged telemetry, worker utilization, terminal status,
+    and any exception (see :mod:`repro.telemetry.manifest` and
+    ``docs/TELEMETRY.md``).  Disable with ``write_manifest=False`` or
+    point it elsewhere with ``manifest_dir``.
     """
 
     def __init__(self, cache_dir: Union[str, Path, None] = None,
                  jobs: Optional[int] = None, salt: str = STORE_VERSION,
                  manifest_dir: Union[str, Path, None] = None,
-                 write_manifest: bool = True):
+                 write_manifest: bool = True,
+                 max_retries: Optional[int] = None,
+                 job_timeout: Optional[float] = None,
+                 backoff_base: float = 0.25, backoff_cap: float = 8.0):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.salt = salt
         self.cache_dir = Path(cache_dir).expanduser() if cache_dir else None
         self.store = (ArtifactStore(self.cache_dir, salt=salt)
                       if self.cache_dir else None)
         self.stats = CacheStats()
+        self.max_retries = (default_max_retries() if max_retries is None
+                            else max(0, int(max_retries)))
+        if job_timeout is None:
+            self.job_timeout = default_job_timeout()
+        else:
+            self.job_timeout = (float(job_timeout)
+                                if float(job_timeout) > 0 else None)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         if manifest_dir is not None:
             self.manifest_dir: Optional[Path] = \
                 Path(manifest_dir).expanduser()
@@ -483,89 +755,242 @@ class ExperimentEngine:
         #: The most recent run's manifest directory (None until a run
         #: completes with manifests enabled).
         self.last_manifest: Optional[Path] = None
+        #: The most recent run's id (set at run start, so it is available
+        #: even when the run fails — it is what ``resume=`` takes).
+        self.last_run_id: Optional[str] = None
         #: The most recent run's merged telemetry snapshot.
         self.last_run_telemetry: Dict[str, Any] = {}
+        self._used_workers = False
 
     @classmethod
     def from_env(cls, jobs: Optional[int] = None) -> "ExperimentEngine":
         """An engine at the default cache location and ``REPRO_JOBS``."""
         return cls(cache_dir=default_cache_dir(), jobs=jobs)
 
-    def run(self, jobs: Sequence[SimJob]) -> List[JobResult]:
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[SimJob],
+            resume: Optional[str] = None) -> List[JobResult]:
         """Run every job, returning results in input order.
 
-        A failing job propagates its exception, but the run manifest is
-        still written first (with the error recorded), so a crashed
-        sweep leaves a forensic record of what did complete.
+        ``resume`` continues an earlier run (a run id under the manifest
+        directory, or ``"latest"``): jobs whose artifacts verify in the
+        store are marked ``skipped`` and served from disk; everything
+        else runs normally.  If any job still has not succeeded after
+        ``1 + max_retries`` attempts, the run manifest is written with
+        ``status: failed`` and :class:`ExperimentError` is raised — the
+        completed jobs' artifacts stay in the store, so a resumed run
+        only repeats the unfinished work.
         """
+        from repro.telemetry.manifest import RunJournal, new_run_id
         jobs = list(jobs)
         registry = get_registry()
+        run_id = new_run_id()
+        self.last_run_id = run_id
+        resumed_from = (self._resolve_resume(resume)
+                        if resume is not None else None)
         parent_before = registry.snapshot() if registry.enabled else None
         start = time.perf_counter()
-        results: List[JobResult] = []
+        rs = _RunState(jobs=jobs,
+                       states=[JobState.PENDING] * len(jobs),
+                       attempts=[0] * len(jobs),
+                       results=[None] * len(jobs),
+                       rng=random.Random(run_id))
+        if self.manifest_dir is not None:
+            try:
+                rs.journal = RunJournal(
+                    self.manifest_dir / run_id,
+                    jobs_index=[{"index": i, "app": job.app,
+                                 "policy": job.policy, "mode": job.mode,
+                                 "input_id": job.input_id,
+                                 "key": job.cache_key(self.salt)}
+                                for i, job in enumerate(jobs)])
+            except OSError as exc:  # pragma: no cover - disk-full etc.
+                log.warning("could not open run journal under %s: %s",
+                            self.manifest_dir, exc)
         failure: Optional[dict] = None
+        self._used_workers = False
         try:
-            if self.jobs <= 1 or len(jobs) <= 1:
-                results = self._run_serial(jobs)
+            if resumed_from is not None:
+                self._skip_verified(rs, resumed_from)
+            pending = [i for i in range(len(jobs))
+                       if rs.results[i] is None]
+            if self.jobs > 1 and len(pending) > 1:
+                self._used_workers = True
+                self._run_parallel(rs, pending)
             else:
-                results = self._run_parallel(jobs)
+                self._run_serial(rs, pending)
         except BaseException as exc:
             failure = {"where": type(self).__name__,
                        "error": f"{type(exc).__name__}: {exc}"}
             raise
         finally:
+            if rs.journal is not None:
+                rs.journal.close()
             wall = time.perf_counter() - start
-            self._write_manifest(results, wall, parent_before, failure)
-        return results
+            self._write_manifest(rs, wall, parent_before, failure,
+                                 run_id=run_id, resumed_from=resumed_from)
+        failed = [i for i in range(len(jobs))
+                  if rs.states[i] in (JobState.FAILED, JobState.TIMED_OUT)]
+        if failed:
+            details = "; ".join(
+                f"{jobs[i].app}/{jobs[i].policy}[{i}]: "
+                f"{rs.results[i].error}" for i in failed[:5])
+            if len(failed) > 5:
+                details += f"; ... {len(failed) - 5} more"
+            raise ExperimentError(
+                f"{len(failed)} of {len(jobs)} job(s) did not complete "
+                f"after {1 + self.max_retries} attempt(s): {details} "
+                f"(continue with resume={run_id!r})",
+                run_id=run_id,
+                failures=[{"index": i, "app": jobs[i].app,
+                           "policy": jobs[i].policy,
+                           "state": rs.states[i],
+                           "error": rs.results[i].error} for i in failed])
+        return rs.results  # type: ignore[return-value]
 
-    def _write_manifest(self, results: Sequence[JobResult], wall: float,
-                        parent_before: Optional[dict],
-                        failure: Optional[dict]) -> None:
-        from repro.telemetry.manifest import write_run_manifest
-        from repro.telemetry.metrics import merge_snapshots
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def _resolve_resume(self, resume: str) -> str:
+        """Validate a resume target and return its run id."""
+        if self.store is None or self.manifest_dir is None:
+            raise ValueError("resume requires a cache directory: the "
+                             "store is what verifies completed jobs")
+        if resume == "latest":
+            candidates = [p for p in self.manifest_dir.iterdir()
+                          if p.is_dir() and (
+                              (p / "summary.json").exists()
+                              or (p / "events.jsonl").exists())] \
+                if self.manifest_dir.is_dir() else []
+            if not candidates:
+                raise ValueError(f"no previous run to resume under "
+                                 f"{self.manifest_dir}")
+            return max(candidates, key=lambda p: p.stat().st_mtime).name
+        if not (self.manifest_dir / resume).is_dir():
+            raise ValueError(f"no run {resume!r} under "
+                             f"{self.manifest_dir}")
+        return resume
+
+    def _skip_verified(self, rs: _RunState, resumed_from: str) -> None:
+        """Mark every job whose artifact decodes and passes its integrity
+        digest as ``skipped`` — the store read *is* the verification; a
+        corrupt artifact is quarantined here and the job re-runs."""
+        from repro.telemetry.manifest import read_jobs_index
         registry = get_registry()
-        parent_delta = (snapshot_delta(registry.snapshot(), parent_before)
-                        if parent_before is not None else {})
-        # Serial runs record jobs directly into the parent registry; the
-        # parent delta already contains them, so merge job deltas only
-        # for worker processes (whose registries died with them).
-        if self.jobs > 1 and len(results) > 1:
-            snapshots = [r.telemetry for r in results if r.telemetry]
-            snapshots.append(parent_delta)
-            self.last_run_telemetry = merge_snapshots(snapshots)
-        else:
-            self.last_run_telemetry = parent_delta
-        if self.manifest_dir is None:
-            return
-        run_cache = CacheStats()
-        for result in results:
-            run_cache.merge(result.stats)
-        try:
-            self.last_manifest = write_run_manifest(
-                self.manifest_dir, results, wall_seconds=wall,
-                workers=min(self.jobs, max(1, len(results))),
-                cache_stats=run_cache,
-                telemetry=self.last_run_telemetry,
-                exceptions=[failure] if failure else [])
-            log.info("run manifest: %s", self.last_manifest)
-        except OSError as exc:  # pragma: no cover - disk-full etc.
-            log.warning("could not write run manifest under %s: %s",
-                        self.manifest_dir, exc)
+        previous = {row.get("key") for row in
+                    read_jobs_index(self.manifest_dir / resumed_from)}
+        current = {job.cache_key(self.salt) for job in rs.jobs}
+        if previous and previous != current:
+            log.warning(
+                "resume %s: job list differs from the original run "
+                "(%d shared of %d current); unmatched jobs run fresh",
+                resumed_from, len(previous & current), len(current))
+        for i, job in enumerate(rs.jobs):
+            baseline = copy.deepcopy(self.store.stats)
+            value = self.store.get(job.mode, job.cache_key(self.salt))
+            if value is None:
+                # The verification read may have quarantined a corrupt
+                # artifact; keep that accounting even though the job now
+                # re-runs instead of being skipped.
+                self.stats.merge(_stats_delta(self.store.stats, baseline))
+                continue
+            stats = _stats_delta(self.store.stats, baseline)
+            rs.results[i] = JobResult(job=job, value=value, cached=True,
+                                      seconds=0.0, stats=stats,
+                                      state=JobState.SKIPPED, index=i)
+            rs.states[i] = JobState.SKIPPED
+            self.stats.merge(stats)
+            registry.count("engine/jobs/skipped")
+            rs.event(i, JobState.SKIPPED)
+        skipped = sum(1 for s in rs.states if s == JobState.SKIPPED)
+        log.info("resume %s: %d of %d job(s) verified in the store and "
+                 "skipped", resumed_from, skipped, len(rs.jobs))
 
-    def _run_serial(self, jobs: Sequence[SimJob]) -> List[JobResult]:
-        harnesses: Dict[HarnessConfig, Harness] = {}
-        results = []
-        for job in jobs:
-            config = job.harness_config()
-            harness = harnesses.get(config)
-            if harness is None:
-                harness = Harness(config, store=self.store)
-                harnesses[config] = harness
-            result = run_job(job, store=self.store, harness=harness,
-                             salt=self.salt)
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def _start_attempt(self, rs: _RunState, i: int) -> None:
+        rs.attempts[i] += 1
+        rs.states[i] = JobState.RUNNING
+        rs.event(i, JobState.RUNNING, attempt=rs.attempts[i] - 1)
+
+    def _record_outcome(self, rs: _RunState, i: int,
+                        result: JobResult) -> bool:
+        """Fold one attempt's outcome into the run; True ⇒ retry it."""
+        registry = get_registry()
+        job = rs.jobs[i]
+        result.index = i
+        if result.state == JobState.SUCCEEDED:
+            rs.states[i] = JobState.SUCCEEDED
+            rs.results[i] = result
             self.stats.merge(result.stats)
-            results.append(result)
-        return results
+            registry.count("engine/jobs/succeeded")
+            rs.event(i, JobState.SUCCEEDED, attempt=result.attempt,
+                     cached=result.cached,
+                     seconds=round(result.seconds, 6))
+            return False
+        if result.state == JobState.TIMED_OUT and i not in rs.timed_out:
+            rs.timed_out.add(i)
+            registry.count("engine/jobs/timed_out")
+        if rs.attempts[i] < 1 + self.max_retries:
+            if i not in rs.retried:
+                rs.retried.add(i)
+                registry.count("engine/jobs/retried")
+            rs.states[i] = JobState.PENDING
+            rs.results[i] = None
+            rs.event(i, JobState.PENDING, attempt=result.attempt,
+                     error=result.error, retry=True)
+            log.warning("job %d (%s/%s) %s on attempt %d: %s — retrying",
+                        i, job.app, job.policy, result.state,
+                        result.attempt, result.error)
+            return True
+        rs.states[i] = result.state
+        rs.results[i] = result
+        registry.count("engine/jobs/failed")
+        rs.event(i, result.state, attempt=result.attempt,
+                 error=result.error)
+        log.error("job %d (%s/%s) %s after %d attempt(s): %s",
+                  i, job.app, job.policy, result.state, rs.attempts[i],
+                  result.error)
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+    def _run_serial(self, rs: _RunState, pending: Sequence[int]) -> None:
+        harnesses: Dict[HarnessConfig, Harness] = {}
+        queue = list(pending)
+        round_no = 0
+        while queue:
+            retry: List[int] = []
+            for i in queue:
+                job = rs.jobs[i]
+                config = job.harness_config()
+                harness = harnesses.get(config)
+                if harness is None:
+                    harness = Harness(config, store=self.store)
+                    harnesses[config] = harness
+                if rs.attempts[i] > 0:
+                    # Retries recompute through the store rather than the
+                    # harness's warm in-memory artifacts, so a quarantined
+                    # (corrupt) intermediate is rebuilt, not resurrected.
+                    harness.invalidate(job.app, job.input_id)
+                self._start_attempt(rs, i)
+                result = _execute_guarded(
+                    job, index=i, attempt=rs.attempts[i] - 1,
+                    store=self.store, harness=harness, salt=self.salt,
+                    job_timeout=self.job_timeout, in_worker=False)
+                if self._record_outcome(rs, i, result):
+                    retry.append(i)
+            if retry:
+                _backoff_sleep(backoff_delay(round_no,
+                                             base=self.backoff_base,
+                                             cap=self.backoff_cap,
+                                             rng=rs.rng))
+            queue = retry
+            round_no += 1
 
     @staticmethod
     def _batch(jobs: Sequence[SimJob], target: int) -> List[List[int]]:
@@ -586,18 +1011,129 @@ class ExperimentEngine:
             batches.extend([largest[:mid], largest[mid:]])
         return batches
 
-    def _run_parallel(self, jobs: Sequence[SimJob]) -> List[JobResult]:
+    def _run_parallel(self, rs: _RunState,
+                      pending: Sequence[int]) -> None:
+        from concurrent.futures.process import BrokenProcessPool
         cache_root = str(self.cache_dir) if self.cache_dir else None
-        batches = self._batch(jobs, min(self.jobs, len(jobs)))
-        workers = min(self.jobs, len(batches))
-        results: List[Optional[JobResult]] = [None] * len(jobs)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(run_job_batch, [jobs[i] for i in batch],
-                            cache_root, self.salt): batch
-                for batch in batches}
-            for future, batch in futures.items():
-                for index, result in zip(batch, future.result()):
-                    self.stats.merge(result.stats)
-                    results[index] = result
-        return results  # type: ignore[return-value]
+        queue = list(pending)
+        round_no = 0
+        while queue:
+            if round_no == 0:
+                local = self._batch([rs.jobs[i] for i in queue],
+                                    min(self.jobs, len(queue)))
+                batches = [[queue[li] for li in b] for b in local]
+            else:
+                # Retry rounds run every job in its own isolation batch
+                # (on a fresh pool): one poison job can then take down at
+                # most itself, never re-kill healthy neighbours.
+                batches = [[i] for i in queue]
+            workers = min(self.jobs, len(batches))
+            retry: List[int] = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {}
+                for batch in batches:
+                    for i in batch:
+                        self._start_attempt(rs, i)
+                    future = pool.submit(
+                        run_job_batch, [rs.jobs[i] for i in batch],
+                        cache_root, self.salt, indices=list(batch),
+                        attempts=[rs.attempts[i] - 1 for i in batch],
+                        job_timeout=self.job_timeout)
+                    futures[future] = batch
+                for future in as_completed(futures):
+                    batch = futures[future]
+                    try:
+                        batch_results = future.result()
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as exc:
+                        # A worker died mid-batch (SIGKILL, OOM, ...);
+                        # the pool is broken, so sibling batches land
+                        # here too.  Degrade gracefully: every affected
+                        # job is requeued for the re-shard round.
+                        if isinstance(exc, BrokenProcessPool):
+                            get_registry().count(
+                                "engine/batches/worker_lost")
+                        log.warning("worker lost batch %s (%s: %s); "
+                                    "re-sharding", batch,
+                                    type(exc).__name__, exc)
+                        for i in batch:
+                            ghost = JobResult(
+                                job=rs.jobs[i], value=None, cached=False,
+                                seconds=0.0, state=JobState.FAILED,
+                                attempt=rs.attempts[i] - 1, index=i,
+                                error=(f"worker died: "
+                                       f"{type(exc).__name__}: {exc}"))
+                            if self._record_outcome(rs, i, ghost):
+                                retry.append(i)
+                        continue
+                    for i, result in zip(batch, batch_results):
+                        if self._record_outcome(rs, i, result):
+                            retry.append(i)
+            if retry:
+                _backoff_sleep(backoff_delay(round_no,
+                                             base=self.backoff_base,
+                                             cap=self.backoff_cap,
+                                             rng=rs.rng))
+            queue = retry
+            round_no += 1
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def _status(self, rs: _RunState, failure: Optional[dict],
+                resumed_from: Optional[str]) -> str:
+        if failure is not None:
+            return "failed"
+        if any(s not in (JobState.SUCCEEDED, JobState.SKIPPED)
+               for s in rs.states):
+            return "failed"
+        return "resumed" if resumed_from is not None else "completed"
+
+    def _write_manifest(self, rs: _RunState, wall: float,
+                        parent_before: Optional[dict],
+                        failure: Optional[dict], run_id: str,
+                        resumed_from: Optional[str]) -> None:
+        from repro.telemetry.manifest import write_run_manifest
+        from repro.telemetry.metrics import merge_snapshots
+        registry = get_registry()
+        results = [r for r in rs.results if r is not None]
+        parent_delta = (snapshot_delta(registry.snapshot(), parent_before)
+                        if parent_before is not None else {})
+        # Serial runs record jobs directly into the parent registry; the
+        # parent delta already contains them, so merge job deltas only
+        # for worker processes (whose registries died with them).
+        if self._used_workers:
+            snapshots = [r.telemetry for r in results if r.telemetry]
+            snapshots.append(parent_delta)
+            self.last_run_telemetry = merge_snapshots(snapshots)
+        else:
+            self.last_run_telemetry = parent_delta
+        if self.manifest_dir is None:
+            return
+        run_cache = CacheStats()
+        for result in results:
+            run_cache.merge(result.stats)
+        exceptions = [failure] if failure else []
+        for result in results:
+            if result.state in (JobState.FAILED, JobState.TIMED_OUT):
+                exceptions.append(
+                    {"where": (f"job {result.index} "
+                               f"({result.job.app}/{result.job.policy})"),
+                     "error": result.error or result.state})
+        job_states: Dict[str, int] = {}
+        for state in rs.states:
+            job_states[state] = job_states.get(state, 0) + 1
+        try:
+            self.last_manifest = write_run_manifest(
+                self.manifest_dir, results, wall_seconds=wall,
+                workers=min(self.jobs, max(1, len(results))),
+                run_id=run_id, cache_stats=run_cache,
+                telemetry=self.last_run_telemetry,
+                exceptions=exceptions,
+                status=self._status(rs, failure, resumed_from),
+                resumed_from=resumed_from, job_states=job_states)
+            log.info("run manifest: %s", self.last_manifest)
+        except OSError as exc:  # pragma: no cover - disk-full etc.
+            log.warning("could not write run manifest under %s: %s",
+                        self.manifest_dir, exc)

@@ -47,6 +47,9 @@ class CacheStats:
     #: The subset of ``corrupt`` whose payload sha256 mismatched its
     #: stored digest (bit rot / torn write, vs. format or pickle errors).
     digest_failures: int = 0
+    #: Corrupt files moved into the store's ``.quarantine/`` directory
+    #: (kept for forensics instead of being served or silently deleted).
+    quarantined: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     #: stage name (``trace``/``profile``/``hints``/``sim``/``misses``) →
@@ -73,6 +76,7 @@ class CacheStats:
         self.misses += other.misses
         self.corrupt += other.corrupt
         self.digest_failures += other.digest_failures
+        self.quarantined += other.quarantined
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         for name, secs in other.stage_seconds.items():
@@ -93,7 +97,8 @@ class CacheStats:
         header = (f"artifact cache: {self.hits} hits / {self.misses} misses"
                   f" ({100.0 * self.hit_rate:.0f}% hit rate, "
                   f"{self.corrupt} corrupt / "
-                  f"{self.digest_failures} digest failures), "
+                  f"{self.digest_failures} digest failures / "
+                  f"{self.quarantined} quarantined), "
                   f"{self.bytes_read / 1e6:.1f} MB read, "
                   f"{self.bytes_written / 1e6:.1f} MB written")
         if not self.stage_seconds:

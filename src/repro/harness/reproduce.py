@@ -18,13 +18,14 @@ store.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Union
 
 from repro.harness.engine import (ArtifactStore, default_cache_dir,
-                                  default_jobs)
+                                  default_jobs, default_max_retries)
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.reporting import CacheStats
 from repro.harness.runner import Harness, HarnessConfig
@@ -32,6 +33,8 @@ from repro.telemetry.logconfig import (add_logging_args, emit,
                                        setup_cli_logging)
 
 __all__ = ["main", "run_experiments", "PRESETS"]
+
+log = logging.getLogger(__name__)
 
 PRESETS: Dict[str, dict] = {
     # length: per-app trace records; cbp/ipc: suite sizes.
@@ -79,14 +82,20 @@ def run_experiments(names: Optional[List[str]] = None,
                     apps: Optional[List[str]] = None,
                     stream=sys.stdout,
                     jobs: int = 1,
-                    cache_dir: Union[str, None] = None
+                    cache_dir: Union[str, None] = None,
+                    max_retries: Optional[int] = None
                     ) -> Dict[str, "ExperimentResult"]:
     """Run the named experiments (all by default) and stream their tables.
 
-    ``jobs > 1`` runs whole figures in parallel worker processes.
-    ``cache_dir`` points every process at one shared on-disk artifact
-    store, so per-figure harnesses reuse each other's traces, profiles,
-    hints, and LRU baselines (and so do later invocations).
+    ``jobs > 1`` runs whole figures in parallel worker processes; a
+    figure whose worker raises or dies is retried on a fresh pool up to
+    ``max_retries`` times (default :func:`default_max_retries`) before
+    the whole reproduction fails, so one lost worker does not discard
+    every other figure's work.  ``cache_dir`` points every process at one
+    shared on-disk artifact store, so per-figure harnesses reuse each
+    other's traces, profiles, hints, and LRU baselines (and so do later
+    invocations — including those retries, which skip straight to the
+    missing artifacts).
     """
     settings = PRESETS[preset]
     names = names or list(ALL_EXPERIMENTS)
@@ -107,12 +116,36 @@ def run_experiments(names: Optional[List[str]] = None,
         print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
         stream.flush()
 
+    if max_retries is None:
+        max_retries = default_max_retries()
     if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_one, name, preset, apps, cache_dir)
-                       for name in names]
-            for future in futures:
-                record(*future.result())
+        # Retry rounds recreate the pool: a worker death breaks the whole
+        # ProcessPoolExecutor, so surviving figures are re-run (their
+        # artifacts are already in the shared store) on fresh processes.
+        queue = list(names)
+        for round_no in range(1 + max_retries):
+            failed: List[str] = []
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [pool.submit(_run_one, name, preset, apps,
+                                       cache_dir)
+                           for name in queue]
+                for name, future in zip(queue, futures):
+                    try:
+                        record(*future.result())
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as exc:
+                        log.warning("figure %s failed in round %d "
+                                    "(%s: %s)", name, round_no,
+                                    type(exc).__name__, exc)
+                        failed.append(name)
+            queue = failed
+            if not queue:
+                break
+        if queue:
+            raise RuntimeError(
+                f"experiments failed after {1 + max_retries} "
+                f"attempt(s): {', '.join(queue)}")
     else:
         store = ArtifactStore(cache_dir) if cache_dir else None
         harness = Harness(_harness_config(settings, apps), store=store)
@@ -150,6 +183,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "REPRO_CACHE_DIR or ~/.cache/repro-thermometer)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent artifact store")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="re-run a figure whose worker failed up to N "
+                             "times (default: REPRO_MAX_RETRIES or 1)")
     parser.add_argument("--validate", action="store_true",
                         help="check the reproduction claims against the "
                              "results and exit non-zero on failures")
@@ -162,7 +198,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_cache:
         cache_dir = args.cache_dir or str(default_cache_dir())
     results = run_experiments(names=names, preset=args.preset, apps=apps,
-                              jobs=args.jobs, cache_dir=cache_dir)
+                              jobs=args.jobs, cache_dir=cache_dir,
+                              max_retries=args.max_retries)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             for result in results.values():

@@ -66,6 +66,27 @@ class Harness:
         self._profiles: Dict[Tuple[str, int, BTBConfig], OptProfile] = {}
         self._lru_sims: Dict[Tuple[str, int], SimResult] = {}
 
+    def invalidate(self, app: Optional[str] = None,
+                   input_id: Optional[int] = None) -> None:
+        """Drop in-memory artifacts for ``(app, input_id)`` (or matching
+        ``app`` regardless of input, or everything with no arguments).
+
+        The engine calls this before retrying a failed job so the retry
+        re-reads every intermediate artifact through the persistent store
+        — a quarantined (corrupt) entry is then rebuilt instead of being
+        resurrected from this harness's warm caches.
+        """
+        def matches(key: Tuple) -> bool:
+            if app is not None and key[0] != app:
+                return False
+            if input_id is not None and key[1] != input_id:
+                return False
+            return True
+
+        for cache in (self._traces, self._profiles, self._lru_sims):
+            for key in [k for k in cache if matches(k)]:
+                del cache[key]
+
     def _fetch(self, kind: str, fields: dict, compute):
         """Compute an artifact through the persistent store, if any.
 

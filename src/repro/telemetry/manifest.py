@@ -5,14 +5,24 @@ directory writes one **run manifest** next to the artifact store::
 
     <cache root>/runs/<run id>/manifest.jsonl   one line per job
     <cache root>/runs/<run id>/summary.json     merged totals
+    <cache root>/runs/<run id>/jobs.json        sweep job index (keys)
+    <cache root>/runs/<run id>/events.jsonl     incremental state journal
 
 The JSONL rows carry each job's key fields, cache provenance, wall time,
-per-job cache-stats delta, headline BTB/IPC numbers, and the worker's
-telemetry snapshot delta; ``summary.json`` holds the parent-side merge —
-total wall time, worker utilization, merged cache stats, the merged
-telemetry registry (counters ⊕ histograms ⊕ spans), and any exceptions.
+per-job cache-stats delta, headline BTB/IPC numbers, terminal job state,
+and the worker's telemetry snapshot delta; ``summary.json`` holds the
+parent-side merge — total wall time, worker utilization, merged cache
+stats, the merged telemetry registry (counters ⊕ histograms ⊕ spans),
+the run's terminal ``status`` (``completed`` / ``failed`` /
+``resumed``), a job-state histogram, and any exceptions.
 ``python -m repro.tools.report`` renders either back into terminal
 tables.
+
+``jobs.json`` and ``events.jsonl`` are written *incrementally* by
+:class:`RunJournal` while the run is in flight (flushed per event), so a
+sweep killed mid-run still leaves a forensic record of which job was in
+which state — and ``events.jsonl`` is how the fault-injection tests
+count attempts per job (see ``docs/FAULTS.md``).
 
 The module is deliberately decoupled from the engine's classes: rows are
 built by duck-typing :class:`~repro.harness.engine.JobResult`, so the
@@ -39,10 +49,15 @@ def _format_table(columns, rows) -> str:
     from repro.harness.reporting import format_table
     return format_table(columns, rows)
 
-__all__ = ["RunManifest", "MANIFEST_VERSION", "job_row", "new_run_id",
-           "read_run_manifest", "render_report", "write_run_manifest"]
+__all__ = ["RunJournal", "RunManifest", "MANIFEST_VERSION",
+           "canonical_rows", "job_row", "new_run_id", "read_events",
+           "read_jobs_index", "read_run_manifest", "render_report",
+           "write_run_manifest"]
 
-MANIFEST_VERSION = 1
+#: 2: summary gained ``status`` / ``resumed_from`` / ``job_states``;
+#: rows gained ``state`` / ``attempt`` / ``error``; run directories
+#: gained the incremental ``jobs.json`` + ``events.jsonl`` journal.
+MANIFEST_VERSION = 2
 
 _RUN_COUNTER = itertools.count()
 
@@ -62,6 +77,7 @@ def _cache_stats_dict(stats) -> Dict[str, Any]:
         "misses": stats.misses,
         "corrupt": stats.corrupt,
         "digest_failures": getattr(stats, "digest_failures", 0),
+        "quarantined": getattr(stats, "quarantined", 0),
         "bytes_read": stats.bytes_read,
         "bytes_written": stats.bytes_written,
         "stage_seconds": dict(stats.stage_seconds),
@@ -95,9 +111,14 @@ def job_row(result) -> Dict[str, Any]:
         "length": job.length,
         "cached": bool(result.cached),
         "seconds": round(float(result.seconds), 6),
+        "state": getattr(result, "state", "succeeded"),
+        "attempt": getattr(result, "attempt", 0),
         "cache": _cache_stats_dict(result.stats),
         "telemetry": getattr(result, "telemetry", {}) or {},
     }
+    error = getattr(result, "error", None)
+    if error:
+        row["error"] = error
     btb = _btb_stats_dict(result.value)
     if btb is not None:
         row["btb"] = btb
@@ -114,7 +135,10 @@ def write_run_manifest(directory: Union[str, Path],
                        run_id: Optional[str] = None,
                        cache_stats=None,
                        telemetry: Optional[dict] = None,
-                       exceptions: Optional[List[dict]] = None) -> Path:
+                       exceptions: Optional[List[dict]] = None,
+                       status: str = "completed",
+                       resumed_from: Optional[str] = None,
+                       job_states: Optional[Dict[str, int]] = None) -> Path:
     """Write ``manifest.jsonl`` + ``summary.json`` under
     ``directory/<run_id>``; returns the run directory.
 
@@ -124,6 +148,10 @@ def write_run_manifest(directory: Union[str, Path],
     omitted, the per-job deltas carried by the rows are merged instead
     (correct for worker-produced results; a serial caller should pass
     its own parent delta, which already contains the jobs' activity).
+    ``status`` is the run's terminal state (``completed`` for a clean
+    run, ``failed`` when any job or the run itself did not finish,
+    ``resumed`` for a clean run that continued ``resumed_from``);
+    ``job_states`` is a state-name → count histogram over the sweep.
     """
     run_id = run_id or new_run_id()
     run_dir = Path(directory).expanduser() / run_id
@@ -153,12 +181,100 @@ def write_run_manifest(directory: Union[str, Path],
         "cache": _cache_stats_dict(cache_stats),
         "telemetry": telemetry,
         "exceptions": list(exceptions or []),
+        "status": status,
     }
+    if resumed_from is not None:
+        summary["resumed_from"] = resumed_from
+    if job_states is not None:
+        summary["job_states"] = dict(job_states)
     tmp = run_dir / "summary.json.tmp"
     tmp.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     os.replace(tmp, run_dir / "summary.json")
     return run_dir
+
+
+class RunJournal:
+    """Incremental job-state journal for one run directory.
+
+    ``jobs.json`` (the sweep's job index — index, key fields, cache key
+    per job) is written once at open; ``events.jsonl`` receives one
+    flushed row per state transition, so the journal is readable — and
+    meaningful — even after the writing process is SIGKILLed mid-run.
+    """
+
+    def __init__(self, run_dir: Union[str, Path],
+                 jobs_index: Optional[List[dict]] = None):
+        self.run_dir = Path(run_dir).expanduser()
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        if jobs_index is not None:
+            tmp = self.run_dir / "jobs.json.tmp"
+            tmp.write_text(json.dumps(jobs_index, indent=2,
+                                      sort_keys=True) + "\n",
+                           encoding="utf-8")
+            os.replace(tmp, self.run_dir / "jobs.json")
+        self._fh = open(self.run_dir / "events.jsonl", "a",
+                        encoding="utf-8")
+
+    def event(self, index: int, state: str, **extra) -> None:
+        if self._fh is None:
+            return
+        row = {"t": round(time.time(), 3), "index": index, "state": state}
+        row.update({k: v for k, v in extra.items() if v is not None})
+        self._fh.write(json.dumps(row, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """The state-transition journal of a run (empty if never written)."""
+    path = Path(run_dir).expanduser() / "events.jsonl"
+    if not path.exists():
+        return []
+    return [json.loads(line) for line in path.read_text().splitlines()
+            if line.strip()]
+
+
+def read_jobs_index(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """The sweep's job index (empty if never written)."""
+    path = Path(run_dir).expanduser() / "jobs.json"
+    if not path.exists():
+        return []
+    return json.loads(path.read_text())
+
+
+#: The manifest-row fields that identify a job and its *result* — i.e.
+#: what must be bit-identical between a faulted-then-resumed sweep and an
+#: uninterrupted one (timings, cache provenance, attempts legitimately
+#: differ).
+CANONICAL_ROW_FIELDS = ("app", "policy", "mode", "input_id", "length",
+                        "btb", "ipc")
+
+
+def canonical_rows(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Project manifest rows onto their result-defining fields, sorted.
+
+    Only successful rows (``succeeded`` / ``skipped``) participate; the
+    differential fault tests compare two runs' canonical rows for
+    equality.
+    """
+    projected = []
+    for row in rows:
+        if row.get("state", "succeeded") not in ("succeeded", "skipped"):
+            continue
+        projected.append({key: row[key] for key in CANONICAL_ROW_FIELDS
+                          if key in row})
+    return sorted(projected, key=lambda r: json.dumps(r, sort_keys=True))
 
 
 @dataclass
@@ -271,6 +387,16 @@ def render_report(manifest: RunManifest, top: int = 12) -> str:
         f"{wall:.2f}s on {s.get('workers', 1)} worker(s); "
         f"utilization {100.0 * s.get('worker_utilization', 0.0):.0f}%",
     ]
+    status = s.get("status")
+    if status:
+        line = f"status: {status}"
+        if s.get("resumed_from"):
+            line += f" (resumed from {s['resumed_from']})"
+        states = s.get("job_states") or {}
+        if states:
+            line += " — " + ", ".join(f"{count} {name}" for name, count
+                                      in sorted(states.items()))
+        lines.append(line)
     cache = s.get("cache") or {}
     if cache:
         total = cache.get("hits", 0) + cache.get("misses", 0)

@@ -1,0 +1,12 @@
+"""Test-support machinery that ships with the package.
+
+:mod:`repro.testing.faults` provides the deterministic fault-injection
+plans the engine's chaos tests and the ``repro.tools.chaos`` CLI use to
+prove the experiment engine is fault-tolerant.  It lives in the package
+(not under ``tests/``) because the injection points sit inside the real
+worker code path and the CI chaos job drives them from the CLI.
+"""
+
+from repro.testing.faults import Fault, FaultPlan, InjectedFault
+
+__all__ = ["Fault", "FaultPlan", "InjectedFault"]

@@ -58,8 +58,8 @@ def _build_policy(name: str, trace, hints_path: Optional[str],
 
 def _run_sweep(args) -> int:
     """(apps × policies) matrix through the parallel experiment engine."""
-    from repro.harness.engine import (ExperimentEngine, SimJob,
-                                      default_cache_dir)
+    from repro.harness.engine import (ExperimentEngine, ExperimentError,
+                                      SimJob, default_cache_dir)
     apps = [a for a in args.apps.split(",") if a]
     policies = [p for p in args.policies.split(",") if p]
     known_apps = set(app_names())
@@ -82,9 +82,25 @@ def _run_sweep(args) -> int:
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or str(default_cache_dir())
-    engine = ExperimentEngine(cache_dir=cache_dir, jobs=args.jobs)
+    if args.resume and not cache_dir:
+        log.error("--resume needs the artifact store; drop --no-cache")
+        return 2
+    engine = ExperimentEngine(cache_dir=cache_dir, jobs=args.jobs,
+                              max_retries=args.max_retries,
+                              job_timeout=args.job_timeout)
     start = time.perf_counter()
-    results = engine.run(jobs)
+    try:
+        results = engine.run(jobs, resume=args.resume)
+    except ExperimentError as exc:
+        log.error("%s", exc)
+        if exc.run_id:
+            log.error("completed jobs are cached; continue with "
+                      "--resume %s (or --resume latest)", exc.run_id)
+        return 1
+    except ValueError as exc:
+        # e.g. an unknown --resume run id.
+        log.error("%s", exc)
+        return 2
     elapsed = time.perf_counter() - start
 
     columns = ["app", "policy", "accesses", "misses", "hit_rate", "cached"]
@@ -147,6 +163,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "REPRO_CACHE_DIR or ~/.cache/repro-thermometer)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the persistent artifact store")
+    sweep.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="continue an interrupted sweep: skip jobs "
+                            "whose artifacts verify in the store "
+                            "('latest' picks the most recent run)")
+    sweep.add_argument("--max-retries", type=int, default=None,
+                       help="retry a failed/timed-out job up to N times "
+                            "with backoff (default: REPRO_MAX_RETRIES "
+                            "or 1)")
+    sweep.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-attempt wall-clock budget; a job past "
+                            "it is timed out and retried (default: "
+                            "REPRO_JOB_TIMEOUT or unbounded)")
     add_logging_args(parser)
     args = parser.parse_args(argv)
     setup_cli_logging(args)

@@ -19,15 +19,19 @@ from tests.helpers import branch, trace_of_pcs  # noqa: F401 (re-export)
 @pytest.fixture(scope="session", autouse=True)
 def _hermetic_artifact_cache(tmp_path_factory):
     """Point the persistent artifact store at a per-session tmpdir so tests
-    never read from (or pollute) the user-level cache."""
+    never read from (or pollute) the user-level cache, and skip the
+    engine's retry-backoff sleeps (REPRO_TEST_FAST) suite-wide."""
     root = tmp_path_factory.mktemp("artifact-store")
-    previous = os.environ.get("REPRO_CACHE_DIR")
+    previous = {name: os.environ.get(name)
+                for name in ("REPRO_CACHE_DIR", "REPRO_TEST_FAST")}
     os.environ["REPRO_CACHE_DIR"] = str(root)
+    os.environ["REPRO_TEST_FAST"] = "1"
     yield root
-    if previous is None:
-        os.environ.pop("REPRO_CACHE_DIR", None)
-    else:
-        os.environ["REPRO_CACHE_DIR"] = previous
+    for name, value in previous.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
 
 
 @pytest.fixture

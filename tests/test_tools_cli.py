@@ -102,6 +102,81 @@ class TestSimulateTool:
         assert "IPC" in capsys.readouterr().out
 
 
+class TestSimulateSweepFaultFlags:
+    """--resume/--max-retries/--job-timeout on the sweep path."""
+
+    SWEEP = ["--apps", "tomcat", "--policies", "lru,srrip",
+             "--length", "2000"]
+
+    def test_sweep_then_resume_latest(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert simulate_tool.main(self.SWEEP + cache) == 0
+        capsys.readouterr()
+        assert simulate_tool.main(self.SWEEP + cache
+                                  + ["--resume", "latest",
+                                     "--max-retries", "2",
+                                     "--job-timeout", "60"]) == 0
+        assert "2 jobs" in capsys.readouterr().out
+
+    def test_resume_conflicts_with_no_cache(self, capsys):
+        assert simulate_tool.main(self.SWEEP
+                                  + ["--no-cache", "--resume",
+                                     "latest"]) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_unknown_resume_id_is_a_usage_error(self, tmp_path, capsys):
+        assert simulate_tool.main(self.SWEEP
+                                  + ["--cache-dir", str(tmp_path),
+                                     "--resume", "nope"]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_failed_sweep_prints_resume_hint(self, tmp_path, capsys,
+                                             monkeypatch):
+        import os
+        from repro.testing.faults import Fault, FaultPlan, PLAN_ENV_VAR
+        plan = FaultPlan(faults=(Fault("raise", 0,
+                                       attempts=(0, 1, 2, 3)),))
+        monkeypatch.setenv(PLAN_ENV_VAR, plan.to_json())
+        assert simulate_tool.main(self.SWEEP
+                                  + ["--cache-dir", str(tmp_path),
+                                     "--max-retries", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "--resume" in err
+        # The crashed sweep converges once the transient fault clears.
+        monkeypatch.delenv(PLAN_ENV_VAR)
+        assert simulate_tool.main(self.SWEEP
+                                  + ["--cache-dir", str(tmp_path),
+                                     "--resume", "latest"]) == 0
+
+
+class TestChaosTool:
+    def test_converges_and_reports(self, tmp_path, capsys):
+        from repro.tools import chaos
+        assert chaos.main(["--seed", "7", "--apps", "tomcat",
+                           "--policies", "lru,srrip", "--length", "2000",
+                           "--jobs", "1", "--rate", "1.0",
+                           "--max-retries", "2", "--job-timeout", "1.0",
+                           "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+        assert "bit-identical" in out
+
+    def test_seeded_plan_is_logged_verbatim(self, tmp_path, capsys):
+        """The logged plan JSON must replay the run: same seed, same
+        schedule."""
+        from repro.testing.faults import FaultPlan
+        from repro.tools import chaos
+        assert chaos.main(["--seed", "11", "--apps", "tomcat",
+                           "--policies", "lru", "--length", "1500",
+                           "--jobs", "1", "--rate", "1.0",
+                           "--job-timeout", "1.0",
+                           "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        logged = out.split("fault plan: ", 1)[1].splitlines()[0]
+        assert FaultPlan.from_json(logged) == FaultPlan.random(
+            11, 1, rate=1.0, hang_seconds=2.0)
+
+
 class TestLoggingFlags:
     """-v/-q tune the stderr diagnostics channel; results stay on
     stdout until -qq."""
