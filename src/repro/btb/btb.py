@@ -182,7 +182,10 @@ class BTB:
                 for observer in self._observers:
                     observer.on_fill(self, s, way, pc, target, index)
             return True
-        victim = self.policy.choose_victim(s, tags.tolist(), pc, index)
+        # The numpy tag row is handed to the policy as-is: materializing a
+        # list per miss (``tags.tolist()``) dominated the miss path, and no
+        # in-tree policy needs more than iteration/indexing over it.
+        victim = self.policy.choose_victim(s, tags, pc, index)
         if victim == BYPASS:
             self.stats.bypasses += 1
             self.policy.on_bypass(s, pc, index)
@@ -301,10 +304,21 @@ def replay_stream(stream: AccessStream, btb,
 
     Returns ``btb.stats``; with ``record_per_branch`` also returns a dict
     pc → [accesses, hits] used by the profiling pipeline.
+
+    When the replay is unobserved (no :class:`BTBObserver` attached, no
+    per-branch recording) and the policy has a set-partitioned fast-path
+    kernel (:mod:`repro.btb.kernels`), the replay is executed per set by
+    that kernel — bit-identical stats and final state, a fraction of the
+    per-access interpreter work.  Anything else takes the reference loop
+    below.
     """
+    fast = (type(btb) is BTB and btb.config == stream.config)
+    if fast and not record_per_branch and not btb._observers:
+        from repro.btb import kernels
+        if kernels.try_fast_replay(stream, btb) is not None:
+            return btb.stats
     pcs = stream.pcs_list
     targets = stream.targets_list
-    fast = (type(btb) is BTB and btb.config == stream.config)
     if not record_per_branch:
         if fast:
             access = btb._access_with_set

@@ -29,10 +29,27 @@ class BTBConfig:
             raise ValueError("ways must be positive")
         if self.ways > self.entries:
             raise ValueError("ways cannot exceed entries")
+        self._memoize_geometry()
+
+    def _memoize_geometry(self) -> None:
+        # Frozen dataclass: cache the derived constants once so the
+        # per-access ``set_index`` stops re-deriving them.  ``_set_mask``
+        # is ``num_sets - 1`` when the set count is a power of two (the
+        # modulo becomes a mask), else None.
+        num_sets = math.ceil(self.entries / self.ways)
+        mask = num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
+        object.__setattr__(self, "_num_sets", num_sets)
+        object.__setattr__(self, "_set_mask", mask)
 
     @property
     def num_sets(self) -> int:
-        return math.ceil(self.entries / self.ways)
+        try:
+            return self._num_sets
+        except AttributeError:
+            # A config unpickled from a pre-memoization artifact store
+            # skipped __post_init__'s caching; backfill once.
+            self._memoize_geometry()
+            return self._num_sets
 
     @property
     def capacity(self) -> int:
@@ -44,9 +61,17 @@ class BTBConfig:
 
         Branch pcs are 4-byte aligned, so the two low bits are dropped
         before the modulo (the paper's "address modulo number of sets"
-        function, applied to the word address).
+        function, applied to the word address).  The modulo runs against
+        the memoized set count — as a mask when it is a power of two.
         """
-        return (pc >> 2) % self.num_sets
+        try:
+            mask = self._set_mask
+        except AttributeError:
+            self._memoize_geometry()
+            mask = self._set_mask
+        if mask is not None:
+            return (pc >> 2) & mask
+        return (pc >> 2) % self._num_sets
 
 
 #: Table 1 baseline: 8192-entry, 4-way BTB.

@@ -1,0 +1,734 @@
+"""Set-partitioned fast-path replay kernels.
+
+The reference replay (:func:`repro.btb.btb.replay_stream` driving
+:meth:`BTB._access_with_set`) pays, on every access, for a dict probe, a
+virtual policy dispatch, dataclass counter updates, numpy row indexing,
+and an observer check.  BTB sets are architecturally independent — no
+access in one set can influence the outcome of an access in another —
+so a replay can instead be *partitioned by set*
+(:meth:`~repro.trace.stream.AccessStream.partition`) and executed one
+set at a time by a policy-specialized kernel whose per-access loop
+touches only local ints, small lists, and one dict.
+
+Every kernel is **bit-identical** to the reference loop: it produces the
+same :class:`~repro.btb.btb.BTBStats`, the same final BTB contents
+(tags, targets, reuse bits, fill indices, pc→way directories), and the
+same final policy state (recency stamps reconstructed from global
+access order, RRPV grids, temperatures, resident next-use distances,
+coverage counters), so a replay that continues through the slow path
+afterwards cannot diverge.  ``tests/test_fast_kernels.py`` and
+``tests/test_kernel_equivalence.py`` enforce this differentially for
+every registered policy.
+
+Dispatch (:func:`try_fast_replay`, called from ``replay_stream``) takes
+the fast path only when all of the following hold; anything else falls
+back to the reference loop:
+
+* the model is a plain :class:`~repro.btb.btb.BTB` on the stream's
+  geometry (checked by the caller);
+* no :class:`~repro.btb.observer.BTBObserver` (including the telemetry
+  observer) is attached — kernels emit no per-access events;
+* the BTB is pristine (zero stats, empty storage) — kernels replay from
+  reset, they do not resume mid-stream state;
+* the policy's exact type has a registered kernel and the policy itself
+  is in its just-bound state (e.g. recency clock at zero; for OPT, the
+  policy was built from this very stream's next-use column);
+* the ``REPRO_FAST_REPLAY`` kill switch is not set to ``0``.
+
+:func:`lru_stack_stats` additionally computes LRU hit/miss counts
+*analytically* — an O(n log n) per-set stack-distance (reuse-depth)
+pass over the partitioned stream that never simulates BTB state at all.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.btb.replacement.fifo import FIFOPolicy
+from repro.btb.replacement.lru import LRUPolicy, MRUPolicy
+from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.btb.replacement.srrip import SRRIPPolicy
+from repro.btb.replacement.thermometer import ThermometerPolicy
+from repro.trace.stream import AccessStream, NEVER
+
+__all__ = ["KERNELS", "ReplayKernel", "fast_path_enabled",
+           "kernel_policy_names", "lru_stack_stats", "select_kernel",
+           "set_fast_path_enabled", "try_fast_opt_profile",
+           "try_fast_replay"]
+
+_INVALID = -1
+
+#: Per-access outcome codes recorded by the OPT kernel for the profiler.
+OUTCOME_HIT = 0
+OUTCOME_INSERT = 1
+OUTCOME_BYPASS = 2
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get("REPRO_FAST_REPLAY", "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+_enabled = _env_enabled()
+
+
+def fast_path_enabled() -> bool:
+    """Whether dispatch may take the fast path at all."""
+    return _enabled
+
+
+def set_fast_path_enabled(enabled: bool) -> bool:
+    """Flip the fast path on/off (benchmarks, differential tests);
+    returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Kernel base
+# ----------------------------------------------------------------------
+
+class ReplayKernel:
+    """One policy-specialized set-partitioned replay.
+
+    Subclasses implement :meth:`matches` (is this exact policy instance
+    in a state the kernel can reproduce?) and :meth:`replay` (simulate
+    every set and write the final BTB + policy state back).
+    """
+
+    @classmethod
+    def matches(cls, policy, stream: AccessStream) -> bool:
+        return True
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        raise NotImplementedError
+
+    # -- shared write-back helpers -------------------------------------
+    @staticmethod
+    def _write_set(btb, s: int, tag: List[int], tgt: List[int],
+                   reused: List[bool], fillidx: List[int],
+                   dct: Dict[int, int]) -> None:
+        btb._tags[s] = tag
+        btb._targets[s] = tgt
+        btb._reused[s] = reused
+        btb._fill_index[s] = fillidx
+        btb._dir[s] = dct
+
+    @staticmethod
+    def _write_stats(btb, accesses: int, hits: int, evictions: int,
+                     bypasses: int, compulsory: int,
+                     mismatches: int) -> None:
+        stats = btb.stats
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += accesses - hits
+        stats.evictions += evictions
+        stats.bypasses += bypasses
+        stats.compulsory_fills += compulsory
+        stats.target_mismatches += mismatches
+
+
+# ----------------------------------------------------------------------
+# Recency kernels: LRU / MRU
+# ----------------------------------------------------------------------
+
+class LRUKernel(ReplayKernel):
+    """LRU: victim is the least-recently-touched way.
+
+    Within one set the stable partition preserves stream order, so the
+    partition index of a way's last touch orders recency exactly like
+    the reference policy's global clock stamps (which are unique, making
+    tie-break rules moot)."""
+
+    evict_most_recent = False
+
+    @classmethod
+    def matches(cls, policy, stream: AccessStream) -> bool:
+        return policy._clock == 0
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        part = stream.partition()
+        pcs, tgts, pos = part.pcs, part.targets, part.positions
+        starts = part.starts.tolist()
+        set_ids = part.set_ids.tolist()
+        W = btb.config.ways
+        ways = range(W)
+        mru = self.evict_most_recent
+        stamps = btb.policy._stamps
+        hits = evictions = compulsory = mismatches = 0
+        for g, s in enumerate(set_ids):
+            a, b = starts[g], starts[g + 1]
+            dct: Dict[int, int] = {}
+            tag = [_INVALID] * W
+            tgt = [0] * W
+            reused = [False] * W
+            fillidx = [0] * W
+            touch = [-1] * W
+            nfilled = 0
+            for k in range(a, b):
+                pc = pcs[k]
+                way = dct.get(pc)
+                if way is not None:
+                    hits += 1
+                    t = tgts[k]
+                    if tgt[way] != t:
+                        mismatches += 1
+                        tgt[way] = t
+                    reused[way] = True
+                    touch[way] = k
+                    continue
+                if nfilled < W:
+                    way = nfilled
+                    nfilled += 1
+                    compulsory += 1
+                else:
+                    way = (max(ways, key=touch.__getitem__) if mru
+                           else min(ways, key=touch.__getitem__))
+                    evictions += 1
+                    del dct[tag[way]]
+                dct[pc] = way
+                tag[way] = pc
+                tgt[way] = tgts[k]
+                reused[way] = False
+                fillidx[way] = pos[k]
+                touch[way] = k
+            self._write_set(btb, s, tag, tgt, reused, fillidx, dct)
+            srow = stamps[s]
+            for w in ways:
+                if touch[w] >= 0:
+                    # Every access touches exactly once, so the clock at
+                    # stream position p is p + 1.
+                    srow[w] = pos[touch[w]] + 1
+        n = len(pcs)
+        btb.policy._clock = n
+        self._write_stats(btb, n, hits, evictions, 0, compulsory,
+                          mismatches)
+
+
+class MRUKernel(LRUKernel):
+    evict_most_recent = True
+
+
+# ----------------------------------------------------------------------
+# FIFO
+# ----------------------------------------------------------------------
+
+class FIFOKernel(ReplayKernel):
+    """FIFO: victim is the oldest *fill*; hits do not refresh."""
+
+    @classmethod
+    def matches(cls, policy, stream: AccessStream) -> bool:
+        return policy._clock == 0
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        part = stream.partition()
+        pcs, tgts, pos = part.pcs, part.targets, part.positions
+        starts = part.starts.tolist()
+        set_ids = part.set_ids.tolist()
+        W = btb.config.ways
+        ways = range(W)
+        hits = evictions = compulsory = mismatches = 0
+        #: (set, way, global fill position) of every way's last fill —
+        #: the policy's clock only ticks on fills, so stamps are ranks
+        #: in the global fill order.
+        last_fills: List[tuple] = []
+        fill_positions: List[int] = []
+        for g, s in enumerate(set_ids):
+            a, b = starts[g], starts[g + 1]
+            dct: Dict[int, int] = {}
+            tag = [_INVALID] * W
+            tgt = [0] * W
+            reused = [False] * W
+            fillidx = [0] * W
+            fillk = [-1] * W
+            nfilled = 0
+            for k in range(a, b):
+                pc = pcs[k]
+                way = dct.get(pc)
+                if way is not None:
+                    hits += 1
+                    t = tgts[k]
+                    if tgt[way] != t:
+                        mismatches += 1
+                        tgt[way] = t
+                    reused[way] = True
+                    continue
+                if nfilled < W:
+                    way = nfilled
+                    nfilled += 1
+                    compulsory += 1
+                else:
+                    way = min(ways, key=fillk.__getitem__)
+                    evictions += 1
+                    del dct[tag[way]]
+                p = pos[k]
+                dct[pc] = way
+                tag[way] = pc
+                tgt[way] = tgts[k]
+                reused[way] = False
+                fillidx[way] = p
+                fillk[way] = k
+                fill_positions.append(p)
+            self._write_set(btb, s, tag, tgt, reused, fillidx, dct)
+            for w in ways:
+                if fillk[w] >= 0:
+                    last_fills.append((s, w, fillidx[w]))
+        fill_positions.sort()
+        stamps = btb.policy._stamps
+        for s, w, p in last_fills:
+            stamps[s][w] = bisect_right(fill_positions, p)
+        btb.policy._clock = len(fill_positions)
+        n = len(pcs)
+        self._write_stats(btb, n, hits, evictions, 0, compulsory,
+                          mismatches)
+
+
+# ----------------------------------------------------------------------
+# SRRIP
+# ----------------------------------------------------------------------
+
+class SRRIPKernel(ReplayKernel):
+    """Static RRIP: per-way RRPV counters, whole-set aging on pressure."""
+
+    @classmethod
+    def matches(cls, policy, stream: AccessStream) -> bool:
+        m = policy.rrpv_max
+        return all(v == m for row in policy._rrpv for v in row)
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        part = stream.partition()
+        pcs, tgts, pos = part.pcs, part.targets, part.positions
+        starts = part.starts.tolist()
+        set_ids = part.set_ids.tolist()
+        W = btb.config.ways
+        ways = range(W)
+        policy = btb.policy
+        rrpv_max = policy.rrpv_max
+        rrpv_ins = policy.rrpv_insert
+        rrpv_grid = policy._rrpv
+        hits = evictions = compulsory = mismatches = 0
+        for g, s in enumerate(set_ids):
+            a, b = starts[g], starts[g + 1]
+            dct: Dict[int, int] = {}
+            tag = [_INVALID] * W
+            tgt = [0] * W
+            reused = [False] * W
+            fillidx = [0] * W
+            rr = [rrpv_max] * W
+            nfilled = 0
+            for k in range(a, b):
+                pc = pcs[k]
+                way = dct.get(pc)
+                if way is not None:
+                    hits += 1
+                    t = tgts[k]
+                    if tgt[way] != t:
+                        mismatches += 1
+                        tgt[way] = t
+                    reused[way] = True
+                    rr[way] = 0
+                    continue
+                if nfilled < W:
+                    way = nfilled
+                    nfilled += 1
+                    compulsory += 1
+                else:
+                    way = None
+                    while way is None:
+                        for w in ways:
+                            if rr[w] >= rrpv_max:
+                                way = w
+                                break
+                        else:
+                            for w in ways:
+                                rr[w] += 1
+                    evictions += 1
+                    del dct[tag[way]]
+                dct[pc] = way
+                tag[way] = pc
+                tgt[way] = tgts[k]
+                reused[way] = False
+                fillidx[way] = pos[k]
+                rr[way] = rrpv_ins
+            self._write_set(btb, s, tag, tgt, reused, fillidx, dct)
+            rrpv_grid[s] = rr
+        n = len(pcs)
+        self._write_stats(btb, n, hits, evictions, 0, compulsory,
+                          mismatches)
+
+
+# ----------------------------------------------------------------------
+# Belady OPT
+# ----------------------------------------------------------------------
+
+class OPTKernel(ReplayKernel):
+    """Belady's optimal replacement with bypass, driven by the stream's
+    precomputed next-use column.
+
+    ``outcomes``, when given, receives one byte per access at its
+    *original* stream position (:data:`OUTCOME_HIT` /
+    :data:`OUTCOME_INSERT` / :data:`OUTCOME_BYPASS`) — the profiler's
+    per-branch attribution without its per-access Python bookkeeping.
+    """
+
+    @classmethod
+    def matches(cls, policy, stream: AccessStream) -> bool:
+        # The policy must have been built from this stream's own
+        # next-use column (from_access_stream / the registry path) and
+        # not advanced yet.
+        return (policy._last_index == 0
+                and stream._next_use is not None
+                and policy._next_use is stream._next_use)
+
+    def replay(self, btb, stream: AccessStream,
+               outcomes: Optional[bytearray] = None) -> None:
+        part = stream.partition()
+        pcs, tgts, pos = part.pcs, part.targets, part.positions
+        next_sorted = stream.next_use[part.order].tolist()
+        starts = part.starts.tolist()
+        set_ids = part.set_ids.tolist()
+        W = btb.config.ways
+        policy = btb.policy
+        bypass_enabled = policy.bypass_enabled
+        resident_grid = policy._resident_next
+        record = outcomes is not None
+        hits = evictions = bypasses = compulsory = mismatches = 0
+        for g, s in enumerate(set_ids):
+            a, b = starts[g], starts[g + 1]
+            dct: Dict[int, int] = {}
+            tag = [_INVALID] * W
+            tgt = [0] * W
+            reused = [False] * W
+            fillidx = [0] * W
+            resnext = [NEVER] * W
+            nfilled = 0
+            for k in range(a, b):
+                pc = pcs[k]
+                way = dct.get(pc)
+                if way is not None:
+                    hits += 1
+                    t = tgts[k]
+                    if tgt[way] != t:
+                        mismatches += 1
+                        tgt[way] = t
+                    reused[way] = True
+                    resnext[way] = next_sorted[k]
+                    if record:
+                        outcomes[pos[k]] = OUTCOME_HIT
+                    continue
+                if nfilled < W:
+                    way = nfilled
+                    nfilled += 1
+                    compulsory += 1
+                else:
+                    way = 0
+                    vn = resnext[0]
+                    for w in range(1, W):
+                        if resnext[w] > vn:
+                            vn = resnext[w]
+                            way = w
+                    incoming = next_sorted[k]
+                    if bypass_enabled and incoming >= vn:
+                        bypasses += 1
+                        if record:
+                            outcomes[pos[k]] = OUTCOME_BYPASS
+                        continue
+                    evictions += 1
+                    del dct[tag[way]]
+                dct[pc] = way
+                tag[way] = pc
+                tgt[way] = tgts[k]
+                reused[way] = False
+                fillidx[way] = pos[k]
+                resnext[way] = next_sorted[k]
+                if record:
+                    outcomes[pos[k]] = OUTCOME_INSERT
+            self._write_set(btb, s, tag, tgt, reused, fillidx, dct)
+            resident_grid[s] = resnext
+        n = len(pcs)
+        policy._last_index = n - 1 if n else 0
+        self._write_stats(btb, n, hits, evictions, bypasses, compulsory,
+                          mismatches)
+
+
+# ----------------------------------------------------------------------
+# Thermometer (Algorithm 1)
+# ----------------------------------------------------------------------
+
+class ThermometerKernel(ReplayKernel):
+    """Coldest-class scan, LRU-among-coldest tiebreak, unique-coldest
+    bypass — the paper's Algorithm 1, specialized per set."""
+
+    @classmethod
+    def matches(cls, policy, stream: AccessStream) -> bool:
+        return policy._clock == 0
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        part = stream.partition()
+        pcs, tgts, pos = part.pcs, part.targets, part.positions
+        starts = part.starts.tolist()
+        set_ids = part.set_ids.tolist()
+        W = btb.config.ways
+        ways = range(W)
+        policy = btb.policy
+        hints = policy._hints
+        default = policy.default_category
+        # HintMap wraps a plain dict; binding its inner ``get`` skips one
+        # call frame per miss.  Only valid with an explicit non-None
+        # default (HintMap substitutes its own default for None).
+        raw = getattr(hints, "categories", None)
+        if isinstance(raw, dict) and default is not None:
+            hget = raw.get
+        else:
+            hget = hints.get
+        bypass_enabled = policy.bypass_enabled
+        static_tb = policy.tiebreak == "static"
+        stamps = policy._stamps
+        temps_grid = policy._temps
+        covered = uncovered = 0
+        hits = evictions = compulsory = mismatches = 0
+        #: Global positions of bypasses — the only accesses that do not
+        #: tick the policy clock (needed to reconstruct exact stamps).
+        bypass_positions: List[int] = []
+        #: (set, way, global position of last touch) per filled way.
+        last_touches: List[tuple] = []
+        for g, s in enumerate(set_ids):
+            a, b = starts[g], starts[g + 1]
+            dct: Dict[int, int] = {}
+            tag = [_INVALID] * W
+            tgt = [0] * W
+            reused = [False] * W
+            fillidx = [0] * W
+            wtemps = [0] * W
+            touch = [-1] * W
+            nfilled = 0
+            for k in range(a, b):
+                pc = pcs[k]
+                way = dct.get(pc)
+                if way is not None:
+                    hits += 1
+                    t = tgts[k]
+                    if tgt[way] != t:
+                        mismatches += 1
+                        tgt[way] = t
+                    reused[way] = True
+                    touch[way] = k
+                    continue
+                t_in = hget(pc, default)
+                if nfilled < W:
+                    way = nfilled
+                    nfilled += 1
+                    compulsory += 1
+                else:
+                    coldest = min(wtemps)
+                    hottest = max(wtemps)
+                    if t_in < coldest:
+                        coldest = t_in
+                    if t_in > hottest:
+                        hottest = t_in
+                    if coldest == hottest:
+                        uncovered += 1
+                    else:
+                        covered += 1
+                    candidates = [w for w in ways if wtemps[w] == coldest]
+                    if not candidates:
+                        # The incoming branch is the unique coldest.
+                        if bypass_enabled:
+                            bypass_positions.append(pos[k])
+                            continue
+                        candidates = list(ways)
+                    if static_tb:
+                        way = candidates[0]
+                    else:
+                        way = min(candidates, key=touch.__getitem__)
+                    evictions += 1
+                    del dct[tag[way]]
+                dct[pc] = way
+                tag[way] = pc
+                tgt[way] = tgts[k]
+                reused[way] = False
+                fillidx[way] = pos[k]
+                wtemps[way] = t_in
+                touch[way] = k
+            self._write_set(btb, s, tag, tgt, reused, fillidx, dct)
+            temps_grid[s] = wtemps
+            for w in ways:
+                if touch[w] >= 0:
+                    last_touches.append((s, w, pos[touch[w]]))
+        n = len(pcs)
+        bypasses = len(bypass_positions)
+        if bypasses:
+            bypass_positions.sort()
+            for s, w, p in last_touches:
+                # Clock at position p = touches at or before p.
+                stamps[s][w] = p + 1 - bisect_right(bypass_positions, p)
+        else:
+            for s, w, p in last_touches:
+                stamps[s][w] = p + 1
+        policy._clock = n - bypasses
+        policy.covered_decisions += covered
+        policy.uncovered_decisions += uncovered
+        self._write_stats(btb, n, hits, evictions, bypasses, compulsory,
+                          mismatches)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+#: Exact policy type → kernel.  Exact-type keyed on purpose: a subclass
+#: (BRRIP under SRRIP, dueling under Thermometer) has different
+#: semantics and must take the reference loop.
+KERNELS: Dict[type, Type[ReplayKernel]] = {
+    LRUPolicy: LRUKernel,
+    MRUPolicy: MRUKernel,
+    FIFOPolicy: FIFOKernel,
+    SRRIPPolicy: SRRIPKernel,
+    BeladyOptimalPolicy: OPTKernel,
+    ThermometerPolicy: ThermometerKernel,
+}
+
+
+def kernel_policy_names() -> List[str]:
+    """Registry names of the policies with a fast-path kernel."""
+    return sorted(p.name for p in KERNELS)
+
+
+def _pristine(btb) -> bool:
+    stats = btb.stats
+    if (stats.accesses or stats.misses or stats.bypasses
+            or stats.compulsory_fills):
+        return False
+    # Prefetch fills leave stats untouched but populate storage.
+    return not any(btb._dir)
+
+
+def select_kernel(btb, stream: AccessStream) -> Optional[ReplayKernel]:
+    """The kernel that can replay ``stream`` into ``btb``, or None if
+    this replay must take the reference loop.
+
+    The caller (``replay_stream``) has already established that ``btb``
+    is a plain :class:`~repro.btb.btb.BTB` on the stream's geometry with
+    no observers attached.
+    """
+    if not _enabled:
+        return None
+    kernel_cls = KERNELS.get(type(btb.policy))
+    if kernel_cls is None:
+        return None
+    if not _pristine(btb):
+        return None
+    if not kernel_cls.matches(btb.policy, stream):
+        return None
+    return kernel_cls()
+
+
+def try_fast_replay(stream: AccessStream, btb):
+    """Replay ``stream`` through a specialized kernel if one applies.
+
+    Returns ``btb.stats`` on success, or None when the replay must fall
+    back to the reference loop.
+    """
+    kernel = select_kernel(btb, stream)
+    if kernel is None:
+        return None
+    kernel.replay(btb, stream)
+    return btb.stats
+
+
+def try_fast_opt_profile(stream: AccessStream, btb):
+    """OPT replay with per-access outcome attribution for the profiler.
+
+    Returns a ``bytearray`` of outcome codes (one per access, indexed by
+    stream position), or None when the fast path does not apply.
+    """
+    from repro.btb.btb import BTB
+    if type(btb) is not BTB or btb.config != stream.config \
+            or btb._observers:
+        return None
+    kernel = select_kernel(btb, stream)
+    if not isinstance(kernel, OPTKernel):
+        return None
+    outcomes = bytearray(len(stream))
+    kernel.replay(btb, stream, outcomes=outcomes)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Analytic LRU: stack distances instead of simulation
+# ----------------------------------------------------------------------
+
+def _fenwick_update(tree: List[int], i: int, delta: int) -> None:
+    while i < len(tree):
+        tree[i] += delta
+        i += i & (-i)
+
+
+def _fenwick_prefix(tree: List[int], i: int) -> int:
+    total = 0
+    while i > 0:
+        total += tree[i]
+        i -= i & (-i)
+    return total
+
+
+def lru_stack_stats(stream: AccessStream):
+    """LRU hit/miss counts computed analytically, without simulating
+    BTB state.
+
+    Under LRU an access hits iff the number of *distinct* other pcs
+    accessed in the same set since its previous occurrence is smaller
+    than the associativity (its stack / reuse depth fits the set).  The
+    per-set depths are computed with a Fenwick tree over last-occurrence
+    marks — O(n log n) total — and the remaining counters follow
+    arithmetically: LRU never bypasses, so every miss fills, the first
+    ``ways`` misses of a set are compulsory, and the rest evict.
+
+    Returns a :class:`~repro.btb.btb.BTBStats` bit-identical to
+    replaying the stream through an LRU BTB (enforced by
+    ``tests/test_fast_kernels.py``).
+    """
+    from repro.btb.btb import BTBStats
+    part = stream.partition()
+    pcs, tgts = part.pcs, part.targets
+    starts = part.starts.tolist()
+    W = stream.config.ways
+    n = len(pcs)
+    hits = mismatches = evictions = compulsory = 0
+    for g in range(len(part.set_ids)):
+        a, b = starts[g], starts[g + 1]
+        m = b - a
+        tree = [0] * (m + 1)
+        last: Dict[int, int] = {}
+        set_misses = 0
+        for i in range(m):
+            pc = pcs[a + i]
+            j = last.get(pc)
+            if j is None:
+                set_misses += 1
+            else:
+                # Distinct other pcs strictly between occurrences =
+                # last-occurrence marks in (j, i).
+                depth = (_fenwick_prefix(tree, i)
+                         - _fenwick_prefix(tree, j + 1))
+                if depth < W:
+                    hits += 1
+                    if tgts[a + i] != tgts[a + j]:
+                        mismatches += 1
+                else:
+                    set_misses += 1
+                _fenwick_update(tree, j + 1, -1)
+            _fenwick_update(tree, i + 1, 1)
+            last[pc] = i
+        compulsory += min(set_misses, W)
+        evictions += max(0, set_misses - W)
+    return BTBStats(accesses=n, hits=hits, misses=n - hits,
+                    evictions=evictions, bypasses=0,
+                    compulsory_fills=compulsory,
+                    target_mismatches=mismatches)

@@ -72,7 +72,9 @@ class ReplacementPolicy(ABC):
         """Pick the way to evict for ``incoming_pc``, or :data:`BYPASS`.
 
         ``resident_pcs`` lists the pcs currently stored in the set, one per
-        way (the set is full when this is called).
+        way (the set is full when this is called).  The BTB passes its
+        numpy tag row directly — index or iterate it, but cast elements
+        with ``int()`` before using them as dict keys in hot code.
         """
 
     # ------------------------------------------------------------------

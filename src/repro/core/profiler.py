@@ -14,6 +14,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
+from repro.btb import kernels
 from repro.btb.btb import BTB, BTBStats
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.btb.replacement.opt import BeladyOptimalPolicy
@@ -75,6 +78,32 @@ class OptProfile:
                 f"{self.num_branches}, hit_rate={self.stats.hit_rate:.3f})")
 
 
+def _aggregate_outcomes(stream: AccessStream, outcomes: bytearray,
+                        branches: Dict[int, BranchProfile]) -> None:
+    """Fold per-access outcome codes into per-branch profiles.
+
+    Preserves the reference loop's dict ordering (first occurrence of
+    each pc in the stream) so serialized profiles stay byte-identical.
+    """
+    pcs = stream.pcs
+    out = np.frombuffer(outcomes, dtype=np.uint8)
+    uniq, first, inverse = np.unique(pcs, return_index=True,
+                                     return_inverse=True)
+    k = len(uniq)
+    taken = np.bincount(inverse, minlength=k)
+    hits = np.bincount(inverse[out == kernels.OUTCOME_HIT], minlength=k)
+    inserts = np.bincount(inverse[out == kernels.OUTCOME_INSERT],
+                          minlength=k)
+    bypasses = np.bincount(inverse[out == kernels.OUTCOME_BYPASS],
+                           minlength=k)
+    for j in np.argsort(first, kind="stable"):
+        pc = int(uniq[j])
+        branches[pc] = BranchProfile(pc=pc, taken=int(taken[j]),
+                                     hits=int(hits[j]),
+                                     inserts=int(inserts[j]),
+                                     bypasses=int(bypasses[j]))
+
+
 def profile_trace(trace: BranchTrace,
                   config: BTBConfig = DEFAULT_BTB_CONFIG,
                   bypass_enabled: bool = True,
@@ -99,30 +128,38 @@ def profile_trace(trace: BranchTrace,
     btb = BTB(config, policy)
     profile = OptProfile(trace_name=trace.name, config=config)
     branches = profile.branches
-    pcs = stream.pcs_list
-    targets = stream.targets_list
-    sets = stream.sets_list
-    access = btb._access_with_set
     stats = btb.stats
     registry = get_registry()
     with registry.span("opt-replay"):
         start = time.perf_counter()
-        for i in range(len(pcs)):
-            pc = pcs[i]
-            bypasses_before = stats.bypasses
-            fills_before = stats.compulsory_fills + stats.evictions
-            hit = access(sets[i], pc, targets[i], i)
-            record = branches.get(pc)
-            if record is None:
-                record = BranchProfile(pc=pc)
-                branches[pc] = record
-            record.taken += 1
-            if hit:
-                record.hits += 1
-            elif stats.bypasses > bypasses_before:
-                record.bypasses += 1
-            elif stats.compulsory_fills + stats.evictions > fills_before:
-                record.inserts += 1
+        # Fast path: the set-partitioned OPT kernel replays the stream and
+        # hands back one outcome code per access; the per-branch counters
+        # are then pure bincount aggregation instead of per-access Python.
+        outcomes = kernels.try_fast_opt_profile(stream, btb)
+        if outcomes is not None:
+            _aggregate_outcomes(stream, outcomes, branches)
+        else:
+            pcs = stream.pcs_list
+            targets = stream.targets_list
+            sets = stream.sets_list
+            access = btb._access_with_set
+            for i in range(len(pcs)):
+                pc = pcs[i]
+                bypasses_before = stats.bypasses
+                fills_before = stats.compulsory_fills + stats.evictions
+                hit = access(sets[i], pc, targets[i], i)
+                record = branches.get(pc)
+                if record is None:
+                    record = BranchProfile(pc=pc)
+                    branches[pc] = record
+                record.taken += 1
+                if hit:
+                    record.hits += 1
+                elif stats.bypasses > bypasses_before:
+                    record.bypasses += 1
+                elif (stats.compulsory_fills + stats.evictions
+                      > fills_before):
+                    record.inserts += 1
         profile.elapsed_seconds = time.perf_counter() - start
     profile.stats = btb.stats
     registry.count("profiler/replays")

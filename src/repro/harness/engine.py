@@ -599,11 +599,45 @@ def _execute_guarded(job: SimJob, *, index: Optional[int], attempt: int,
                          error=f"{type(exc).__name__}: {exc}")
 
 
+def _attach_shared_streams(stream_handles) -> List[Tuple[Any, Any]]:
+    """Attach the parent's exported streams (worker side).
+
+    Each attached stream is adopted into this process's stream memo, so
+    :func:`~repro.trace.stream.access_stream_for` serves the zero-copy
+    columns instead of rebuilding them.  Any attach failure (the parent
+    unlinked early, platform refuses the mapping, ...) just drops that
+    handle — the job recomputes through the store as before.
+    """
+    if not stream_handles:
+        return []
+    from repro.trace.shm import attach_stream
+    from repro.trace.stream import adopt_stream
+    registry = get_registry()
+    adopted = []
+    for handle in stream_handles:
+        try:
+            stream = attach_stream(handle)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            log.warning("could not attach shared stream %s for %s/%d "
+                        "(%s: %s); falling back to the store",
+                        handle.shm_name, handle.app, handle.input_id,
+                        type(exc).__name__, exc)
+            continue
+        adopt_stream(stream)
+        adopted.append((handle, stream))
+        registry.count("engine/shm/attached")
+    return adopted
+
+
 def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
                   salt: str = STORE_VERSION,
                   indices: Optional[Sequence[int]] = None,
                   attempts: Optional[Sequence[int]] = None,
-                  job_timeout: Optional[float] = None) -> List[JobResult]:
+                  job_timeout: Optional[float] = None,
+                  stream_handles: Optional[Sequence[Any]] = None
+                  ) -> List[JobResult]:
     """Worker entry point for a *group* of jobs (module-level so process
     pools can pickle it).
 
@@ -615,6 +649,12 @@ def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
     a failed or timed-out job yields a failed :class:`JobResult` and the
     rest of the batch still runs.
 
+    ``stream_handles`` (see :mod:`repro.trace.shm`) carries the parent's
+    shared-memory exports of the group's trace and access-stream columns:
+    attaching replaces this worker's store unpickle and column rebuild
+    with zero-copy views.  Handles are hints — any attach failure falls
+    back to the store path.
+
     ``REPRO_PROFILE=cprofile|tracemalloc`` wraps the batch in a deep
     profiler (see :mod:`repro.telemetry.profile_hooks`).
     """
@@ -624,6 +664,7 @@ def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
                   else [None] * len(jobs))
     attempt_list = (list(attempts) if attempts is not None
                     else [0] * len(jobs))
+    adopted = _attach_shared_streams(stream_handles)
     harnesses: Dict[HarnessConfig, Harness] = {}
     results: List[JobResult] = []
     with worker_profile(cache_root):
@@ -632,11 +673,21 @@ def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
             harness = harnesses.get(config)
             if harness is None:
                 harness = Harness(config, store=store)
+                for handle, stream in adopted:
+                    if handle.length == config.length:
+                        harness.adopt_trace(handle.app, handle.input_id,
+                                            stream.trace)
                 harnesses[config] = harness
             results.append(_execute_guarded(
                 job, index=index, attempt=attempt, store=store,
                 harness=harness, salt=salt, job_timeout=job_timeout,
                 in_worker=True))
+    # Streams were attached before any per-job telemetry delta started;
+    # piggy-back the count on the last result so it reaches the parent.
+    if results and adopted:
+        counters = results[-1].telemetry.setdefault("counters", {})
+        counters["engine/shm/attached"] = (
+            counters.get("engine/shm/attached", 0) + len(adopted))
     # The profile hook records its gauges after every per-job delta was
     # taken; piggy-back them on the last result so they reach the parent.
     registry = get_registry()
@@ -1011,21 +1062,86 @@ class ExperimentEngine:
             batches.extend([largest[:mid], largest[mid:]])
         return batches
 
+    @staticmethod
+    def _stream_key(job: SimJob) -> Tuple[str, int, Optional[int],
+                                          BTBConfig]:
+        """Identity of the (trace, geometry) pair one export covers."""
+        return (job.app, job.input_id, job.length, job.btb_config)
+
+    def _export_streams(self, rs: _RunState,
+                        batches: Sequence[Sequence[int]]) -> Dict[Any, Any]:
+        """Export each round-0 group's stream columns over shared memory.
+
+        Only traces already present in the store are exported — the
+        parent shares what exists, it never computes a missing trace
+        (that stays the worker's job).  Returns ``{stream key:
+        ExportedStream}``; the caller owns the exports and must close
+        (unlink) them after the run.
+        """
+        from repro.trace.shm import export_stream, shm_enabled
+        from repro.trace.stream import access_stream_for
+        if self.store is None or not shm_enabled():
+            return {}
+        exports: Dict[Any, Any] = {}
+        for batch in batches:
+            job = rs.jobs[batch[0]]
+            key = self._stream_key(job)
+            if key in exports:
+                continue
+            trace = self.store.get("trace", self.store.key(
+                "trace", app=job.app, input_id=job.input_id,
+                length=job.length))
+            if trace is None:
+                continue
+            try:
+                stream = access_stream_for(trace, job.btb_config)
+                exports[key] = export_stream(stream, job.app,
+                                             job.input_id, job.length)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                log.warning("stream export failed for %s/%d (%s: %s); "
+                            "workers will rebuild from the store",
+                            job.app, job.input_id,
+                            type(exc).__name__, exc)
+        if exports:
+            get_registry().count("engine/shm/exported", len(exports))
+            total = sum(e.handle.nbytes for e in exports.values())
+            log.info("exported %d shared stream(s) (%.1f MiB) for "
+                     "zero-copy worker attach", len(exports),
+                     total / (1024 * 1024))
+        return exports
+
     def _run_parallel(self, rs: _RunState,
                       pending: Sequence[int]) -> None:
         from concurrent.futures.process import BrokenProcessPool
         cache_root = str(self.cache_dir) if self.cache_dir else None
         queue = list(pending)
         round_no = 0
+        exports: Dict[Any, Any] = {}
+        try:
+            self._run_parallel_rounds(rs, queue, round_no, cache_root,
+                                      exports, BrokenProcessPool)
+        finally:
+            for exported in exports.values():
+                exported.close()
+
+    def _run_parallel_rounds(self, rs: _RunState, queue: List[int],
+                             round_no: int, cache_root: Optional[str],
+                             exports: Dict[Any, Any],
+                             BrokenProcessPool) -> None:
         while queue:
             if round_no == 0:
                 local = self._batch([rs.jobs[i] for i in queue],
                                     min(self.jobs, len(queue)))
                 batches = [[queue[li] for li in b] for b in local]
+                exports.update(self._export_streams(rs, batches))
             else:
                 # Retry rounds run every job in its own isolation batch
                 # (on a fresh pool): one poison job can then take down at
-                # most itself, never re-kill healthy neighbours.
+                # most itself, never re-kill healthy neighbours.  They
+                # also drop the shared-memory handles — a retried job
+                # rebuilds everything through the store.
                 batches = [[i] for i in queue]
             workers = min(self.jobs, len(batches))
             retry: List[int] = []
@@ -1034,11 +1150,18 @@ class ExperimentEngine:
                 for batch in batches:
                     for i in batch:
                         self._start_attempt(rs, i)
+                    handles = None
+                    if round_no == 0:
+                        exported = exports.get(
+                            self._stream_key(rs.jobs[batch[0]]))
+                        if exported is not None:
+                            handles = [exported.handle]
                     future = pool.submit(
                         run_job_batch, [rs.jobs[i] for i in batch],
                         cache_root, self.salt, indices=list(batch),
                         attempts=[rs.attempts[i] - 1 for i in batch],
-                        job_timeout=self.job_timeout)
+                        job_timeout=self.job_timeout,
+                        stream_handles=handles)
                     futures[future] = batch
                 for future in as_completed(futures):
                     batch = futures[future]

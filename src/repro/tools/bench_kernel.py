@@ -20,6 +20,13 @@ replay hot loop.
 Writes a ``BENCH_kernel.json`` record so CI tracks the perf trajectory::
 
     python -m repro.tools.bench_kernel --length 60000 --output BENCH_kernel.json
+
+``--replay-output`` additionally runs the per-policy fast-vs-reference
+replay breakdown (the set-partitioned kernels of ``repro.btb.kernels``
+against the reference per-access loop, traces/hints/streams precomputed,
+passes interleaved) and writes a ``BENCH_replay.json`` record.  When
+that file already exists its recorded ``floors`` become the gate: the
+run exits 1 if any policy's measured speedup drops below its floor.
 """
 
 from __future__ import annotations
@@ -28,17 +35,22 @@ import argparse
 import gc
 import json
 import logging
+import os
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.btb import kernels
+from repro.btb.btb import run_btb
 from repro.harness.runner import Harness, HarnessConfig
 from repro.telemetry.logconfig import (add_logging_args, emit,
                                        setup_cli_logging)
 from repro.telemetry.metrics import MetricsRegistry, set_registry
 from repro.trace.stream import clear_stream_cache
+from repro.workloads.datacenter import app_names
 
-__all__ = ["main", "run_benchmark"]
+__all__ = ["main", "run_benchmark", "run_replay_benchmark",
+           "check_replay_floors"]
 
 # Stable name: __name__ is "__main__" under python -m, which
 # would escape the repro logger tree.
@@ -46,6 +58,11 @@ log = logging.getLogger("repro.tools.bench_kernel")
 
 DEFAULT_APPS = ("tomcat", "python")
 DEFAULT_POLICIES = ("lru", "srrip", "thermometer", "opt")
+
+#: Seed speedup floors for the replay breakdown, used when no committed
+#: ``BENCH_replay.json`` supplies its own ``floors``.  The acceptance bar
+#: is >= 2x for the kernels the paper's sweeps lean on hardest.
+REPLAY_FLOORS = {"lru": 2.0, "opt": 2.0, "thermometer": 2.0}
 
 
 def _hints_for(harness: Harness, app: str, policy: str):
@@ -158,6 +175,90 @@ def run_benchmark(apps=DEFAULT_APPS, policies=DEFAULT_POLICIES,
     }
 
 
+def run_replay_benchmark(apps, policies=DEFAULT_POLICIES,
+                         length: int = 60000, repeats: int = 3) -> dict:
+    """Per-policy replay-only timings: fast-path kernels vs. the
+    reference per-access loop.
+
+    Traces, hints, and the shared streams (including the set partition
+    and next-use columns) are precomputed, so the timed region is the
+    replay itself — the fast path's dispatch plus kernel loop against
+    the reference ``BTB.access`` loop over the same pristine BTB.  The
+    two paths are interleaved per (app, policy) pass so clock drift
+    hits both equally; each policy's seconds are summed across apps and
+    the best-of-``repeats`` sums are reported.
+    """
+    previous = set_registry(MetricsRegistry(enabled=False))
+    try:
+        prepared = []
+        for app in apps:
+            harness = Harness(HarnessConfig(apps=(app,), length=length))
+            trace = harness.trace(app)
+            stream = harness.stream(trace)
+            stream.next_use  # noqa: B018 - forces the Belady column
+            stream.partition()
+            for policy in policies:
+                prepared.append((harness, trace, policy,
+                                 _hints_for(harness, app, policy)))
+
+        def timed_pass(harness, trace, policy, hints,
+                       fast_enabled: bool) -> float:
+            btb = harness.build_btb(policy, trace, hints=hints)
+            prev = kernels.set_fast_path_enabled(fast_enabled)
+            try:
+                start = time.perf_counter()
+                run_btb(trace, btb)
+                return time.perf_counter() - start
+            finally:
+                kernels.set_fast_path_enabled(prev)
+
+        for job in prepared:  # warm allocations on both paths
+            timed_pass(*job, True)
+            timed_pass(*job, False)
+        fast = {p: float("inf") for p in policies}
+        reference = {p: float("inf") for p in policies}
+        for _ in range(max(1, repeats)):
+            gc.collect()
+            round_fast = {p: 0.0 for p in policies}
+            round_ref = {p: 0.0 for p in policies}
+            for harness, trace, policy, hints in prepared:
+                round_fast[policy] += timed_pass(harness, trace, policy,
+                                                 hints, True)
+                round_ref[policy] += timed_pass(harness, trace, policy,
+                                                hints, False)
+            for p in policies:
+                fast[p] = min(fast[p], round_fast[p])
+                reference[p] = min(reference[p], round_ref[p])
+    finally:
+        set_registry(previous)
+    per_policy: Dict[str, dict] = {}
+    for p in policies:
+        speedup = reference[p] / fast[p] if fast[p] else 0.0
+        per_policy[p] = {
+            "reference_seconds": round(reference[p], 4),
+            "fast_seconds": round(fast[p], 4),
+            "speedup": round(speedup, 3),
+        }
+    return {
+        "bench": "replay",
+        "apps": list(apps),
+        "length": length,
+        "repeats": repeats,
+        "policies": per_policy,
+    }
+
+
+def check_replay_floors(record: dict,
+                        floors: Dict[str, float]) -> List[str]:
+    """Policies whose measured speedup fell below their recorded floor."""
+    breaches = []
+    for policy, floor in sorted(floors.items()):
+        measured = record["policies"].get(policy)
+        if measured is not None and measured["speedup"] < floor:
+            breaches.append(policy)
+    return breaches
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.bench_kernel",
@@ -178,6 +279,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--output", default="BENCH_kernel.json",
                         help="where to write the JSON record ('-' = stdout "
                              "only)")
+    parser.add_argument("--replay-output", default="",
+                        help="also run the per-policy fast-vs-reference "
+                             "replay breakdown and write its record here "
+                             "(e.g. BENCH_replay.json; '-' = stdout only; "
+                             "empty skips the breakdown).  An existing "
+                             "file's recorded floors gate the run.")
+    parser.add_argument("--replay-apps", default="all",
+                        help="comma-separated apps for the replay "
+                             "breakdown; 'all' = the full datacenter sweep")
+    parser.add_argument("--replay-policies",
+                        default=",".join(DEFAULT_POLICIES),
+                        help="comma-separated policies for the replay "
+                             "breakdown")
     add_logging_args(parser)
     args = parser.parse_args(argv)
     setup_cli_logging(args)
@@ -192,12 +306,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(rendered + "\n")
         log.info("wrote %s", args.output)
+    failed = False
     if (args.max_overhead_pct > 0
             and record["telemetry_overhead_pct"] > args.max_overhead_pct):
         log.error("telemetry overhead %.2f%% exceeds budget %.2f%%",
                   record["telemetry_overhead_pct"], args.max_overhead_pct)
-        return 1
-    return 0
+        failed = True
+    if args.replay_output:
+        replay_apps = (list(app_names()) if args.replay_apps == "all"
+                       else [a for a in args.replay_apps.split(",") if a])
+        replay_policies = [p for p in args.replay_policies.split(",") if p]
+        replay = run_replay_benchmark(replay_apps, replay_policies,
+                                      args.length,
+                                      repeats=max(1, args.repeats))
+        floors = dict(REPLAY_FLOORS)
+        if args.replay_output != "-" and os.path.exists(args.replay_output):
+            try:
+                with open(args.replay_output, encoding="utf-8") as fh:
+                    floors.update(json.load(fh).get("floors") or {})
+            except (OSError, ValueError):
+                log.warning("ignoring unreadable %s", args.replay_output)
+        replay["floors"] = floors
+        rendered = json.dumps(replay, indent=2)
+        emit(rendered)
+        if args.replay_output != "-":
+            with open(args.replay_output, "w", encoding="utf-8") as fh:
+                fh.write(rendered + "\n")
+            log.info("wrote %s", args.replay_output)
+        for policy in check_replay_floors(replay, floors):
+            log.error("fast-path speedup %.3fx for %s is below the "
+                      "recorded floor %.2fx",
+                      replay["policies"][policy]["speedup"], policy,
+                      floors[policy])
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -38,9 +38,9 @@ from repro.trace.record import INSTRUCTION_BYTES, BranchKind, BranchTrace
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (btb -> trace)
     from repro.btb.config import BTBConfig
 
-__all__ = ["AccessStream", "NEVER", "access_stream_for",
-           "clear_stream_cache", "compute_next_use_indices",
-           "compute_set_indices"]
+__all__ = ["AccessStream", "NEVER", "SetPartition", "access_stream_for",
+           "adopt_stream", "clear_stream_cache",
+           "compute_next_use_indices", "compute_set_indices"]
 
 #: Sentinel next-use index meaning "never accessed again" (shared with
 #: :mod:`repro.btb.replacement.opt`).
@@ -78,6 +78,53 @@ def compute_set_indices(pcs: np.ndarray, config: "BTBConfig") -> np.ndarray:
                        dtype=np.int64, count=len(pcs))
 
 
+class SetPartition:
+    """A stream re-partitioned into contiguous per-set sub-streams.
+
+    BTB sets are architecturally independent: no access in set *s* can
+    influence the outcome of an access in set *t*.  A stable argsort of
+    the stream's ``set_indices`` therefore yields, for each set, its
+    accesses *in original stream order* as one contiguous slice — the
+    layout the fast-path replay kernels (:mod:`repro.btb.kernels`)
+    iterate, with plain-int list mirrors so the per-access loop never
+    touches a numpy scalar.
+
+    Attributes:
+
+    * ``order`` — permutation mapping partition position → original
+      stream position (``np.argsort(set_indices, kind="stable")``);
+    * ``set_ids`` / ``starts`` — the sets that actually appear, in
+      ascending order, with ``starts[g]:starts[g+1]`` delimiting set
+      ``set_ids[g]``'s slice of the sorted columns;
+    * ``pcs`` / ``targets`` / ``positions`` — sorted-column list
+      mirrors (``positions`` are original stream indices).
+    """
+
+    def __init__(self, stream: "AccessStream"):
+        set_indices = stream.set_indices
+        n = len(set_indices)
+        self.order = np.argsort(set_indices, kind="stable")
+        sorted_sets = set_indices[self.order]
+        if n:
+            change = np.flatnonzero(sorted_sets[:-1] != sorted_sets[1:]) + 1
+            self.starts = np.concatenate(
+                ([0], change, [n])).astype(np.int64)
+            self.set_ids = sorted_sets[self.starts[:-1]]
+        else:
+            self.starts = np.zeros(1, dtype=np.int64)
+            self.set_ids = np.zeros(0, dtype=np.int64)
+        self.pcs: List[int] = stream.pcs[self.order].tolist()
+        self.targets: List[int] = stream.targets[self.order].tolist()
+        self.positions: List[int] = self.order.tolist()
+
+    @property
+    def num_populated_sets(self) -> int:
+        return len(self.set_ids)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+
 class AccessStream:
     """Columnar view of one trace's BTB demand-access stream under one
     BTB geometry.
@@ -98,6 +145,7 @@ class AccessStream:
         self.set_indices = compute_set_indices(self.pcs, config)
         # Lazily materialized derivatives.
         self._next_use: Optional[np.ndarray] = None
+        self._partition: Optional[SetPartition] = None
         self._occurrences: Optional[Dict[int, List[int]]] = None
         self._pcs_list: Optional[List[int]] = None
         self._targets_list: Optional[List[int]] = None
@@ -114,6 +162,14 @@ class AccessStream:
         if self._next_use is None:
             self._next_use = compute_next_use_indices(self.pcs)
         return self._next_use
+
+    def partition(self) -> SetPartition:
+        """The per-set partition of this stream, memoized like
+        :attr:`next_use` so every fast-path replay of a sweep shares one
+        stable sort."""
+        if self._partition is None:
+            self._partition = SetPartition(self)
+        return self._partition
 
     def occurrences(self) -> Dict[int, List[int]]:
         """pc → ascending stream positions (prefetch-fill OPT fallback)."""
@@ -212,6 +268,24 @@ def access_stream_for(trace: BranchTrace,
         del _memo[key]
     stream = AccessStream(trace, config)
     _memo[key] = (weakref.ref(trace), stream)
+    while len(_memo) > _MEMO_CAPACITY:
+        _memo.popitem(last=False)
+    return stream
+
+
+def adopt_stream(stream: AccessStream) -> AccessStream:
+    """Register a prebuilt stream in the memo under its own
+    ``(trace, config)`` key, so subsequent :func:`access_stream_for`
+    calls for that pair return it instead of rebuilding the columns.
+
+    Used by the shared-memory transfer path
+    (:mod:`repro.trace.shm`): an engine worker attaches the parent's
+    exported columns zero-copy and adopts the resulting stream, and
+    every replay in the worker then reuses them.
+    """
+    key = (id(stream.trace), len(stream.trace), stream.config)
+    _memo[key] = (weakref.ref(stream.trace), stream)
+    _memo.move_to_end(key)
     while len(_memo) > _MEMO_CAPACITY:
         _memo.popitem(last=False)
     return stream

@@ -1,0 +1,275 @@
+"""Set-partitioned fast-path kernels: dispatch, equivalence, and the
+shared-memory stream transfer.
+
+The kernels in :mod:`repro.btb.kernels` must be *invisible*: whenever
+``replay_stream`` takes the fast path, the resulting stats, BTB storage,
+per-set directory, and policy-internal state must be bit-identical to
+the reference per-access loop — and anything the kernels cannot model
+exactly (observers, per-branch recording, subclassed policies, a
+pre-touched BTB) must force the slow path.  The property tests drive
+randomized streams through every kernel policy on both paths and diff
+everything that is reachable afterwards.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.btb import kernels
+from repro.btb.btb import BTB, replay_stream, run_btb
+from repro.btb.config import BTBConfig
+from repro.btb.observer import EventRecorder
+from repro.btb.replacement.registry import make_policy
+from repro.core.hints import HintMap
+from repro.trace.record import BranchKind, BranchRecord, BranchTrace
+from repro.trace.stream import access_stream_for, clear_stream_cache
+from repro.workloads import make_app_trace
+
+#: Tiny geometry so short randomized streams still overflow sets and
+#: exercise eviction / bypass decisions.
+CONFIG = BTBConfig(entries=8, ways=2)
+
+#: Attributes that, together, capture every kernel policy's mutable
+#: state (missing attributes are simply skipped per policy).
+_POLICY_ATTRS = ("_stamps", "_clock", "_rrpv", "_temps", "_resident_next",
+                 "_last_index", "covered_decisions", "uncovered_decisions")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_stream_cache()
+    yield
+    clear_stream_cache()
+
+
+def _trace_of(pairs) -> BranchTrace:
+    """Always-taken branches over a small pc/target alphabet."""
+    records = [BranchRecord(pc=0x1000 + pc * 4, target=0x4000 + t * 4,
+                            kind=BranchKind.UNCOND_DIRECT, taken=True,
+                            ilen=4)
+               for pc, t in pairs]
+    return BranchTrace.from_records(records, name="prop")
+
+
+def _policy(name: str, stream):
+    if name == "opt":
+        return make_policy("opt", stream=stream)
+    if name == "thermometer":
+        pcs = set(int(pc) for pc in stream.pcs)
+        hints = HintMap({pc: (pc >> 2) % 3 for pc in pcs},
+                        num_categories=3)
+        return make_policy("thermometer", hints=hints)
+    return make_policy(name)
+
+
+def _policy_state(policy) -> dict:
+    return {a: copy.deepcopy(getattr(policy, a))
+            for a in _POLICY_ATTRS if hasattr(policy, a)}
+
+
+def _btb_state(btb: BTB) -> dict:
+    return {
+        "stats": dataclasses.asdict(btb.stats),
+        "tags": btb._tags.tolist(),
+        "targets": btb._targets.tolist(),
+        "reused": btb._reused.tolist(),
+        "fill_index": btb._fill_index.tolist(),
+        "dir": btb._dir,
+    }
+
+
+def _replay(trace: BranchTrace, name: str, fast: bool) -> BTB:
+    stream = access_stream_for(trace, CONFIG)
+    btb = BTB(CONFIG, _policy(name, stream))
+    previous = kernels.set_fast_path_enabled(fast)
+    try:
+        run_btb(trace, btb)
+    finally:
+        kernels.set_fast_path_enabled(previous)
+    return btb
+
+
+pairs = st.lists(st.tuples(st.integers(0, 15), st.integers(0, 7)),
+                 min_size=0, max_size=120)
+
+
+# ----------------------------------------------------------------------
+# Property: fast path is bit-identical for every kernel policy
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(pairs=pairs)
+def test_fast_replay_bit_identical(pairs):
+    trace = _trace_of(pairs)
+    for name in kernels.kernel_policy_names():
+        clear_stream_cache()
+        fast_btb = _replay(trace, name, fast=True)
+        clear_stream_cache()
+        reference_btb = _replay(trace, name, fast=False)
+        assert _btb_state(fast_btb) == _btb_state(reference_btb), name
+        assert _policy_state(fast_btb.policy) == \
+            _policy_state(reference_btb.policy), name
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(pairs=pairs)
+def test_lru_stack_stats_matches_replay(pairs):
+    """The analytic stack-distance kernel equals a simulated LRU replay."""
+    trace = _trace_of(pairs)
+    clear_stream_cache()
+    stream = access_stream_for(trace, CONFIG)
+    replayed = run_btb(trace, BTB(CONFIG, make_policy("lru")))
+    assert dataclasses.asdict(kernels.lru_stack_stats(stream)) == \
+        dataclasses.asdict(replayed)
+
+
+# ----------------------------------------------------------------------
+# Dispatch rules
+# ----------------------------------------------------------------------
+
+def _spy(monkeypatch):
+    """Count (and forward) try_fast_replay calls out of replay_stream."""
+    calls = []
+    real = kernels.try_fast_replay
+
+    def wrapped(stream, btb):
+        calls.append(1)
+        return real(stream, btb)
+
+    monkeypatch.setattr(kernels, "try_fast_replay", wrapped)
+    return calls
+
+
+def test_kernel_selected_for_every_kernel_policy():
+    trace = make_app_trace("tomcat", length=3000)
+    stream = access_stream_for(trace, CONFIG)
+    for name in kernels.kernel_policy_names():
+        btb = BTB(CONFIG, _policy(name, stream))
+        assert kernels.select_kernel(btb, stream) is not None, name
+
+
+def test_observer_forces_slow_path(monkeypatch):
+    trace = make_app_trace("tomcat", length=3000)
+    calls = _spy(monkeypatch)
+    observed = BTB(CONFIG, make_policy("lru"))
+    recorder = observed.add_observer(EventRecorder())
+    observed_stats = run_btb(trace, observed)
+    assert not calls, "observed replay must not consult the fast path"
+    assert recorder.events  # the slow path actually emitted events
+
+    plain = BTB(CONFIG, make_policy("lru"))
+    plain_stats = run_btb(trace, plain)
+    assert calls, "unobserved replay should try the fast path"
+    assert dataclasses.asdict(plain_stats) == \
+        dataclasses.asdict(observed_stats)
+
+
+def test_record_per_branch_forces_slow_path(monkeypatch):
+    trace = make_app_trace("tomcat", length=3000)
+    stream = access_stream_for(trace, CONFIG)
+    calls = _spy(monkeypatch)
+    stats, per_branch = replay_stream(stream, BTB(CONFIG, make_policy("lru")),
+                                      record_per_branch=True)
+    assert not calls
+    assert per_branch and stats.accesses > 0
+
+
+def test_kill_switch_disables_dispatch():
+    trace = make_app_trace("tomcat", length=3000)
+    stream = access_stream_for(trace, CONFIG)
+    btb = BTB(CONFIG, make_policy("lru"))
+    previous = kernels.set_fast_path_enabled(False)
+    try:
+        assert not kernels.fast_path_enabled()
+        assert kernels.select_kernel(btb, stream) is None
+        assert kernels.try_fast_replay(stream, btb) is None
+    finally:
+        kernels.set_fast_path_enabled(previous)
+    assert kernels.select_kernel(btb, stream) is not None
+
+
+def test_pretouched_btb_forces_slow_path():
+    trace = make_app_trace("tomcat", length=3000)
+    stream = access_stream_for(trace, CONFIG)
+    btb = BTB(CONFIG, make_policy("lru"))
+    btb.access(0x1000, 0x2000, 0)
+    assert kernels.select_kernel(btb, stream) is None
+
+
+def test_subclassed_policy_forces_slow_path():
+    """Exact-type dispatch: semantic subclasses take the reference loop."""
+    trace = make_app_trace("tomcat", length=3000)
+    stream = access_stream_for(trace, CONFIG)
+    btb = BTB(CONFIG, make_policy("brrip"))
+    assert kernels.select_kernel(btb, stream) is None
+
+
+# ----------------------------------------------------------------------
+# Shared-memory stream transfer
+# ----------------------------------------------------------------------
+
+class TestSharedMemoryStreams:
+    def test_round_trip_and_replay_equivalence(self):
+        from repro.trace import shm
+        trace = make_app_trace("tomcat", length=4000)
+        stream = access_stream_for(trace, CONFIG)
+        exported = shm.export_stream(stream, "tomcat", 0, 4000)
+        try:
+            attached = shm.attach_stream(exported.handle)
+            assert attached.config == stream.config
+            np.testing.assert_array_equal(attached.pcs, stream.pcs)
+            np.testing.assert_array_equal(attached.targets, stream.targets)
+            np.testing.assert_array_equal(attached.set_indices,
+                                          stream.set_indices)
+            np.testing.assert_array_equal(attached.next_use,
+                                          stream.next_use)
+            np.testing.assert_array_equal(attached.trace.pcs, trace.pcs)
+            part, ref_part = attached.partition(), stream.partition()
+            np.testing.assert_array_equal(part.order, ref_part.order)
+            np.testing.assert_array_equal(part.starts, ref_part.starts)
+            assert part.pcs == ref_part.pcs
+            assert part.positions == ref_part.positions
+
+            via_shm = replay_stream(attached,
+                                    BTB(CONFIG, make_policy("lru")))
+            direct = replay_stream(stream, BTB(CONFIG, make_policy("lru")))
+            assert dataclasses.asdict(via_shm) == dataclasses.asdict(direct)
+        finally:
+            exported.close()
+            exported.close()  # idempotent
+
+    def test_attach_after_unlink_raises(self):
+        from repro.trace import shm
+        trace = make_app_trace("python", length=2000)
+        stream = access_stream_for(trace, CONFIG)
+        exported = shm.export_stream(stream, "python", 0, 2000)
+        exported.close()
+        # Drop the process-level attach cache so a genuine re-attach is
+        # attempted against the unlinked block.
+        shm._attached.pop(exported.handle.shm_name, None)
+        with pytest.raises(FileNotFoundError):
+            shm.attach_stream(exported.handle)
+
+
+class TestEngineSharedMemoryEquivalence:
+    def test_parallel_shm_matches_serial_store_path(self, tmp_path,
+                                                    monkeypatch):
+        from repro.harness.engine import ExperimentEngine, SimJob
+        jobs = [SimJob(app=app, policy=policy, length=4000, mode="misses")
+                for app in ("tomcat", "python")
+                for policy in ("lru", "thermometer")]
+
+        monkeypatch.setenv("REPRO_SHM", "0")
+        serial = ExperimentEngine(cache_dir=tmp_path / "serial", jobs=1)
+        expected = [r.value for r in serial.run(jobs)]
+
+        monkeypatch.setenv("REPRO_SHM", "1")
+        parallel = ExperimentEngine(cache_dir=tmp_path / "parallel", jobs=2)
+        assert [r.value for r in parallel.run(jobs)] == expected

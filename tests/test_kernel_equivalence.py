@@ -107,6 +107,42 @@ def test_kernel_matches_reference_loop(policy_name, app):
     assert kernel_btb.resident_pcs() == reference_btb.resident_pcs()
 
 
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("policy_name", policy_names())
+def test_fast_path_matches_reference_loop(policy_name, app):
+    """The set-partitioned fast-path kernels vs. the reference loop.
+
+    Observer-free on purpose: attaching an observer forces the slow path
+    (see ``test_fast_kernels.py``), so this is the only differential that
+    actually exercises kernel dispatch.  Policies without a kernel take
+    the reference loop on both sides, which keeps the dispatch decision
+    itself under test for every registry name.
+    """
+    from repro.btb import kernels
+
+    trace = _trace(app)
+
+    def replay(fast: bool) -> BTB:
+        btb = BTB(CONFIG, _policy(policy_name, trace, reference=False))
+        previous = kernels.set_fast_path_enabled(fast)
+        try:
+            run_btb(trace, btb)
+        finally:
+            kernels.set_fast_path_enabled(previous)
+        return btb
+
+    fast_btb, reference_btb = replay(True), replay(False)
+    assert dataclasses.asdict(fast_btb.stats) == \
+        dataclasses.asdict(reference_btb.stats)
+    assert fast_btb.stats.accesses > 0
+    assert (fast_btb._tags == reference_btb._tags).all()
+    assert (fast_btb._targets == reference_btb._targets).all()
+    assert (fast_btb._reused == reference_btb._reused).all()
+    assert (fast_btb._fill_index == reference_btb._fill_index).all()
+    assert fast_btb._dir == reference_btb._dir
+    assert fast_btb.resident_pcs() == reference_btb.resident_pcs()
+
+
 @pytest.mark.parametrize("app", APPS[:2])
 def test_stats_show_real_pressure(app):
     """Guard the fixture: equivalence over an eviction-free replay would
