@@ -15,7 +15,7 @@ from repro.trace.record import BranchKind, BranchTrace
 from repro.trace.stream import AccessStream, access_stream_for
 
 __all__ = ["BTB", "BTBStats", "IndirectBTB", "btb_access_stream",
-           "replay_stream", "run_btb"]
+           "replay_stream", "replay_stream_multi", "run_btb"]
 
 _INVALID = -1
 
@@ -347,6 +347,44 @@ def replay_stream(stream: AccessStream, btb,
         if hit:
             counts[1] += 1
     return btb.stats, per_branch
+
+
+def replay_stream_multi(stream: AccessStream, btbs) -> List[BTBStats]:
+    """Replay one access stream through several BTB models in a single
+    sweep; returns their stats in order.
+
+    Result-identical to calling :func:`replay_stream` once per model —
+    that is the contract ``tests/test_multi_replay.py`` enforces — but
+    the stream is traversed once instead of once per model.  Models whose
+    policy has a fast-path kernel replay through it (all kernels share
+    the stream's memoized partition and list mirrors, so the per-sweep
+    setup is paid once); the rest are driven together through one shared
+    interpreter loop over the stream columns.
+    """
+    from repro.btb import kernels
+    slow = []
+    for btb in btbs:
+        fast = (type(btb) is BTB and btb.config == stream.config
+                and not btb._observers)
+        if not (fast and kernels.try_fast_replay(stream, btb) is not None):
+            slow.append(btb)
+    if slow:
+        pcs = stream.pcs_list
+        targets = stream.targets_list
+        sets = stream.sets_list
+        drivers = [(btb._access_with_set, True)
+                   if type(btb) is BTB and btb.config == stream.config
+                   else (btb.access, False)
+                   for btb in slow]
+        for i, pc in enumerate(pcs):
+            t = targets[i]
+            s = sets[i]
+            for access, with_set in drivers:
+                if with_set:
+                    access(s, pc, t, i)
+                else:
+                    access(pc, t, i)
+    return [btb.stats for btb in btbs]
 
 
 def run_btb(trace_or_stream: Union[BranchTrace, AccessStream], btb,

@@ -1,20 +1,38 @@
-"""Set-partitioned fast-path replay kernels.
+"""Policy-specialized fast-path replay kernels.
 
 The reference replay (:func:`repro.btb.btb.replay_stream` driving
 :meth:`BTB._access_with_set`) pays, on every access, for a dict probe, a
 virtual policy dispatch, dataclass counter updates, numpy row indexing,
-and an observer check.  BTB sets are architecturally independent — no
-access in one set can influence the outcome of an access in another —
-so a replay can instead be *partitioned by set*
-(:meth:`~repro.trace.stream.AccessStream.partition`) and executed one
-set at a time by a policy-specialized kernel whose per-access loop
-touches only local ints, small lists, and one dict.
+and an observer check.  Kernels strip all of that: each one is a single
+specialized Python loop over precomputed plain-int columns that touches
+only local ints, small lists, and one dict per set.  Two kernel shapes
+exist, chosen per policy by what state the policy couples:
+
+* **Set-partitioned** (:class:`LRUKernel`, :class:`MRUKernel`,
+  :class:`FIFOKernel`, :class:`SRRIPKernel`, :class:`OPTKernel`,
+  :class:`ThermometerKernel`, :class:`PLRUKernel`) — BTB sets are
+  architecturally independent for these policies, so the replay is
+  partitioned by set (:meth:`~repro.trace.stream.AccessStream.partition`)
+  and executed one contiguous per-set slice at a time.
+* **Global-order** (:class:`GlobalOrderKernel` subclasses: DIP, SHiP,
+  GHRP, Hawkeye, dueling and online Thermometer) — these policies couple
+  sets through global learning state (a PSEL counter, a signature table,
+  a path-history register, predictor counters) mutated in *stream
+  order*, so a per-set partition cannot be bit-identical.  Their kernels
+  instead run one specialized flat pass in original stream order,
+  mutating the policy's own state structures in place.
+
+Policies whose decisions consume a pseudo-random number generator per
+event (``random``, ``brrip``) are deliberately *not* kernelized; they
+are listed in :data:`REFERENCE_ONLY` with the reason, and the dispatch
+matrix test (``tests/test_fast_kernels.py``) fails if a registry policy
+is in neither camp.
 
 Every kernel is **bit-identical** to the reference loop: it produces the
 same :class:`~repro.btb.btb.BTBStats`, the same final BTB contents
 (tags, targets, reuse bits, fill indices, pc→way directories), and the
-same final policy state (recency stamps reconstructed from global
-access order, RRPV grids, temperatures, resident next-use distances,
+same final policy state (recency stamps, RRPV grids, temperatures,
+signature/outcome grids, predictor counters, PSEL/history registers,
 coverage counters), so a replay that continues through the slow path
 afterwards cannot diverge.  ``tests/test_fast_kernels.py`` and
 ``tests/test_kernel_equivalence.py`` enforce this differentially for
@@ -30,9 +48,16 @@ back to the reference loop:
   observer) is attached — kernels emit no per-access events;
 * the BTB is pristine (zero stats, empty storage) — kernels replay from
   reset, they do not resume mid-stream state;
-* the policy's exact type has a registered kernel and the policy itself
-  is in its just-bound state (e.g. recency clock at zero; for OPT, the
-  policy was built from this very stream's next-use column);
+* the policy's **exact type** has a registered kernel (a subclass —
+  even one that merely overrides ``choose_victim`` — silently takes the
+  reference loop, it never errors) and no policy hook has been patched
+  onto the *instance*;
+* the kernel's :meth:`~ReplayKernel.matches` precondition holds
+  (set-partitioned kernels that reconstruct state analytically require
+  the just-bound policy state, e.g. recency clock at zero; for OPT, the
+  policy was built from this very stream's next-use column.
+  Global-order kernels simulate the policy's own state in place and
+  accept any starting state);
 * the ``REPRO_FAST_REPLAY`` kill switch is not set to ``0``.
 
 :func:`lru_stack_stats` additionally computes LRU hit/miss counts
@@ -48,16 +73,26 @@ from typing import Dict, List, Optional, Type
 
 import numpy as np
 
+from repro.btb.replacement.dip import (DIPPolicy, _BIP_LEADER as _DIP_BIP,
+                                       _LRU_LEADER as _DIP_LRU)
+from repro.btb.replacement.dueling_thermometer import (
+    DuelingThermometerPolicy, _LRU_LEADER as _DUEL_LRU,
+    _THERMO_LEADER as _DUEL_THERMO)
 from repro.btb.replacement.fifo import FIFOPolicy
+from repro.btb.replacement.ghrp import GHRPPolicy
+from repro.btb.replacement.hawkeye import HawkeyePolicy, _RRPV_MAX
 from repro.btb.replacement.lru import LRUPolicy, MRUPolicy
+from repro.btb.replacement.online_thermometer import OnlineThermometerPolicy
 from repro.btb.replacement.opt import BeladyOptimalPolicy
+from repro.btb.replacement.plru import TreePLRUPolicy
+from repro.btb.replacement.ship import SHiPPolicy
 from repro.btb.replacement.srrip import SRRIPPolicy
 from repro.btb.replacement.thermometer import ThermometerPolicy
 from repro.trace.stream import AccessStream, NEVER
 
-__all__ = ["KERNELS", "ReplayKernel", "fast_path_enabled",
-           "kernel_policy_names", "lru_stack_stats", "select_kernel",
-           "set_fast_path_enabled", "try_fast_opt_profile",
+__all__ = ["KERNELS", "REFERENCE_ONLY", "GlobalOrderKernel", "ReplayKernel",
+           "fast_path_enabled", "kernel_policy_names", "lru_stack_stats",
+           "select_kernel", "set_fast_path_enabled", "try_fast_opt_profile",
            "try_fast_replay"]
 
 _INVALID = -1
@@ -579,12 +614,712 @@ class ThermometerKernel(ReplayKernel):
 
 
 # ----------------------------------------------------------------------
+# Tree PLRU
+# ----------------------------------------------------------------------
+
+class PLRUKernel(ReplayKernel):
+    """Tree pseudo-LRU: per-way touch paths precomputed once, victim walk
+    follows the bits.
+
+    State-faithful: the kernel mutates the policy's own per-set bit
+    vectors in place, so any starting bit state is reproduced exactly and
+    no freshness precondition is needed."""
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        part = stream.partition()
+        pcs, tgts, pos = part.pcs, part.targets, part.positions
+        starts = part.starts.tolist()
+        set_ids = part.set_ids.tolist()
+        W = btb.config.ways
+        all_bits = btb.policy._bits
+        # The bits a touch of each way writes, as (node, value) pairs —
+        # the policy's per-access tree walk, hoisted out of the loop.
+        paths = []
+        for way in range(W):
+            path = []
+            node = 0
+            low = 0
+            span = W
+            while span > 1:
+                half = span // 2
+                go_right = way >= low + half
+                path.append((node, 0 if go_right else 1))
+                node = 2 * node + (2 if go_right else 1)
+                if go_right:
+                    low += half
+                span = half
+            paths.append(tuple(path))
+        hits = evictions = compulsory = mismatches = 0
+        for g, s in enumerate(set_ids):
+            a, b = starts[g], starts[g + 1]
+            bits = all_bits[s]
+            dct: Dict[int, int] = {}
+            tag = [_INVALID] * W
+            tgt = [0] * W
+            reused = [False] * W
+            fillidx = [0] * W
+            nfilled = 0
+            for k in range(a, b):
+                pc = pcs[k]
+                way = dct.get(pc)
+                if way is not None:
+                    hits += 1
+                    t = tgts[k]
+                    if tgt[way] != t:
+                        mismatches += 1
+                        tgt[way] = t
+                    reused[way] = True
+                    for node, v in paths[way]:
+                        bits[node] = v
+                    continue
+                if nfilled < W:
+                    way = nfilled
+                    nfilled += 1
+                    compulsory += 1
+                else:
+                    node = 0
+                    low = 0
+                    span = W
+                    while span > 1:
+                        half = span // 2
+                        if bits[node] == 1:
+                            node = 2 * node + 2
+                            low += half
+                        else:
+                            node = 2 * node + 1
+                        span = half
+                    way = low
+                    evictions += 1
+                    del dct[tag[way]]
+                dct[pc] = way
+                tag[way] = pc
+                tgt[way] = tgts[k]
+                reused[way] = False
+                fillidx[way] = pos[k]
+                for node, v in paths[way]:
+                    bits[node] = v
+            self._write_set(btb, s, tag, tgt, reused, fillidx, dct)
+        n = len(pcs)
+        self._write_stats(btb, n, hits, evictions, 0, compulsory,
+                          mismatches)
+
+
+# ----------------------------------------------------------------------
+# Global-order kernels
+# ----------------------------------------------------------------------
+
+class GlobalOrderKernel(ReplayKernel):
+    """Base for kernels over policies with cross-set learning state.
+
+    DIP's PSEL, SHiP's signature table, GHRP's history register and
+    counter tables, Hawkeye's predictor, and the online/dueling
+    Thermometer counters are all mutated in *global stream order* — an
+    access to set 3 can change the decision of the next access to set 7.
+    A set-partitioned replay therefore cannot be bit-identical; these
+    kernels run one specialized flat pass in original order instead,
+    keeping BTB storage in plain lists-of-lists mirrors (written back in
+    bulk at the end) and mutating the policy's own state structures in
+    place.  Because the policy state is simulated faithfully rather than
+    reconstructed analytically, any starting state is acceptable and
+    :meth:`matches` stays permissive.
+    """
+
+    @staticmethod
+    def _storage(btb):
+        """Plain-list mirrors of the (pristine) BTB storage arrays."""
+        nsets, W = btb.config.num_sets, btb.config.ways
+        tags = [[_INVALID] * W for _ in range(nsets)]
+        tgts = [[0] * W for _ in range(nsets)]
+        reused = [[False] * W for _ in range(nsets)]
+        fillidx = [[0] * W for _ in range(nsets)]
+        dirs: List[Dict[int, int]] = [{} for _ in range(nsets)]
+        return tags, tgts, reused, fillidx, dirs
+
+    @staticmethod
+    def _write_back(btb, tags, tgts, reused, fillidx, dirs) -> None:
+        btb._tags[:] = tags
+        btb._targets[:] = tgts
+        btb._reused[:] = reused
+        btb._fill_index[:] = fillidx
+        btb._dir[:] = dirs
+
+
+class DIPKernel(GlobalOrderKernel):
+    """DIP set dueling: leader-set roles are static, PSEL and the BIP
+    fill counter evolve in global fill order."""
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        pcs = stream.pcs_list
+        tgts_in = stream.targets_list
+        sets = stream.sets_list
+        W = btb.config.ways
+        ways = range(W)
+        policy = btb.policy
+        stamps = policy._stamps
+        role = policy._role
+        clock = policy._clock
+        psel = policy._psel
+        bip = policy._bip_counter
+        psel_max = policy.psel_max
+        mid = psel_max // 2
+        p = policy.bip_mru_probability
+        period = max(1, round(1 / p)) if p > 0 else 0
+        tags, tgts, reused, fillidx, dirs = self._storage(btb)
+        hits = evictions = compulsory = mismatches = 0
+        for i, s in enumerate(sets):
+            pc = pcs[i]
+            dct = dirs[s]
+            way = dct.get(pc)
+            if way is not None:
+                hits += 1
+                row = tgts[s]
+                t = tgts_in[i]
+                if row[way] != t:
+                    mismatches += 1
+                    row[way] = t
+                reused[s][way] = True
+                clock += 1
+                stamps[s][way] = clock
+                continue
+            tag = tags[s]
+            srow = stamps[s]
+            if len(dct) < W:
+                way = len(dct)
+                compulsory += 1
+            else:
+                way = min(ways, key=srow.__getitem__)
+                evictions += 1
+                del dct[tag[way]]
+            dct[pc] = way
+            tag[way] = pc
+            tgts[s][way] = tgts_in[i]
+            reused[s][way] = False
+            fillidx[s][way] = i
+            clock += 1
+            r = role[s]
+            if r != _DIP_LRU and (r == _DIP_BIP or psel > mid):
+                bip += 1
+                if period and bip % period == 0:
+                    srow[way] = clock
+                else:
+                    # min over the row still sees the victim's stale
+                    # stamp, exactly like the reference hook.
+                    srow[way] = min(srow) - 1
+            else:
+                srow[way] = clock
+            if r == _DIP_LRU:
+                if psel < psel_max:
+                    psel += 1
+            elif r == _DIP_BIP and psel > 0:
+                psel -= 1
+        policy._clock = clock
+        policy._psel = psel
+        policy._bip_counter = bip
+        self._write_back(btb, tags, tgts, reused, fillidx, dirs)
+        self._write_stats(btb, len(pcs), hits, evictions, 0, compulsory,
+                          mismatches)
+
+
+class SHIPKernel(GlobalOrderKernel):
+    """SHiP: RRIP aging per set, signature counters shared globally."""
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        pcs = stream.pcs_list
+        tgts_in = stream.targets_list
+        sets = stream.sets_list
+        W = btb.config.ways
+        ways = range(W)
+        policy = btb.policy
+        shct = policy._shct
+        rrpv = policy._rrpv
+        sig = policy._signature
+        outcome = policy._outcome
+        tb = policy.table_bits
+        mask = (1 << tb) - 1
+        cmax = policy.counter_max
+        rmax = policy.rrpv_max
+        tags, tgts, reused, fillidx, dirs = self._storage(btb)
+        hits = evictions = compulsory = mismatches = 0
+        for i, s in enumerate(sets):
+            pc = pcs[i]
+            dct = dirs[s]
+            way = dct.get(pc)
+            if way is not None:
+                hits += 1
+                row = tgts[s]
+                t = tgts_in[i]
+                if row[way] != t:
+                    mismatches += 1
+                    row[way] = t
+                reused[s][way] = True
+                rrpv[s][way] = 0
+                orow = outcome[s]
+                if not orow[way]:
+                    orow[way] = True
+                    idx = sig[s][way]
+                    if shct[idx] < cmax:
+                        shct[idx] += 1
+                continue
+            tag = tags[s]
+            if len(dct) < W:
+                way = len(dct)
+                compulsory += 1
+            else:
+                rr = rrpv[s]
+                while True:
+                    for w in ways:
+                        if rr[w] >= rmax:
+                            way = w
+                            break
+                    else:
+                        for w in ways:
+                            rr[w] += 1
+                        continue
+                    break
+                evictions += 1
+                if not outcome[s][way]:
+                    idx = sig[s][way]
+                    if shct[idx] > 0:
+                        shct[idx] -= 1
+                del dct[tag[way]]
+            dct[pc] = way
+            tag[way] = pc
+            tgts[s][way] = tgts_in[i]
+            reused[s][way] = False
+            fillidx[s][way] = i
+            word = pc >> 2
+            idx = (word ^ (word >> tb)) & mask
+            sig[s][way] = idx
+            outcome[s][way] = False
+            rrpv[s][way] = rmax - 1 if shct[idx] > 0 else rmax
+        self._write_back(btb, tags, tgts, reused, fillidx, dirs)
+        self._write_stats(btb, len(pcs), hits, evictions, 0, compulsory,
+                          mismatches)
+
+
+class GHRPKernel(GlobalOrderKernel):
+    """GHRP: dead-block prediction from (pc, global history) signatures;
+    the history register and skewed counter tables are global."""
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        pcs = stream.pcs_list
+        tgts_in = stream.targets_list
+        sets = stream.sets_list
+        W = btb.config.ways
+        ways = range(W)
+        policy = btb.policy
+        tables = policy._tables
+        sig = policy._signature
+        dead = policy._dead
+        stamps = policy._stamps
+        history = policy._history
+        clock = policy._clock
+        tb = policy.table_bits
+        mask = (1 << tb) - 1
+        cmax = policy.counter_max
+        dthresh = policy.dead_threshold
+        bypass_on = policy.bypass_enabled
+        skews = tuple((tb - t, t * 0x9E37)
+                      for t in range(policy.num_tables))
+
+        def folds(sg):
+            return [(sg ^ (sg >> sh) ^ xr) & mask for sh, xr in skews]
+
+        tags, tgts, reused, fillidx, dirs = self._storage(btb)
+        hits = evictions = bypasses = compulsory = mismatches = 0
+        for i, s in enumerate(sets):
+            pc = pcs[i]
+            dct = dirs[s]
+            way = dct.get(pc)
+            if way is not None:
+                hits += 1
+                row = tgts[s]
+                t = tgts_in[i]
+                if row[way] != t:
+                    mismatches += 1
+                    row[way] = t
+                reused[s][way] = True
+                # on_hit: detrain the previous signature, then re-tag
+                # with the post-update-history signature.
+                for t_i, idx in enumerate(folds(sig[s][way])):
+                    v = tables[t_i][idx]
+                    if v > 0:
+                        tables[t_i][idx] = v - 1
+                history = ((history << 4) ^ (pc >> 2)) & 0xFFFF
+                sg = ((pc >> 2) ^ (history << 1)) & 0x3FFFFFF
+                sig[s][way] = sg
+                total = 0
+                for t_i, idx in enumerate(folds(sg)):
+                    total += tables[t_i][idx]
+                dead[s][way] = total >= dthresh
+                clock += 1
+                stamps[s][way] = clock
+                continue
+            tag = tags[s]
+            if len(dct) < W:
+                way = len(dct)
+                compulsory += 1
+            else:
+                if bypass_on:
+                    # The bypass decision sees the *pre-update* history,
+                    # exactly like choose_victim before on_bypass.
+                    in_sg = ((pc >> 2) ^ (history << 1)) & 0x3FFFFFF
+                    total = 0
+                    for t_i, idx in enumerate(folds(in_sg)):
+                        total += tables[t_i][idx]
+                    if total >= dthresh:
+                        bypasses += 1
+                        history = ((history << 4) ^ (pc >> 2)) & 0xFFFF
+                        continue
+                drow = dead[s]
+                srow = stamps[s]
+                cands = [w for w in ways if drow[w]]
+                way = min(cands or ways, key=srow.__getitem__)
+                evictions += 1
+                if not reused[s][way]:
+                    for t_i, idx in enumerate(folds(sig[s][way])):
+                        v = tables[t_i][idx]
+                        if v < cmax:
+                            tables[t_i][idx] = v + 1
+                del dct[tag[way]]
+            dct[pc] = way
+            tag[way] = pc
+            tgts[s][way] = tgts_in[i]
+            reused[s][way] = False
+            fillidx[s][way] = i
+            history = ((history << 4) ^ (pc >> 2)) & 0xFFFF
+            sg = ((pc >> 2) ^ (history << 1)) & 0x3FFFFFF
+            sig[s][way] = sg
+            total = 0
+            for t_i, idx in enumerate(folds(sg)):
+                total += tables[t_i][idx]
+            dead[s][way] = total >= dthresh
+            clock += 1
+            stamps[s][way] = clock
+        policy._history = history
+        policy._clock = clock
+        self._write_back(btb, tags, tgts, reused, fillidx, dirs)
+        self._write_stats(btb, len(pcs), hits, evictions, bypasses,
+                          compulsory, mismatches)
+
+
+class HawkeyeKernel(GlobalOrderKernel):
+    """Hawkeye: per-sampled-set OPTgen, globally shared predictor
+    counters trained in stream order."""
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        pcs = stream.pcs_list
+        tgts_in = stream.targets_list
+        sets = stream.sets_list
+        W = btb.config.ways
+        ways = range(W)
+        policy = btb.policy
+        counters = policy._counters
+        optgen_get = policy._optgen.get
+        rrpv = policy._rrpv
+        friendly = policy._friendly
+        pbits = policy.predictor_bits
+        pmask = (1 << pbits) - 1
+        age_cap = _RRPV_MAX - 1
+        tags, tgts, reused, fillidx, dirs = self._storage(btb)
+        hits = evictions = compulsory = mismatches = 0
+
+        def sample(s, pc):
+            gen = optgen_get(s)
+            if gen is None:
+                return
+            verdict = gen.access(pc)
+            if verdict is None:
+                return
+            word = pc >> 2
+            idx = (word ^ (word >> pbits)) & pmask
+            v = counters[idx]
+            if verdict:
+                if v < 7:
+                    counters[idx] = v + 1
+            elif v > 0:
+                counters[idx] = v - 1
+
+        for i, s in enumerate(sets):
+            pc = pcs[i]
+            dct = dirs[s]
+            way = dct.get(pc)
+            if way is not None:
+                hits += 1
+                row = tgts[s]
+                t = tgts_in[i]
+                if row[way] != t:
+                    mismatches += 1
+                    row[way] = t
+                reused[s][way] = True
+                sample(s, pc)
+                word = pc >> 2
+                fr = counters[(word ^ (word >> pbits)) & pmask] >= 4
+                friendly[s][way] = fr
+                rrpv[s][way] = 0 if fr else _RRPV_MAX
+                continue
+            tag = tags[s]
+            rr = rrpv[s]
+            if len(dct) < W:
+                way = len(dct)
+                compulsory += 1
+            else:
+                way = 0
+                best = -1
+                for w in ways:
+                    rv = rr[w]
+                    if rv == _RRPV_MAX:
+                        way = w
+                        break
+                    if rv > best:
+                        best = rv
+                        way = w
+                evictions += 1
+                if friendly[s][way] and not reused[s][way]:
+                    vword = tag[way] >> 2
+                    idx = (vword ^ (vword >> pbits)) & pmask
+                    v = counters[idx]
+                    if v > 0:
+                        counters[idx] = v - 1
+                del dct[tag[way]]
+            dct[pc] = way
+            tag[way] = pc
+            tgts[s][way] = tgts_in[i]
+            reused[s][way] = False
+            fillidx[s][way] = i
+            sample(s, pc)
+            word = pc >> 2
+            fr = counters[(word ^ (word >> pbits)) & pmask] >= 4
+            friendly[s][way] = fr
+            if fr:
+                for w in ways:
+                    if w != way and rr[w] < age_cap:
+                        rr[w] += 1
+                rr[way] = 0
+            else:
+                rr[way] = _RRPV_MAX
+        self._write_back(btb, tags, tgts, reused, fillidx, dirs)
+        self._write_stats(btb, len(pcs), hits, evictions, 0, compulsory,
+                          mismatches)
+
+
+class DuelingThermometerKernel(GlobalOrderKernel):
+    """Set-dueling Thermometer: leader roles are static, but follower
+    behavior flips with the global PSEL counter."""
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        pcs = stream.pcs_list
+        tgts_in = stream.targets_list
+        sets = stream.sets_list
+        W = btb.config.ways
+        ways = range(W)
+        policy = btb.policy
+        stamps = policy._stamps
+        temps = policy._temps
+        role = policy._role
+        clock = policy._clock
+        psel = policy._psel
+        psel_max = policy.psel_max
+        mid = psel_max // 2
+        hints = policy._hints
+        default = policy.default_category
+        # Same HintMap fast path as ThermometerKernel.
+        raw = getattr(hints, "categories", None)
+        if isinstance(raw, dict) and default is not None:
+            hget = raw.get
+        else:
+            hget = hints.get
+        bypass_on = policy.bypass_enabled
+        static_tb = policy.tiebreak == "static"
+        tags, tgts, reused, fillidx, dirs = self._storage(btb)
+        covered = uncovered = 0
+        hits = evictions = bypasses = compulsory = mismatches = 0
+        for i, s in enumerate(sets):
+            pc = pcs[i]
+            dct = dirs[s]
+            way = dct.get(pc)
+            if way is not None:
+                hits += 1
+                row = tgts[s]
+                t = tgts_in[i]
+                if row[way] != t:
+                    mismatches += 1
+                    row[way] = t
+                reused[s][way] = True
+                clock += 1
+                stamps[s][way] = clock
+                continue
+            tag = tags[s]
+            srow = stamps[s]
+            trow = temps[s]
+            r = role[s]
+            if len(dct) < W:
+                way = len(dct)
+                compulsory += 1
+            else:
+                if r == _DUEL_THERMO or (r != _DUEL_LRU and psel <= mid):
+                    t_in = hget(pc, default)
+                    coldest = min(trow)
+                    hottest = max(trow)
+                    if t_in < coldest:
+                        coldest = t_in
+                    if t_in > hottest:
+                        hottest = t_in
+                    if coldest == hottest:
+                        uncovered += 1
+                    else:
+                        covered += 1
+                    cands = [w for w in ways if trow[w] == coldest]
+                    if not cands:
+                        if bypass_on:
+                            bypasses += 1
+                            # on_bypass counts as a leader miss.
+                            if r == _DUEL_THERMO:
+                                if psel < psel_max:
+                                    psel += 1
+                            elif r == _DUEL_LRU and psel > 0:
+                                psel -= 1
+                            continue
+                        cands = ways
+                    way = (cands[0] if static_tb
+                           else min(cands, key=srow.__getitem__))
+                else:
+                    way = min(ways, key=srow.__getitem__)
+                evictions += 1
+                del dct[tag[way]]
+            dct[pc] = way
+            tag[way] = pc
+            tgts[s][way] = tgts_in[i]
+            reused[s][way] = False
+            fillidx[s][way] = i
+            clock += 1
+            srow[way] = clock
+            trow[way] = hget(pc, default)
+            if r == _DUEL_THERMO:
+                if psel < psel_max:
+                    psel += 1
+            elif r == _DUEL_LRU and psel > 0:
+                psel -= 1
+        policy._clock = clock
+        policy._psel = psel
+        policy.covered_decisions += covered
+        policy.uncovered_decisions += uncovered
+        self._write_back(btb, tags, tgts, reused, fillidx, dirs)
+        self._write_stats(btb, len(pcs), hits, evictions, bypasses,
+                          compulsory, mismatches)
+
+
+class OnlineThermometerKernel(GlobalOrderKernel):
+    """Online Thermometer: globally shared (taken, hit) counter tables
+    updated on every event."""
+
+    def replay(self, btb, stream: AccessStream) -> None:
+        pcs = stream.pcs_list
+        tgts_in = stream.targets_list
+        sets = stream.sets_list
+        W = btb.config.ways
+        ways = range(W)
+        policy = btb.policy
+        taken = policy._taken
+        hitc = policy._hits
+        stamps = policy._stamps
+        clock = policy._clock
+        tb = policy.table_bits
+        mask = (1 << tb) - 1
+        cmax = policy.counter_max
+        warm = policy.warm_floor
+        thresholds = policy.thresholds
+        nth = len(thresholds)
+        middle = nth // 2 + (nth % 2)
+        bypass_on = policy.bypass_enabled
+        tags, tgts, reused, fillidx, dirs = self._storage(btb)
+        hits = evictions = bypasses = compulsory = mismatches = 0
+
+        def temp(x):
+            word = x >> 2
+            slot = (word ^ (word >> tb)) & mask
+            tk = taken[slot]
+            if tk < warm:
+                return middle
+            ratio = 100.0 * hitc[slot] / tk
+            for category, bound in enumerate(thresholds):
+                if ratio <= bound:
+                    return category
+            return nth
+
+        for i, s in enumerate(sets):
+            pc = pcs[i]
+            dct = dirs[s]
+            way = dct.get(pc)
+            word = pc >> 2
+            slot = (word ^ (word >> tb)) & mask
+            if way is not None:
+                hits += 1
+                row = tgts[s]
+                t = tgts_in[i]
+                if row[way] != t:
+                    mismatches += 1
+                    row[way] = t
+                reused[s][way] = True
+                if taken[slot] >= cmax:
+                    taken[slot] >>= 1
+                    hitc[slot] >>= 1
+                taken[slot] += 1
+                hitc[slot] += 1
+                clock += 1
+                stamps[s][way] = clock
+                continue
+            tag = tags[s]
+            srow = stamps[s]
+            if len(dct) < W:
+                way = len(dct)
+                compulsory += 1
+            else:
+                # choose_victim reads the counters *before* this miss is
+                # recorded, exactly like the reference ordering.
+                temps_l = [temp(tag[w]) for w in ways]
+                coldest = temp(pc)
+                m = min(temps_l)
+                if m < coldest:
+                    coldest = m
+                cands = [w for w in ways if temps_l[w] == coldest]
+                if not cands:
+                    if bypass_on:
+                        bypasses += 1
+                        if taken[slot] >= cmax:
+                            taken[slot] >>= 1
+                            hitc[slot] >>= 1
+                        taken[slot] += 1
+                        continue
+                    cands = ways
+                way = min(cands, key=srow.__getitem__)
+                evictions += 1
+                del dct[tag[way]]
+            dct[pc] = way
+            tag[way] = pc
+            tgts[s][way] = tgts_in[i]
+            reused[s][way] = False
+            fillidx[s][way] = i
+            if taken[slot] >= cmax:
+                taken[slot] >>= 1
+                hitc[slot] >>= 1
+            taken[slot] += 1
+            clock += 1
+            srow[way] = clock
+        policy._clock = clock
+        self._write_back(btb, tags, tgts, reused, fillidx, dirs)
+        self._write_stats(btb, len(pcs), hits, evictions, bypasses,
+                          compulsory, mismatches)
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
 #: Exact policy type → kernel.  Exact-type keyed on purpose: a subclass
-#: (BRRIP under SRRIP, dueling under Thermometer) has different
-#: semantics and must take the reference loop.
+#: (BRRIP under SRRIP) has different semantics and must take the
+#: reference loop; semantically distinct subclasses with their own
+#: kernel (DuelingThermometer under Thermometer) get their own entry.
 KERNELS: Dict[type, Type[ReplayKernel]] = {
     LRUPolicy: LRUKernel,
     MRUPolicy: MRUKernel,
@@ -592,7 +1327,37 @@ KERNELS: Dict[type, Type[ReplayKernel]] = {
     SRRIPPolicy: SRRIPKernel,
     BeladyOptimalPolicy: OPTKernel,
     ThermometerPolicy: ThermometerKernel,
+    TreePLRUPolicy: PLRUKernel,
+    DIPPolicy: DIPKernel,
+    SHiPPolicy: SHIPKernel,
+    GHRPPolicy: GHRPKernel,
+    HawkeyePolicy: HawkeyeKernel,
+    DuelingThermometerPolicy: DuelingThermometerKernel,
+    OnlineThermometerPolicy: OnlineThermometerKernel,
 }
+
+#: Registry policies deliberately left on the reference loop, with the
+#: reason.  The dispatch-matrix test asserts that every registry name is
+#: either here or in :data:`KERNELS` — adding a policy without deciding
+#: its fast-path story fails CI.
+REFERENCE_ONLY: Dict[str, str] = {
+    "random": "victim choice draws the policy RNG once per full-set "
+              "miss; a kernel would have to replicate the generator's "
+              "exact draw sequence, erasing the speedup",
+    "brrip": "insertion RRPV draws the policy RNG once per fill; same "
+             "RNG-sequencing problem as 'random'",
+}
+
+#: The policy hooks a kernel replaces.  If any of these was patched onto
+#: the *instance* (monkeypatched spies, ad-hoc experiment tweaks), the
+#: kernel would silently ignore the patch — dispatch must fall back.
+_POLICY_HOOKS = ("choose_victim", "on_hit", "on_fill", "on_evict",
+                 "on_bypass", "reset")
+
+
+def _instance_patched(policy) -> bool:
+    d = policy.__dict__
+    return any(hook in d for hook in _POLICY_HOOKS)
 
 
 def kernel_policy_names() -> List[str]:
@@ -621,6 +1386,8 @@ def select_kernel(btb, stream: AccessStream) -> Optional[ReplayKernel]:
         return None
     kernel_cls = KERNELS.get(type(btb.policy))
     if kernel_cls is None:
+        return None
+    if _instance_patched(btb.policy):
         return None
     if not _pristine(btb):
         return None

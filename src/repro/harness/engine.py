@@ -89,11 +89,11 @@ from repro.testing.faults import active_fault_plan, corrupt_file, inject
 log = logging.getLogger(__name__)
 
 __all__ = ["ArtifactStore", "ExperimentEngine", "ExperimentError",
-           "JobResult", "JobState", "JobTimeoutError", "SimJob",
-           "STORE_VERSION", "artifact_key", "backoff_delay",
+           "GroupReplay", "JobResult", "JobState", "JobTimeoutError",
+           "SimJob", "STORE_VERSION", "artifact_key", "backoff_delay",
            "default_cache_dir", "default_job_timeout", "default_jobs",
-           "default_max_retries", "execute_job", "job_deadline", "run_job",
-           "run_job_batch"]
+           "default_max_retries", "execute_job", "job_deadline",
+           "multi_replay_enabled", "run_job", "run_job_batch"]
 
 #: Bump to invalidate every cached artifact (format or semantics change).
 #: "2": BTBStats grew the ``target_mismatches`` counter, so version-1
@@ -146,6 +146,13 @@ def default_job_timeout() -> Optional[float]:
     except ValueError:
         return None
     return seconds if seconds > 0 else None
+
+
+def multi_replay_enabled() -> bool:
+    """Single-pass multi-policy replay kill switch: ``REPRO_MULTI_REPLAY``
+    (default on; ``0``/``false``/``off``/``no`` disable it)."""
+    raw = os.environ.get("REPRO_MULTI_REPLAY", "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
 
 
 # ----------------------------------------------------------------------
@@ -509,17 +516,128 @@ def execute_job(job: SimJob, harness: Optional[Harness] = None,
                      hints=hints, params=job.params)
 
 
+class GroupReplay:
+    """Single-pass multi-policy replay plan for one job group.
+
+    The engine already routes all jobs sharing (app, input, machine
+    config) through one :class:`Harness`, so their traces and access
+    streams are built once — but each ``misses`` job still replayed the
+    stream on its own.  A ``GroupReplay`` covers every ``misses`` job of
+    one group and, the first time any member misses the store, runs
+    :meth:`Harness.run_misses_multi` once: one sweep over the shared
+    stream drives N policy states side by side.  Later members take
+    their result from the memoized sweep and still go through the normal
+    ``store.put`` path, so on-disk artifacts, resume, and fault
+    injection are byte-identical to per-job replay (the sweep is
+    result-identical by construction, and ``tests/test_multi_replay.py``
+    checks it bit-for-bit).
+
+    The sweep is lazy and store-aware: members whose artifacts already
+    verify on disk are skipped, so a resumed run only pays for what is
+    actually missing.  Plans are built per execution round by
+    :meth:`plan`; retry and isolation rounds run ungrouped.
+    """
+
+    def __init__(self, jobs: Sequence[SimJob]):
+        self.jobs = list(jobs)
+        self._values: Optional[Dict[str, Any]] = None
+
+    @staticmethod
+    def _group_key(job: SimJob) -> Optional[Tuple]:
+        """Jobs with equal keys replay the same stream columns (None:
+        not groupable).  ``thermometer-7979`` lands in its own group —
+        it replays the iso-storage geometry, not the job's nominal one.
+        """
+        if job.mode != "misses":
+            return None
+        effective = (THERMOMETER_7979_CONFIG
+                     if job.policy == "thermometer-7979"
+                     else job.btb_config)
+        return (job.app, job.input_id, job.length, effective,
+                job.harness_config())
+
+    @classmethod
+    def plan(cls, jobs: Sequence[SimJob]
+             ) -> List[Optional["GroupReplay"]]:
+        """One entry per job: its shared :class:`GroupReplay`, or None
+        for jobs that replay alone (sim mode, singleton groups, or the
+        ``REPRO_MULTI_REPLAY`` kill switch)."""
+        assignment: List[Optional[GroupReplay]] = [None] * len(jobs)
+        if not multi_replay_enabled():
+            return assignment
+        groups: Dict[Tuple, List[int]] = {}
+        for i, job in enumerate(jobs):
+            key = cls._group_key(job)
+            if key is not None:
+                groups.setdefault(key, []).append(i)
+        for indices in groups.values():
+            members = [jobs[i] for i in indices]
+            # A sweep only pays off when it covers >= 2 distinct results.
+            if len({job.cache_key() for job in members}) < 2:
+                continue
+            group = cls(members)
+            for i in indices:
+                assignment[i] = group
+        return assignment
+
+    def compute(self, job: SimJob, harness: Harness,
+                store: Optional[ArtifactStore], salt: str) -> Any:
+        """``job``'s result from the (memoized) group sweep, or None if
+        the sweep cannot serve it (the caller then runs the job alone).
+        """
+        if self._values is None:
+            self._values = self._sweep(job, harness, store, salt)
+        return self._values.get(job.cache_key(salt))
+
+    def _sweep(self, trigger: SimJob, harness: Harness,
+               store: Optional[ArtifactStore],
+               salt: str) -> Dict[str, Any]:
+        """Replay every not-yet-stored member in one pass; ``trigger``
+        (whose store lookup just missed) is always included."""
+        trigger_key = trigger.cache_key(salt)
+        todo: List[Tuple[str, SimJob]] = []
+        seen: Set[str] = set()
+        for job in self.jobs:
+            key = job.cache_key(salt)
+            if key in seen:
+                continue
+            seen.add(key)
+            if (key != trigger_key and store is not None
+                    and store.path(job.mode, key).exists()):
+                continue
+            todo.append((key, job))
+        trace = harness.trace(trigger.app, trigger.input_id)
+        hints_by_policy: Dict[str, Any] = {}
+        for _, job in todo:
+            if job.needs_hints and job.policy not in hints_by_policy:
+                hint_config = (THERMOMETER_7979_CONFIG
+                               if job.policy == "thermometer-7979"
+                               else job.btb_config)
+                hints_by_policy[job.policy] = harness.hints(
+                    job.app, job.input_id, btb_config=hint_config)
+        stats = harness.run_misses_multi(
+            trace, [job.policy for _, job in todo],
+            btb_config=trigger.btb_config,
+            hints_by_policy=hints_by_policy)
+        get_registry().count("engine/multi_replay/sweeps")
+        return {key: value for (key, _), value in zip(todo, stats)}
+
+
 def run_job(job: SimJob, cache_root: Optional[str] = None,
             salt: str = STORE_VERSION,
             store: Optional[ArtifactStore] = None,
             harness: Optional[Harness] = None, *,
             index: Optional[int] = None, attempt: int = 0,
-            in_worker: bool = False) -> JobResult:
+            in_worker: bool = False,
+            group: Optional[GroupReplay] = None) -> JobResult:
     """Worker entry point (module-level so process pools can pickle it).
 
     Checks the store for the finished result first; on a miss, computes it
     through a harness whose intermediate artifacts (trace, profile, hints)
-    are themselves store-backed.
+    are themselves store-backed.  When the job belongs to a
+    :class:`GroupReplay` (and a harness is supplied), the miss is served
+    from the group's single-pass multi-policy sweep instead of a solo
+    replay — same value, one stream walk for the whole group.
 
     ``index``/``attempt`` identify this attempt within an engine run; when
     a :mod:`fault plan <repro.testing.faults>` is active they select which
@@ -547,7 +665,10 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
         cached = value is not None
         if value is None:
             with store.stats.stage(job.mode):
-                value = execute_job(job, harness=harness, store=store)
+                if group is not None and harness is not None:
+                    value = group.compute(job, harness, store, store.salt)
+                if value is None:
+                    value = execute_job(job, harness=harness, store=store)
             store.put(job.mode, key, value)
         if fault is not None and fault.kind == "corrupt":
             registry.count("faults/injected")
@@ -555,7 +676,11 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
                 log.warning("injected corruption into stored %s artifact "
                             "of job %d", job.mode, index)
     else:
-        value = execute_job(job, harness=harness)
+        value = None
+        if group is not None and harness is not None:
+            value = group.compute(job, harness, None, salt)
+        if value is None:
+            value = execute_job(job, harness=harness)
     elapsed = time.perf_counter() - start
     stats = (_stats_delta(store.stats, baseline)
              if store is not None else CacheStats())
@@ -571,7 +696,8 @@ def _execute_guarded(job: SimJob, *, index: Optional[int], attempt: int,
                      harness: Optional[Harness] = None,
                      salt: str = STORE_VERSION,
                      job_timeout: Optional[float] = None,
-                     in_worker: bool = False) -> JobResult:
+                     in_worker: bool = False,
+                     group: Optional[GroupReplay] = None) -> JobResult:
     """One attempt that *always* returns a :class:`JobResult`.
 
     Timeouts and exceptions are folded into the result's ``state`` /
@@ -583,7 +709,7 @@ def _execute_guarded(job: SimJob, *, index: Optional[int], attempt: int,
         with job_deadline(job_timeout):
             return run_job(job, store=store, harness=harness, salt=salt,
                            index=index, attempt=attempt,
-                           in_worker=in_worker)
+                           in_worker=in_worker, group=group)
     except JobTimeoutError as exc:
         return JobResult(job=job, value=None, cached=False,
                          seconds=time.perf_counter() - start,
@@ -667,8 +793,10 @@ def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
     adopted = _attach_shared_streams(stream_handles)
     harnesses: Dict[HarnessConfig, Harness] = {}
     results: List[JobResult] = []
+    groups = GroupReplay.plan(jobs)
     with worker_profile(cache_root):
-        for job, index, attempt in zip(jobs, index_list, attempt_list):
+        for job, index, attempt, group in zip(jobs, index_list,
+                                              attempt_list, groups):
             config = job.harness_config()
             harness = harnesses.get(config)
             if harness is None:
@@ -681,7 +809,7 @@ def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
             results.append(_execute_guarded(
                 job, index=index, attempt=attempt, store=store,
                 harness=harness, salt=salt, job_timeout=job_timeout,
-                in_worker=True))
+                in_worker=True, group=group))
     # Streams were attached before any per-job telemetry delta started;
     # piggy-back the count on the last result so it reaches the parent.
     if results and adopted:
@@ -1015,8 +1143,13 @@ class ExperimentEngine:
         queue = list(pending)
         round_no = 0
         while queue:
+            # Retry rounds replay each job alone: a group sweep memoized
+            # before a fault could resurrect a value the retry is meant
+            # to recompute through the store.
+            groups = (GroupReplay.plan([rs.jobs[i] for i in queue])
+                      if round_no == 0 else [None] * len(queue))
             retry: List[int] = []
-            for i in queue:
+            for qi, i in enumerate(queue):
                 job = rs.jobs[i]
                 config = job.harness_config()
                 harness = harnesses.get(config)
@@ -1032,7 +1165,8 @@ class ExperimentEngine:
                 result = _execute_guarded(
                     job, index=i, attempt=rs.attempts[i] - 1,
                     store=self.store, harness=harness, salt=self.salt,
-                    job_timeout=self.job_timeout, in_worker=False)
+                    job_timeout=self.job_timeout, in_worker=False,
+                    group=groups[qi])
                 if self._record_outcome(rs, i, result):
                     retry.append(i)
             if retry:

@@ -144,6 +144,55 @@ class TestSigkillDifferential:
         assert _canonical(engine.last_manifest) == ref_rows
 
 
+class TestMultiPolicyGroupResume:
+    """Single-pass group replay under faults: killing a worker mid-group
+    must resume to bit-identical results for *every* policy in the
+    group, whether its artifact was written before or after the crash."""
+
+    GROUP_JOBS = [SimJob(app="tomcat", policy=policy, length=2500,
+                         mode="misses")
+                  for policy in ("lru", "srrip", "dip", "ship", "random")]
+
+    def test_worker_sigkill_mid_group_resumes_bit_identical(self,
+                                                            tmp_path):
+        ref_engine = ExperimentEngine(cache_dir=tmp_path / "ref", jobs=1)
+        ref_results = ref_engine.run(self.GROUP_JOBS)
+        ref_rows = _canonical(ref_engine.last_manifest)
+
+        # Job 2 is mid-group: its batch-mates before it already stored
+        # their artifacts (some via the group sweep), the ones after it
+        # die with the worker.
+        FaultPlan(faults=(Fault("die", 2),)).install()
+        engine = ExperimentEngine(cache_dir=tmp_path / "run", jobs=2,
+                                  max_retries=0)
+        with pytest.raises(ExperimentError) as info:
+            engine.run(self.GROUP_JOBS)
+        os.environ.pop(PLAN_ENV_VAR, None)
+
+        resumed = engine.run(self.GROUP_JOBS, resume=info.value.run_id)
+        assert all(r.state in (JobState.SUCCEEDED, JobState.SKIPPED)
+                   for r in resumed)
+        assert ([pickle.dumps(r.value) for r in resumed]
+                == [pickle.dumps(r.value) for r in ref_results])
+        assert _canonical(engine.last_manifest) == ref_rows
+
+    def test_serial_fault_mid_group_retries_ungrouped(self, tmp_path):
+        """A failed group member retries alone (no memoized sweep value
+        can be resurrected) and still converges bit-identically."""
+        ref_engine = ExperimentEngine(cache_dir=tmp_path / "ref", jobs=1)
+        ref_results = ref_engine.run(self.GROUP_JOBS)
+
+        FaultPlan(faults=(Fault("raise", 2, attempts=(0,)),)).install()
+        engine = ExperimentEngine(cache_dir=tmp_path / "run", jobs=1,
+                                  max_retries=1)
+        try:
+            results = engine.run(self.GROUP_JOBS)
+        finally:
+            os.environ.pop(PLAN_ENV_VAR, None)
+        assert ([pickle.dumps(r.value) for r in results]
+                == [pickle.dumps(r.value) for r in ref_results])
+
+
 class TestResumeProperty:
     @given(seed=st.integers(min_value=0, max_value=2 ** 16))
     @settings(max_examples=5, deadline=None,

@@ -24,7 +24,8 @@ from repro.btb import kernels
 from repro.btb.btb import BTB, replay_stream, run_btb
 from repro.btb.config import BTBConfig
 from repro.btb.observer import EventRecorder
-from repro.btb.replacement.registry import make_policy
+from repro.btb.replacement.lru import LRUPolicy
+from repro.btb.replacement.registry import make_policy, policy_names
 from repro.core.hints import HintMap
 from repro.trace.record import BranchKind, BranchRecord, BranchTrace
 from repro.trace.stream import access_stream_for, clear_stream_cache
@@ -37,7 +38,14 @@ CONFIG = BTBConfig(entries=8, ways=2)
 #: Attributes that, together, capture every kernel policy's mutable
 #: state (missing attributes are simply skipped per policy).
 _POLICY_ATTRS = ("_stamps", "_clock", "_rrpv", "_temps", "_resident_next",
-                 "_last_index", "covered_decisions", "uncovered_decisions")
+                 "_last_index", "covered_decisions", "uncovered_decisions",
+                 # PLRU / DIP / dueling Thermometer
+                 "_bits", "_psel", "_bip_counter", "_role",
+                 # SHiP / GHRP
+                 "_shct", "_signature", "_outcome", "_dead", "_tables",
+                 "_history",
+                 # Hawkeye / online Thermometer
+                 "_counters", "_friendly", "_taken", "_hits")
 
 
 @pytest.fixture(autouse=True)
@@ -59,17 +67,24 @@ def _trace_of(pairs) -> BranchTrace:
 def _policy(name: str, stream):
     if name == "opt":
         return make_policy("opt", stream=stream)
-    if name == "thermometer":
+    if name in ("thermometer", "thermometer-dueling"):
         pcs = set(int(pc) for pc in stream.pcs)
         hints = HintMap({pc: (pc >> 2) % 3 for pc in pcs},
                         num_categories=3)
-        return make_policy("thermometer", hints=hints)
+        return make_policy(name, hints=hints)
     return make_policy(name)
 
 
 def _policy_state(policy) -> dict:
-    return {a: copy.deepcopy(getattr(policy, a))
-            for a in _POLICY_ATTRS if hasattr(policy, a)}
+    state = {a: copy.deepcopy(getattr(policy, a))
+             for a in _POLICY_ATTRS if hasattr(policy, a)}
+    # Hawkeye's OPTgen objects compare by identity; snapshot their
+    # observable state instead.
+    gens = getattr(policy, "_optgen", None)
+    if gens is not None:
+        state["_optgen"] = {s: (g.time, dict(g.last_time), list(g._occ))
+                            for s, g in gens.items()}
+    return state
 
 
 def _btb_state(btb: BTB) -> dict:
@@ -209,6 +224,72 @@ def test_subclassed_policy_forces_slow_path():
     stream = access_stream_for(trace, CONFIG)
     btb = BTB(CONFIG, make_policy("brrip"))
     assert kernels.select_kernel(btb, stream) is None
+
+
+def test_choose_victim_override_falls_back_not_raises():
+    """A subclass that overrides ``choose_victim`` of a kernelized base
+    must silently fall back to the reference loop — never dispatch to the
+    base class's kernel, never raise."""
+    class PinnedWayZero(LRUPolicy):
+        def choose_victim(self, set_idx, resident_pcs, incoming_pc,
+                          index):
+            return 0
+
+    trace = make_app_trace("tomcat", length=3000)
+    stream = access_stream_for(trace, CONFIG)
+    btb = BTB(CONFIG, PinnedWayZero())
+    assert kernels.select_kernel(btb, stream) is None
+    stats = run_btb(trace, btb)
+    assert stats.evictions > 0
+    # The override was actually honored: every eviction hit way 0, so a
+    # set's other way only ever holds its first (compulsory) fill.
+    plain = run_btb(trace, BTB(CONFIG, make_policy("lru")))
+    assert dataclasses.asdict(stats) != dataclasses.asdict(plain)
+
+
+def test_instance_patched_hook_falls_back():
+    """Hooks monkeypatched onto a policy *instance* would be silently
+    ignored by a kernel; dispatch must detect them and fall back."""
+    trace = make_app_trace("tomcat", length=3000)
+    stream = access_stream_for(trace, CONFIG)
+    btb = BTB(CONFIG, make_policy("lru"))
+    assert kernels.select_kernel(btb, stream) is not None
+    calls = []
+    original = btb.policy.choose_victim
+
+    def spying(set_idx, resident_pcs, incoming_pc, index):
+        calls.append(set_idx)
+        return original(set_idx, resident_pcs, incoming_pc, index)
+
+    btb.policy.choose_victim = spying
+    assert kernels.select_kernel(btb, stream) is None
+    stats = run_btb(trace, btb)
+    assert calls, "the instance patch must be honored by the replay"
+    assert stats.evictions == len(calls)
+
+
+def test_every_registry_policy_has_a_fast_path_story():
+    """The dispatch matrix: every policy in the registry is either
+    kernelized or explicitly reference-loop-only — never undecided."""
+    kernelized = set(kernels.kernel_policy_names())
+    reference_only = set(kernels.REFERENCE_ONLY)
+    registry = set(policy_names())
+    assert not kernelized & reference_only, (
+        f"policies {sorted(kernelized & reference_only)} are listed both "
+        "in KERNELS and REFERENCE_ONLY — pick one")
+    undecided = registry - kernelized - reference_only
+    assert not undecided, (
+        f"registry policies {sorted(undecided)} have no fast-path story. "
+        "Either add a kernel to repro.btb.kernels.KERNELS (see the "
+        "add-a-kernel checklist in docs/ARCHITECTURE.md) or list the "
+        "policy in repro.btb.kernels.REFERENCE_ONLY with the reason it "
+        "cannot be kernelized bit-identically.")
+    stale = (kernelized | reference_only) - registry
+    assert not stale, (
+        f"fast-path entries {sorted(stale)} name policies that are not "
+        "in the registry — remove or rename them")
+    for name, reason in kernels.REFERENCE_ONLY.items():
+        assert reason.strip(), f"REFERENCE_ONLY[{name!r}] needs a reason"
 
 
 # ----------------------------------------------------------------------

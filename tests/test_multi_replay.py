@@ -1,0 +1,277 @@
+"""Single-pass multi-policy replay: one stream walk, N policy states.
+
+:func:`~repro.btb.btb.replay_stream_multi`,
+:meth:`~repro.harness.runner.Harness.run_misses_multi`, and the engine's
+:class:`~repro.harness.engine.GroupReplay` path must all be
+result-identical to replaying each policy on its own — stats, BTB
+storage, per-set directories, and policy internals, on both dispatch
+paths — and the whole feature must vanish under ``REPRO_MULTI_REPLAY=0``.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.btb import kernels
+from repro.btb.btb import BTB, replay_stream, replay_stream_multi, run_btb
+from repro.btb.config import BTBConfig, THERMOMETER_7979_CONFIG
+from repro.btb.replacement.registry import make_policy, policy_names
+from repro.core.hints import HintMap
+from repro.harness.engine import (ExperimentEngine, GroupReplay, SimJob,
+                                  multi_replay_enabled)
+from repro.harness.runner import Harness, HarnessConfig
+from repro.trace.record import BranchKind, BranchRecord, BranchTrace
+from repro.trace.stream import access_stream_for, clear_stream_cache
+from repro.workloads import make_app_trace
+
+APPS = ("cassandra", "kafka", "tomcat")
+LENGTH = 5000
+#: Small enough that the synthetic working sets overflow it, so the
+#: policies actually disagree and a cross-wired state would show up.
+CONFIG = BTBConfig(entries=256, ways=4)
+#: Tiny geometry for the randomized property.
+TINY = BTBConfig(entries=8, ways=2)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_stream_cache()
+    yield
+    clear_stream_cache()
+
+
+_POLICY_ATTRS = ("_stamps", "_clock", "_rrpv", "_temps", "_resident_next",
+                 "_last_index", "covered_decisions", "uncovered_decisions",
+                 "_bits", "_psel", "_bip_counter", "_role",
+                 "_shct", "_signature", "_outcome", "_dead", "_tables",
+                 "_history", "_counters", "_friendly", "_taken", "_hits")
+
+
+def _policy_state(policy) -> dict:
+    state = {a: copy.deepcopy(getattr(policy, a))
+             for a in _POLICY_ATTRS if hasattr(policy, a)}
+    gens = getattr(policy, "_optgen", None)
+    if gens is not None:
+        state["_optgen"] = {s: (g.time, dict(g.last_time), list(g._occ))
+                            for s, g in gens.items()}
+    return state
+
+
+def _btb_state(btb: BTB) -> dict:
+    return {
+        "stats": dataclasses.asdict(btb.stats),
+        "tags": btb._tags.tolist(),
+        "targets": btb._targets.tolist(),
+        "reused": btb._reused.tolist(),
+        "fill_index": btb._fill_index.tolist(),
+        "dir": btb._dir,
+        "policy": _policy_state(btb.policy),
+    }
+
+
+def _hints(trace: BranchTrace) -> HintMap:
+    pcs = set(trace.pcs.tolist())
+    return HintMap({pc: (pc >> 2) % 3 for pc in pcs}, num_categories=3)
+
+
+def _policy(name: str, trace: BranchTrace, config: BTBConfig):
+    if name == "opt":
+        return make_policy("opt", stream=access_stream_for(trace, config))
+    if name in ("thermometer", "thermometer-dueling"):
+        return make_policy(name, hints=_hints(trace))
+    return make_policy(name)
+
+
+def _build_all(trace: BranchTrace, config: BTBConfig):
+    return [BTB(config, _policy(name, trace, config))
+            for name in policy_names()]
+
+
+# ----------------------------------------------------------------------
+# replay_stream_multi vs. serial replay_stream
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("fast", (True, False), ids=("fast", "reference"))
+@pytest.mark.parametrize("app", APPS)
+def test_multi_matches_serial_replay(app, fast):
+    """One shared sweep over all 15 registry policies equals 15
+    independent replays — storage and policy internals included, on
+    both dispatch paths."""
+    trace = make_app_trace(app, length=LENGTH)
+    stream = access_stream_for(trace, CONFIG)
+    previous = kernels.set_fast_path_enabled(fast)
+    try:
+        serial = _build_all(trace, CONFIG)
+        for btb in serial:
+            replay_stream(stream, btb)
+        multi = _build_all(trace, CONFIG)
+        stats = replay_stream_multi(stream, multi)
+    finally:
+        kernels.set_fast_path_enabled(previous)
+    for name, one, many, st_ in zip(policy_names(), serial, multi, stats):
+        assert stats is not None and st_ is many.stats
+        assert _btb_state(many) == _btb_state(one), name
+        assert many.stats.accesses > 0
+
+
+def test_multi_drives_foreign_geometry_via_access():
+    """A BTB whose geometry differs from the stream's cannot reuse the
+    precomputed set indices; the shared loop must drive it through
+    ``BTB.access`` and still match a solo replay."""
+    trace = make_app_trace("tomcat", length=LENGTH)
+    stream = access_stream_for(trace, CONFIG)
+    other_config = BTBConfig(entries=128, ways=4)
+    native = BTB(CONFIG, make_policy("lru"))
+    foreign = BTB(other_config, make_policy("srrip"))
+    replay_stream_multi(stream, [native, foreign])
+
+    solo_native = BTB(CONFIG, make_policy("lru"))
+    replay_stream(stream, solo_native)
+    solo_foreign = BTB(other_config, make_policy("srrip"))
+    run_btb(trace, solo_foreign)
+    assert _btb_state(native) == _btb_state(solo_native)
+    assert _btb_state(foreign) == _btb_state(solo_foreign)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(pairs=st.lists(st.tuples(st.integers(0, 15), st.integers(0, 7)),
+                      min_size=0, max_size=120))
+def test_multi_replay_property(pairs):
+    """Randomized streams: the shared sweep equals serial replay for
+    every registry policy at a geometry small enough to overflow."""
+    records = [BranchRecord(pc=0x1000 + pc * 4, target=0x4000 + t * 4,
+                            kind=BranchKind.UNCOND_DIRECT, taken=True,
+                            ilen=4)
+               for pc, t in pairs]
+    trace = BranchTrace.from_records(records, name="prop")
+    clear_stream_cache()
+    stream = access_stream_for(trace, TINY)
+    serial = _build_all(trace, TINY)
+    for btb in serial:
+        replay_stream(stream, btb)
+    multi = _build_all(trace, TINY)
+    replay_stream_multi(stream, multi)
+    for name, one, many in zip(policy_names(), serial, multi):
+        assert _btb_state(many) == _btb_state(one), name
+
+
+# ----------------------------------------------------------------------
+# Harness.run_misses_multi vs. run_misses
+# ----------------------------------------------------------------------
+
+def test_run_misses_multi_matches_run_misses():
+    """The harness sweep returns per-policy stats in order, identical to
+    serial ``run_misses`` — including ``thermometer-7979``, which lands
+    in its own geometry group."""
+    names = ["lru", "srrip", "dip", "ghrp", "thermometer",
+             "thermometer-7979", "random"]
+    harness = Harness(HarnessConfig(apps=("tomcat",), length=LENGTH,
+                                    btb_config=CONFIG))
+    trace = harness.trace("tomcat")
+    hints = {
+        "thermometer": harness.hints("tomcat"),
+        "thermometer-7979": harness.hints(
+            "tomcat", btb_config=THERMOMETER_7979_CONFIG),
+    }
+    serial = [harness.run_misses(trace, name, hints=hints.get(name))
+              for name in names]
+    multi = harness.run_misses_multi(trace, names, hints_by_policy=hints)
+    assert len(multi) == len(names)
+    for name, a, b in zip(names, serial, multi):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b), name
+        assert b.accesses > 0
+
+
+# ----------------------------------------------------------------------
+# Engine wiring: GroupReplay planning and byte-identity
+# ----------------------------------------------------------------------
+
+ENGINE_JOBS = ([SimJob(app="tomcat", policy=p, length=2000, mode="misses")
+                for p in ("lru", "srrip", "dip", "thermometer", "random")]
+               + [SimJob(app="kafka", policy="lru", length=2000,
+                         mode="misses"),
+                  SimJob(app="kafka", policy="ship", length=2000,
+                         mode="misses")])
+
+
+class TestGroupReplayPlan:
+    def test_groups_share_one_plan_per_stream(self):
+        jobs = ENGINE_JOBS + [SimJob(app="tomcat", policy="lru",
+                                     length=2000, mode="sim")]
+        groups = GroupReplay.plan(jobs)
+        # tomcat/misses jobs share one group, kafka/misses another.
+        assert groups[0] is not None
+        assert all(groups[i] is groups[0] for i in range(5))
+        assert groups[5] is not None and groups[5] is groups[6]
+        assert groups[5] is not groups[0]
+        # sim jobs never group.
+        assert groups[-1] is None
+
+    def test_singletons_and_7979_are_ungrouped(self):
+        jobs = [SimJob(app="tomcat", policy="lru", length=2000,
+                       mode="misses"),
+                SimJob(app="tomcat", policy="thermometer-7979",
+                       length=2000, mode="misses"),
+                SimJob(app="python", policy="srrip", length=2000,
+                       mode="misses")]
+        groups = GroupReplay.plan(jobs)
+        # 7979 replays the iso-storage geometry, so it shares a stream
+        # with nobody here; the others are singletons in their groups.
+        assert groups == [None, None, None]
+
+    def test_kill_switch_disables_planning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MULTI_REPLAY", "0")
+        assert not multi_replay_enabled()
+        assert GroupReplay.plan(ENGINE_JOBS) == [None] * len(ENGINE_JOBS)
+        monkeypatch.setenv("REPRO_MULTI_REPLAY", "1")
+        assert multi_replay_enabled()
+        assert any(g is not None for g in GroupReplay.plan(ENGINE_JOBS))
+
+
+class TestEngineByteIdentity:
+    def _run(self, cache_dir, n_jobs):
+        engine = ExperimentEngine(cache_dir=cache_dir, jobs=n_jobs,
+                                  max_retries=0)
+        return [pickle.dumps(r.value) for r in engine.run(ENGINE_JOBS)]
+
+    def test_multi_on_off_serial_and_parallel(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MULTI_REPLAY", "0")
+        off = self._run(tmp_path / "off", 1)
+        monkeypatch.setenv("REPRO_MULTI_REPLAY", "1")
+        on = self._run(tmp_path / "on", 1)
+        assert on == off
+        parallel = self._run(tmp_path / "par", 2)
+        assert parallel == off
+
+    def test_serial_run_sweeps_once_per_group(self, tmp_path, monkeypatch):
+        from repro.telemetry.metrics import MetricsRegistry, set_registry
+        monkeypatch.setenv("REPRO_MULTI_REPLAY", "1")
+        previous = set_registry(MetricsRegistry(enabled=True))
+        try:
+            engine = ExperimentEngine(cache_dir=tmp_path, jobs=1,
+                                      max_retries=0)
+            engine.run(ENGINE_JOBS)
+            counters = engine.last_run_telemetry["counters"]
+        finally:
+            set_registry(previous)
+        # Two stream groups (tomcat, kafka) -> exactly two sweeps; the
+        # other members were served from the memoized group result.
+        assert counters.get("engine/multi_replay/sweeps") == 2
+
+    def test_resumed_member_is_not_recomputed_by_the_sweep(self, tmp_path):
+        """A sweep triggered mid-group must skip members whose artifacts
+        already verify on disk and still serve every remaining member."""
+        store_dir = tmp_path / "store"
+        engine = ExperimentEngine(cache_dir=store_dir, jobs=1,
+                                  max_retries=0)
+        first = engine.run(ENGINE_JOBS[:2])  # lru + srrip already stored
+        rest = engine.run(ENGINE_JOBS)
+        assert [pickle.dumps(r.value) for r in rest[:2]] == \
+            [pickle.dumps(r.value) for r in first]
+        assert all(r.state == "succeeded" for r in rest)
