@@ -1,0 +1,402 @@
+"""The :class:`ExperimentEngine` façade: open a run, pick an executor,
+write the manifest.
+
+The engine owns run-scoped policy (store location, worker count, retry
+budget, manifest directory) and run lifecycle (run ids, journals,
+resume, failure reporting); everything else is delegated — planning to
+:class:`~repro.harness.engine.planner.Planner`, execution to an
+:class:`~repro.harness.engine.executor.Executor`, per-run state to
+:class:`~repro.harness.engine.context.RunContext`.  Library users who
+need finer control can compose those pieces directly; the façade keeps
+the one-call ``engine.run(jobs)`` surface everything else in the repo
+(runner, reproduce, simulate, chaos, benchmarks, the service) builds on.
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+import random
+import time
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from repro.harness.engine.context import RunContext
+from repro.harness.engine.executor import (AsyncExecutor, Executor,
+                                           ProcessPoolJobExecutor,
+                                           SerialExecutor)
+from repro.harness.engine.jobs import (JobResult, JobState, SimJob,
+                                       _stats_delta, default_job_timeout,
+                                       default_jobs, default_max_retries)
+from repro.harness.engine.planner import Planner
+from repro.harness.engine.store import (ArtifactStore, STORE_VERSION,
+                                        default_cache_dir)
+from repro.harness.reporting import CacheStats
+from repro.telemetry.metrics import get_registry, snapshot_delta
+
+log = logging.getLogger(__name__)
+
+__all__ = ["ExperimentEngine", "ExperimentError"]
+
+
+class ExperimentError(RuntimeError):
+    """A sweep finished with jobs that never succeeded.
+
+    Raised *after* the run manifest (``status: failed``) is written;
+    ``run_id`` names the run to pass back as ``run(jobs, resume=...)``.
+    """
+
+    def __init__(self, message: str, run_id: Optional[str] = None,
+                 failures: Sequence[dict] = ()):
+        super().__init__(message)
+        self.run_id = run_id
+        self.failures = list(failures)
+
+
+class ExperimentEngine:
+    """Fan :class:`SimJob` batches out over processes, backed by one
+    shared :class:`ArtifactStore`.
+
+    ``jobs == 1`` (or a single-job batch) runs serially in-process —
+    bit-identical to driving a :class:`Harness` by hand — and reuses one
+    harness per distinct machine configuration so in-memory caches
+    amortize exactly as before.
+
+    ``max_retries`` / ``job_timeout`` bound each job's attempts and
+    per-attempt wall clock; a worker death re-shards its batch instead of
+    failing the sweep; ``run(jobs, resume=run_id)`` continues an
+    interrupted run, skipping jobs whose artifacts verify in the store
+    (see ``docs/FAULTS.md``).
+
+    Every :meth:`run` against a cache directory also writes a **run
+    manifest** (``manifest.jsonl`` + ``summary.json``, plus an
+    incremental ``events.jsonl`` job-state journal and a ``jobs.json``
+    index) under ``<cache_dir>/runs/<run id>`` — per-job timings, cache
+    provenance, merged telemetry, worker utilization, terminal status,
+    and any exception (see :mod:`repro.telemetry.manifest` and
+    ``docs/TELEMETRY.md``).  Disable with ``write_manifest=False`` or
+    point it elsewhere with ``manifest_dir``.
+
+    Library composition points (see ``docs/ENGINE.md``): ``store=``
+    accepts a pre-built :class:`ArtifactStore` — in particular a tenant
+    namespace from :meth:`ArtifactStore.namespace`, which scopes the
+    run's artifacts *and* its manifests under that tenant's root;
+    ``executor=`` swaps the execution strategy (any
+    :class:`~repro.harness.engine.executor.Executor`); ``on_result=``
+    streams terminal :class:`JobResult`\\ s as they land; and
+    :meth:`run_async` runs the whole sweep cooperatively on an asyncio
+    loop.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None,
+                 jobs: Optional[int] = None, salt: str = STORE_VERSION,
+                 manifest_dir: Union[str, Path, None] = None,
+                 write_manifest: bool = True,
+                 max_retries: Optional[int] = None,
+                 job_timeout: Optional[float] = None,
+                 backoff_base: float = 0.25, backoff_cap: float = 8.0,
+                 store: Optional[ArtifactStore] = None,
+                 executor: Optional[Executor] = None):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if store is not None:
+            # A pre-built store (e.g. a tenant namespace) brings its own
+            # root and salt; manifests default under that root too, so a
+            # namespaced engine keeps everything inside its tenant.
+            self.store: Optional[ArtifactStore] = store
+            self.salt = store.salt
+            self.cache_dir: Optional[Path] = store.root
+        else:
+            self.salt = salt
+            self.cache_dir = (Path(cache_dir).expanduser()
+                              if cache_dir else None)
+            self.store = (ArtifactStore(self.cache_dir, salt=self.salt)
+                          if self.cache_dir else None)
+        self.stats = CacheStats()
+        self.planner = Planner()
+        self.max_retries = (default_max_retries() if max_retries is None
+                            else max(0, int(max_retries)))
+        if job_timeout is None:
+            self.job_timeout = default_job_timeout()
+        else:
+            self.job_timeout = (float(job_timeout)
+                                if float(job_timeout) > 0 else None)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        if manifest_dir is not None:
+            self.manifest_dir: Optional[Path] = \
+                Path(manifest_dir).expanduser()
+        elif self.cache_dir is not None:
+            self.manifest_dir = self.cache_dir / "runs"
+        else:
+            self.manifest_dir = None
+        if not write_manifest:
+            self.manifest_dir = None
+        self._executor = executor
+        #: The most recent run's manifest directory (None until a run
+        #: completes with manifests enabled).
+        self.last_manifest: Optional[Path] = None
+        #: The most recent run's id (set at run start, so it is available
+        #: even when the run fails — it is what ``resume=`` takes).
+        self.last_run_id: Optional[str] = None
+        #: The most recent run's merged telemetry snapshot.
+        self.last_run_telemetry: Dict[str, Any] = {}
+        self._used_workers = False
+
+    @classmethod
+    def from_env(cls, jobs: Optional[int] = None) -> "ExperimentEngine":
+        """An engine at the default cache location and ``REPRO_JOBS``."""
+        return cls(cache_dir=default_cache_dir(), jobs=jobs)
+
+    # ------------------------------------------------------------------
+    # Run lifecycle (shared by run / run_async)
+    # ------------------------------------------------------------------
+    def _begin_run(self, jobs: Sequence[SimJob], resume: Optional[str],
+                   on_result: Optional[Callable[[JobResult], None]]
+                   ) -> RunContext:
+        from repro.telemetry.manifest import RunJournal, new_run_id
+        jobs = list(jobs)
+        registry = get_registry()
+        run_id = new_run_id()
+        self.last_run_id = run_id
+        resumed_from = (self._resolve_resume(resume)
+                        if resume is not None else None)
+        ctx = RunContext(jobs=jobs, run_id=run_id,
+                         max_retries=self.max_retries, stats=self.stats,
+                         rng=random.Random(run_id),
+                         resumed_from=resumed_from, on_result=on_result,
+                         parent_before=(registry.snapshot()
+                                        if registry.enabled else None))
+        if self.manifest_dir is not None:
+            try:
+                ctx.journal = RunJournal(
+                    self.manifest_dir / run_id,
+                    jobs_index=[{"index": i, "app": job.app,
+                                 "policy": job.policy, "mode": job.mode,
+                                 "input_id": job.input_id,
+                                 "key": job.cache_key(self.salt)}
+                                for i, job in enumerate(jobs)])
+            except OSError as exc:  # pragma: no cover - disk-full etc.
+                log.warning("could not open run journal under %s: %s",
+                            self.manifest_dir, exc)
+        return ctx
+
+    def _prepare(self, ctx: RunContext) -> List[int]:
+        """Resume-skip verified jobs; return the pending index list."""
+        if ctx.resumed_from is not None:
+            self._skip_verified(ctx)
+        return ctx.pending()
+
+    def _finish_run(self, ctx: RunContext,
+                    failure: Optional[dict]) -> List[JobResult]:
+        """Close out a run (manifest + failure policy); returns results."""
+        failed = ctx.failed()
+        if failed:
+            jobs = ctx.jobs
+            details = "; ".join(
+                f"{jobs[i].app}/{jobs[i].policy}[{i}]: "
+                f"{ctx.results[i].error}" for i in failed[:5])
+            if len(failed) > 5:
+                details += f"; ... {len(failed) - 5} more"
+            raise ExperimentError(
+                f"{len(failed)} of {len(jobs)} job(s) did not complete "
+                f"after {1 + self.max_retries} attempt(s): {details} "
+                f"(continue with resume={ctx.run_id!r})",
+                run_id=ctx.run_id,
+                failures=[{"index": i, "app": jobs[i].app,
+                           "policy": jobs[i].policy,
+                           "state": ctx.states[i],
+                           "error": ctx.results[i].error}
+                          for i in failed])
+        return ctx.results  # type: ignore[return-value]
+
+    def _select_executor(self, pending: Sequence[int]) -> Executor:
+        if self._executor is not None:
+            self._used_workers = isinstance(self._executor,
+                                            ProcessPoolJobExecutor)
+            return self._executor
+        if self.jobs > 1 and len(pending) > 1:
+            self._used_workers = True
+            return ProcessPoolJobExecutor(self)
+        return SerialExecutor(self)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[SimJob], resume: Optional[str] = None,
+            on_result: Optional[Callable[[JobResult], None]] = None
+            ) -> List[JobResult]:
+        """Run every job, returning results in input order.
+
+        ``resume`` continues an earlier run (a run id under the manifest
+        directory, or ``"latest"``): jobs whose artifacts verify in the
+        store are marked ``skipped`` and served from disk; everything
+        else runs normally.  ``on_result`` receives every terminal
+        :class:`JobResult` as it is recorded.  If any job still has not
+        succeeded after ``1 + max_retries`` attempts, the run manifest
+        is written with ``status: failed`` and :class:`ExperimentError`
+        is raised — the completed jobs' artifacts stay in the store, so
+        a resumed run only repeats the unfinished work.
+        """
+        ctx = self._begin_run(jobs, resume, on_result)
+        failure: Optional[dict] = None
+        self._used_workers = False
+        try:
+            pending = self._prepare(ctx)
+            executor = self._select_executor(pending)
+            executor.execute(ctx, pending)
+        except BaseException as exc:
+            failure = {"where": type(self).__name__,
+                       "error": f"{type(exc).__name__}: {exc}"}
+            raise
+        finally:
+            ctx.close_journal()
+            self._write_manifest(ctx, failure)
+        return self._finish_run(ctx, failure)
+
+    async def run_async(self, jobs: Sequence[SimJob],
+                        resume: Optional[str] = None,
+                        on_result: Optional[Callable[[JobResult],
+                                                     None]] = None,
+                        concurrency: int = 1) -> List[JobResult]:
+        """:meth:`run` as a coroutine, attempts on event-loop threads.
+
+        Identical semantics (states, retries, journal, manifest, the
+        :class:`ExperimentError` contract) with cooperative execution:
+        the event loop keeps running while jobs compute, and terminal
+        results stream through ``on_result`` as they land — this is the
+        seam :mod:`repro.service` builds its coalescing sweeps on.
+        ``concurrency`` bounds simultaneous attempts (see
+        :class:`~repro.harness.engine.executor.AsyncExecutor` for why it
+        defaults to 1).
+        """
+        ctx = self._begin_run(jobs, resume, on_result)
+        failure: Optional[dict] = None
+        self._used_workers = False
+        try:
+            pending = self._prepare(ctx)
+            await AsyncExecutor(self, concurrency).execute(ctx, pending)
+        except BaseException as exc:
+            failure = {"where": type(self).__name__,
+                       "error": f"{type(exc).__name__}: {exc}"}
+            raise
+        finally:
+            ctx.close_journal()
+            self._write_manifest(ctx, failure)
+        return self._finish_run(ctx, failure)
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def _resolve_resume(self, resume: str) -> str:
+        """Validate a resume target and return its run id."""
+        if self.store is None or self.manifest_dir is None:
+            raise ValueError("resume requires a cache directory: the "
+                             "store is what verifies completed jobs")
+        if resume == "latest":
+            candidates = [p for p in self.manifest_dir.iterdir()
+                          if p.is_dir() and (
+                              (p / "summary.json").exists()
+                              or (p / "events.jsonl").exists())] \
+                if self.manifest_dir.is_dir() else []
+            if not candidates:
+                raise ValueError(f"no previous run to resume under "
+                                 f"{self.manifest_dir}")
+            return max(candidates, key=lambda p: p.stat().st_mtime).name
+        if not (self.manifest_dir / resume).is_dir():
+            raise ValueError(f"no run {resume!r} under "
+                             f"{self.manifest_dir}")
+        return resume
+
+    def _skip_verified(self, ctx: RunContext) -> None:
+        """Mark every job whose artifact decodes and passes its integrity
+        digest as ``skipped`` — the store read *is* the verification; a
+        corrupt artifact is quarantined here and the job re-runs."""
+        from repro.telemetry.manifest import read_jobs_index
+        resumed_from = ctx.resumed_from
+        previous = {row.get("key") for row in
+                    read_jobs_index(self.manifest_dir / resumed_from)}
+        current = {job.cache_key(self.salt) for job in ctx.jobs}
+        if previous and previous != current:
+            log.warning(
+                "resume %s: job list differs from the original run "
+                "(%d shared of %d current); unmatched jobs run fresh",
+                resumed_from, len(previous & current), len(current))
+        for i, job in enumerate(ctx.jobs):
+            baseline = copy.deepcopy(self.store.stats)
+            value = self.store.get(job.mode, job.cache_key(self.salt))
+            if value is None:
+                # The verification read may have quarantined a corrupt
+                # artifact; keep that accounting even though the job now
+                # re-runs instead of being skipped.
+                self.stats.merge(_stats_delta(self.store.stats, baseline))
+                continue
+            stats = _stats_delta(self.store.stats, baseline)
+            ctx.record_skip(i, JobResult(job=job, value=value, cached=True,
+                                         seconds=0.0, stats=stats,
+                                         state=JobState.SKIPPED, index=i))
+        skipped = sum(1 for s in ctx.states if s == JobState.SKIPPED)
+        log.info("resume %s: %d of %d job(s) verified in the store and "
+                 "skipped", resumed_from, skipped, len(ctx.jobs))
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def _status(self, ctx: RunContext, failure: Optional[dict]) -> str:
+        if failure is not None:
+            return "failed"
+        if any(s not in (JobState.SUCCEEDED, JobState.SKIPPED)
+               for s in ctx.states):
+            return "failed"
+        return "resumed" if ctx.resumed_from is not None else "completed"
+
+    def _write_manifest(self, ctx: RunContext,
+                        failure: Optional[dict]) -> None:
+        from repro.telemetry.manifest import write_run_manifest
+        from repro.telemetry.metrics import merge_snapshots
+        registry = get_registry()
+        wall = ctx.wall_seconds()
+        results = [r for r in ctx.results if r is not None]
+        parent_delta = (snapshot_delta(registry.snapshot(),
+                                       ctx.parent_before)
+                        if ctx.parent_before is not None else {})
+        # Serial runs record jobs directly into the parent registry; the
+        # parent delta already contains them, so merge job deltas only
+        # for worker processes (whose registries died with them).
+        if self._used_workers:
+            snapshots = [r.telemetry for r in results if r.telemetry]
+            snapshots.append(parent_delta)
+            self.last_run_telemetry = merge_snapshots(snapshots)
+        else:
+            self.last_run_telemetry = parent_delta
+        if self.manifest_dir is None:
+            return
+        run_cache = CacheStats()
+        for result in results:
+            run_cache.merge(result.stats)
+        exceptions = [failure] if failure else []
+        for result in results:
+            if result.state in (JobState.FAILED, JobState.TIMED_OUT):
+                exceptions.append(
+                    {"where": (f"job {result.index} "
+                               f"({result.job.app}/{result.job.policy})"),
+                     "error": result.error or result.state})
+        namespaces = None
+        if self.store is not None:
+            summaries = self.store.namespaces_summary()
+            if summaries:
+                namespaces = list(summaries.values())
+        try:
+            self.last_manifest = write_run_manifest(
+                self.manifest_dir, results, wall_seconds=wall,
+                workers=min(self.jobs, max(1, len(results))),
+                run_id=ctx.run_id, cache_stats=run_cache,
+                telemetry=self.last_run_telemetry,
+                exceptions=exceptions,
+                status=self._status(ctx, failure),
+                resumed_from=ctx.resumed_from,
+                job_states=ctx.job_states(), namespaces=namespaces)
+            log.info("run manifest: %s", self.last_manifest)
+        except OSError as exc:  # pragma: no cover - disk-full etc.
+            log.warning("could not write run manifest under %s: %s",
+                        self.manifest_dir, exc)

@@ -1,0 +1,67 @@
+"""Shared job-identity helpers: effective geometry and group keys.
+
+Three places need to agree on "which jobs replay the same stream": the
+:class:`~repro.harness.engine.planner.GroupReplay` planner (which jobs a
+single-pass multi-policy sweep may cover), the engine's shared-memory
+stream export (which (trace, geometry) columns a worker batch can
+attach), and the service's request coalescer (which concurrent requests
+fold into one sweep).  Before this module each computed its own variant
+of the (app, input, length, effective-config) key inline; now they all
+call the helpers below, and ``tests/test_group_keys.py`` pins the
+semantics.
+
+The subtlety the helpers encode: ``thermometer-7979`` names the
+iso-storage variant of Fig. 11, which replays the 7979-entry geometry
+*regardless of the job's nominal* :class:`~repro.btb.config.BTBConfig` —
+so its replay group, its hint profile, and its stream columns all key on
+the *effective* geometry, not the nominal one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.btb.config import BTBConfig, THERMOMETER_7979_CONFIG
+
+__all__ = ["batch_key", "effective_btb_config", "replay_group_key",
+           "stream_key"]
+
+
+def effective_btb_config(policy: str, btb_config: BTBConfig) -> BTBConfig:
+    """The geometry ``policy`` actually replays (and profiles hints
+    against): the nominal config, except ``thermometer-7979`` which
+    always runs the iso-storage 7979-entry configuration."""
+    if policy == "thermometer-7979":
+        return THERMOMETER_7979_CONFIG
+    return btb_config
+
+
+def replay_group_key(job) -> Optional[Tuple]:
+    """Identity of the shared-stream replay group a ``misses`` job
+    belongs to, or None for jobs that cannot share a sweep (``sim``
+    mode replays through the timing model, not the bare stream).
+
+    Jobs with equal keys walk the same precomputed stream columns, so
+    one :meth:`~repro.harness.runner.Harness.run_misses_multi` sweep can
+    drive all of their policy states side by side.
+    """
+    if job.mode != "misses":
+        return None
+    effective = effective_btb_config(job.policy, job.btb_config)
+    return (job.app, job.input_id, job.length, effective,
+            job.harness_config())
+
+
+def stream_key(job) -> Tuple[str, int, Optional[int], BTBConfig]:
+    """Identity of the (trace, geometry) pair one shared-memory stream
+    export covers (see :mod:`repro.trace.shm`).  Keyed on the *nominal*
+    geometry: the export carries the columns the batch's harness would
+    build for the job's own config."""
+    return (job.app, job.input_id, job.length, job.btb_config)
+
+
+def batch_key(job) -> Tuple:
+    """Identity of the worker batch a job lands in: every job sharing it
+    runs through one :class:`~repro.harness.runner.Harness` (one trace,
+    one access stream, one profile) in the same worker process."""
+    return (job.app, job.input_id, job.harness_config())

@@ -1,0 +1,236 @@
+"""Worker entry points: run one job, or a batch, with store + harness.
+
+These functions are module-level so ``ProcessPoolExecutor`` can pickle
+them by reference; they are also the *only* layer that touches the
+fault-injection hooks (:mod:`repro.testing.faults`) — faults fire on
+the real execution path, in whichever process runs the job.
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.engine.jobs import (JobResult, JobState,
+                                       JobTimeoutError, SimJob,
+                                       _stats_delta, execute_job,
+                                       job_deadline)
+from repro.harness.reporting import CacheStats
+from repro.harness.engine.planner import GroupReplay
+from repro.harness.engine.store import ArtifactStore, STORE_VERSION
+from repro.harness.runner import Harness, HarnessConfig
+from repro.telemetry.metrics import get_registry, snapshot_delta
+from repro.telemetry.profile_hooks import worker_profile
+from repro.testing.faults import active_fault_plan, corrupt_file, inject
+
+log = logging.getLogger(__name__)
+
+__all__ = ["run_job", "run_job_batch"]
+
+
+def run_job(job: SimJob, cache_root: Optional[str] = None,
+            salt: str = STORE_VERSION,
+            store: Optional[ArtifactStore] = None,
+            harness: Optional[Harness] = None, *,
+            index: Optional[int] = None, attempt: int = 0,
+            in_worker: bool = False,
+            group: Optional[GroupReplay] = None) -> JobResult:
+    """Worker entry point (module-level so process pools can pickle it).
+
+    Checks the store for the finished result first; on a miss, computes it
+    through a harness whose intermediate artifacts (trace, profile, hints)
+    are themselves store-backed.  When the job belongs to a
+    :class:`GroupReplay` (and a harness is supplied), the miss is served
+    from the group's single-pass multi-policy sweep instead of a solo
+    replay — same value, one stream walk for the whole group.
+
+    ``index``/``attempt`` identify this attempt within an engine run; when
+    a :mod:`fault plan <repro.testing.faults>` is active they select which
+    injected fault (if any) fires on this exact attempt, on the real
+    execution path.
+    """
+    if store is None and cache_root is not None:
+        store = ArtifactStore(cache_root, salt=salt)
+    registry = get_registry()
+    fault = None
+    if index is not None:
+        plan = active_fault_plan()
+        if plan is not None:
+            fault = plan.fault_for(index, attempt)
+    if fault is not None and fault.kind != "corrupt":
+        registry.count("faults/injected")
+        inject(fault, in_worker=in_worker)
+    baseline = copy.deepcopy(store.stats) if store is not None else None
+    telemetry_before = registry.snapshot() if registry.enabled else None
+    start = time.perf_counter()
+    cached = False
+    if store is not None:
+        key = job.cache_key(salt=store.salt)
+        value = store.get(job.mode, key)
+        cached = value is not None
+        if value is None:
+            with store.stats.stage(job.mode):
+                if group is not None and harness is not None:
+                    value = group.compute(job, harness, store, store.salt)
+                if value is None:
+                    value = execute_job(job, harness=harness, store=store)
+            store.put(job.mode, key, value)
+        if fault is not None and fault.kind == "corrupt":
+            registry.count("faults/injected")
+            if corrupt_file(store.path(job.mode, key)):
+                log.warning("injected corruption into stored %s artifact "
+                            "of job %d", job.mode, index)
+    else:
+        value = None
+        if group is not None and harness is not None:
+            value = group.compute(job, harness, None, salt)
+        if value is None:
+            value = execute_job(job, harness=harness)
+    elapsed = time.perf_counter() - start
+    stats = (_stats_delta(store.stats, baseline)
+             if store is not None else CacheStats())
+    telemetry = (snapshot_delta(registry.snapshot(), telemetry_before)
+                 if telemetry_before is not None else {})
+    return JobResult(job=job, value=value, cached=cached,
+                     seconds=elapsed, stats=stats, telemetry=telemetry,
+                     attempt=attempt, index=index)
+
+
+def _execute_guarded(job: SimJob, *, index: Optional[int], attempt: int,
+                     store: Optional[ArtifactStore] = None,
+                     harness: Optional[Harness] = None,
+                     salt: str = STORE_VERSION,
+                     job_timeout: Optional[float] = None,
+                     in_worker: bool = False,
+                     group: Optional[GroupReplay] = None) -> JobResult:
+    """One attempt that *always* returns a :class:`JobResult`.
+
+    Timeouts and exceptions are folded into the result's ``state`` /
+    ``error`` instead of escaping, so a bad job can never take down its
+    batch (the engine, not the worker, decides about retries).
+    """
+    start = time.perf_counter()
+    try:
+        with job_deadline(job_timeout):
+            return run_job(job, store=store, harness=harness, salt=salt,
+                           index=index, attempt=attempt,
+                           in_worker=in_worker, group=group)
+    except JobTimeoutError as exc:
+        return JobResult(job=job, value=None, cached=False,
+                         seconds=time.perf_counter() - start,
+                         state=JobState.TIMED_OUT, attempt=attempt,
+                         index=index, error=str(exc))
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        return JobResult(job=job, value=None, cached=False,
+                         seconds=time.perf_counter() - start,
+                         state=JobState.FAILED, attempt=attempt,
+                         index=index,
+                         error=f"{type(exc).__name__}: {exc}")
+
+
+def _attach_shared_streams(stream_handles) -> List[Tuple[Any, Any]]:
+    """Attach the parent's exported streams (worker side).
+
+    Each attached stream is adopted into this process's stream memo, so
+    :func:`~repro.trace.stream.access_stream_for` serves the zero-copy
+    columns instead of rebuilding them.  Any attach failure (the parent
+    unlinked early, platform refuses the mapping, ...) just drops that
+    handle — the job recomputes through the store as before.
+    """
+    if not stream_handles:
+        return []
+    from repro.trace.shm import attach_stream
+    from repro.trace.stream import adopt_stream
+    registry = get_registry()
+    adopted = []
+    for handle in stream_handles:
+        try:
+            stream = attach_stream(handle)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            log.warning("could not attach shared stream %s for %s/%d "
+                        "(%s: %s); falling back to the store",
+                        handle.shm_name, handle.app, handle.input_id,
+                        type(exc).__name__, exc)
+            continue
+        adopt_stream(stream)
+        adopted.append((handle, stream))
+        registry.count("engine/shm/attached")
+    return adopted
+
+
+def run_job_batch(jobs: Sequence[SimJob], cache_root: Optional[str] = None,
+                  salt: str = STORE_VERSION,
+                  indices: Optional[Sequence[int]] = None,
+                  attempts: Optional[Sequence[int]] = None,
+                  job_timeout: Optional[float] = None,
+                  stream_handles: Optional[Sequence[Any]] = None
+                  ) -> List[JobResult]:
+    """Worker entry point for a *group* of jobs (module-level so process
+    pools can pickle it).
+
+    The engine groups parallel jobs by (app, input, machine config) so one
+    worker runs a whole group through one :class:`Harness` — the trace,
+    its shared :class:`~repro.trace.stream.AccessStream`, the OPT profile,
+    and the hint maps are built once and replayed across every policy in
+    the group instead of once per job.  Each job is individually guarded:
+    a failed or timed-out job yields a failed :class:`JobResult` and the
+    rest of the batch still runs.
+
+    ``stream_handles`` (see :mod:`repro.trace.shm`) carries the parent's
+    shared-memory exports of the group's trace and access-stream columns:
+    attaching replaces this worker's store unpickle and column rebuild
+    with zero-copy views.  Handles are hints — any attach failure falls
+    back to the store path.
+
+    ``REPRO_PROFILE=cprofile|tracemalloc`` wraps the batch in a deep
+    profiler (see :mod:`repro.telemetry.profile_hooks`).
+    """
+    store = (ArtifactStore(cache_root, salt=salt)
+             if cache_root is not None else None)
+    index_list = (list(indices) if indices is not None
+                  else [None] * len(jobs))
+    attempt_list = (list(attempts) if attempts is not None
+                    else [0] * len(jobs))
+    adopted = _attach_shared_streams(stream_handles)
+    harnesses: Dict[HarnessConfig, Harness] = {}
+    results: List[JobResult] = []
+    groups = GroupReplay.plan(jobs)
+    with worker_profile(cache_root):
+        for job, index, attempt, group in zip(jobs, index_list,
+                                              attempt_list, groups):
+            config = job.harness_config()
+            harness = harnesses.get(config)
+            if harness is None:
+                harness = Harness(config, store=store)
+                for handle, stream in adopted:
+                    if handle.length == config.length:
+                        harness.adopt_trace(handle.app, handle.input_id,
+                                            stream.trace)
+                harnesses[config] = harness
+            results.append(_execute_guarded(
+                job, index=index, attempt=attempt, store=store,
+                harness=harness, salt=salt, job_timeout=job_timeout,
+                in_worker=True, group=group))
+    # Streams were attached before any per-job telemetry delta started;
+    # piggy-back the count on the last result so it reaches the parent.
+    if results and adopted:
+        counters = results[-1].telemetry.setdefault("counters", {})
+        counters["engine/shm/attached"] = (
+            counters.get("engine/shm/attached", 0) + len(adopted))
+    # The profile hook records its gauges after every per-job delta was
+    # taken; piggy-back them on the last result so they reach the parent.
+    registry = get_registry()
+    if results and registry.enabled and registry.gauges:
+        profile_gauges = {name: value
+                          for name, value in registry.gauges.items()
+                          if name.startswith("profile/")}
+        if profile_gauges:
+            results[-1].telemetry.setdefault("gauges", {}).update(
+                profile_gauges)
+    return results

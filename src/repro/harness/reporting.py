@@ -50,6 +50,9 @@ class CacheStats:
     #: Corrupt files moved into the store's ``.quarantine/`` directory
     #: (kept for forensics instead of being served or silently deleted).
     quarantined: int = 0
+    #: Writes rejected because they would push a namespace past its
+    #: byte quota (the artifact stays uncached; callers recompute).
+    quota_rejected: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     #: stage name (``trace``/``profile``/``hints``/``sim``/``misses``) →
@@ -65,10 +68,16 @@ class CacheStats:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.stage_seconds[name] = (self.stage_seconds.get(name, 0.0)
-                                        + elapsed)
-            self.stage_counts[name] = self.stage_counts.get(name, 0) + 1
+            self.add_stage(name, time.perf_counter() - start)
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        """Record one computed artifact of stage ``name`` taking
+        ``seconds`` (the :meth:`stage` context manager's primitive; the
+        store also calls it directly so the accounting can happen under
+        its lock rather than around the compute)."""
+        self.stage_seconds[name] = (self.stage_seconds.get(name, 0.0)
+                                    + seconds)
+        self.stage_counts[name] = self.stage_counts.get(name, 0) + 1
 
     def merge(self, other: "CacheStats") -> None:
         """Fold another stats object (e.g. from a worker process) in."""
@@ -77,12 +86,28 @@ class CacheStats:
         self.corrupt += other.corrupt
         self.digest_failures += other.digest_failures
         self.quarantined += other.quarantined
+        self.quota_rejected += getattr(other, "quota_rejected", 0)
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         for name, secs in other.stage_seconds.items():
             self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + secs
         for name, count in other.stage_counts.items():
             self.stage_counts[name] = self.stage_counts.get(name, 0) + count
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON rendering (the manifest/namespace-summary shape)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "digest_failures": self.digest_failures,
+            "quarantined": self.quarantined,
+            "quota_rejected": self.quota_rejected,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_counts": dict(self.stage_counts),
+        }
 
     @property
     def total(self) -> int:

@@ -1,0 +1,22 @@
+"""Asyncio simulation service: the engine behind a line-JSON socket.
+
+See ``docs/SERVICE.md`` for the protocol, coalescing semantics, and the
+tenancy/quota model.  The pieces:
+
+* :mod:`repro.service.protocol` — request/response wire format.
+* :mod:`repro.service.server` — :class:`SimulationService` (multi-tenant
+  stores, request coalescing, streamed results).
+* :mod:`repro.service.client` — a thin asyncio client.
+
+Run one with ``python -m repro.tools.serve``.
+"""
+
+from repro.service.client import ServiceClient, request_once
+from repro.service.protocol import (ProtocolError, job_from_dict,
+                                    job_to_dict, jobs_from_request)
+from repro.service.server import (ServiceRunError, SimulationService,
+                                  serve)
+
+__all__ = ["ProtocolError", "ServiceClient", "ServiceRunError",
+           "SimulationService", "job_from_dict", "job_to_dict",
+           "jobs_from_request", "request_once", "serve"]

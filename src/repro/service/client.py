@@ -1,0 +1,92 @@
+"""Minimal client for the simulation service's line-JSON protocol.
+
+Stdlib-asyncio only, like the server.  The client is deliberately thin:
+it frames requests, demultiplexes response lines by request ``id``, and
+hands events back in arrival order — policy (retries, pools, TLS) is
+the caller's business.
+
+::
+
+    client = await ServiceClient.connect(host, port)
+    events = await client.request({"op": "sweep", "tenant": "alice",
+                                   "apps": ["tomcat"],
+                                   "policies": ["lru", "srrip"],
+                                   "mode": "misses", "length": 4000})
+    done = events[-1]            # the "done" summary event
+    await client.close()
+
+For scripts and tests, :func:`request_once` wraps
+connect → request → close into one call, and both entry points accept
+an ``on_event`` callback that sees every event (``accepted`` /
+``result`` / ``done`` / ``error``) as it arrives, preserving the
+server's incremental streaming.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service.protocol import decode_line, encode_line
+
+__all__ = ["ServiceClient", "request_once"]
+
+
+class ServiceClient:
+    """One connection to a running simulation service."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, request: Dict[str, Any],
+                      on_event: Optional[Callable[[Dict[str, Any]],
+                                                  None]] = None
+                      ) -> List[Dict[str, Any]]:
+        """Send one request and collect its events until the terminal
+        one (``done``, ``status``, ``bye``, or ``error``)."""
+        request = dict(request)
+        request.setdefault("id", f"c{next(self._ids)}")
+        self._writer.write(encode_line(request))
+        await self._writer.drain()
+        events: List[Dict[str, Any]] = []
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("service closed the connection")
+            event = decode_line(line)
+            if event.get("id") not in (request["id"], None):
+                # Another pipelined request's event; not ours to handle.
+                continue
+            events.append(event)
+            if on_event is not None:
+                on_event(event)
+            if event.get("event") in ("done", "status", "bye", "error"):
+                return events
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def request_once(host: str, port: int, request: Dict[str, Any],
+                       on_event: Optional[Callable[[Dict[str, Any]],
+                                                   None]] = None
+                       ) -> List[Dict[str, Any]]:
+    """connect → request → close, returning the request's events."""
+    client = await ServiceClient.connect(host, port)
+    try:
+        return await client.request(request, on_event=on_event)
+    finally:
+        await client.close()

@@ -1,0 +1,394 @@
+"""The asyncio simulation service: coalescing front door to the engine.
+
+:class:`SimulationService` owns one multi-tenant
+:class:`~repro.harness.engine.ArtifactStore` and one
+:class:`~repro.harness.engine.ExperimentEngine` per tenant namespace
+(artifacts *and* run manifests live under ``<root>/tenants/<name>``, so
+tenants can neither read nor evict each other's caches and quota
+rejections stay theirs alone).
+
+Request coalescing: submissions for the same tenant arriving within
+``coalesce_window`` seconds join one **batch** — identical jobs (same
+cache key) are deduplicated with every subscriber fanned the shared
+result, and the merged job list goes through one
+:meth:`~repro.harness.engine.ExperimentEngine.run_async`, whose planner
+then lands same-(app, input, config) jobs in a single
+``run_misses_multi`` sweep.  Two clients asking for overlapping policy
+sweeps therefore cost one stream walk, not two — and the artifacts,
+stats, and manifest rows are byte-identical to running the merged list
+through the CLI engine path, because it *is* the same path.
+
+Results stream: every terminal job result is pushed to its subscribers
+the moment the engine records it (the ``on_result`` seam), not when the
+batch finishes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.harness.engine import (ArtifactStore, ExperimentEngine,
+                                  ExperimentError, JobResult, SimJob)
+from repro.service.protocol import (ProtocolError, decode_line,
+                                    encode_line, jobs_from_request)
+from repro.telemetry.manifest import job_row
+from repro.telemetry.metrics import get_registry
+
+log = logging.getLogger(__name__)
+
+__all__ = ["ServiceRunError", "SimulationService", "serve"]
+
+#: Tenant used when a request names none.
+DEFAULT_TENANT = "default"
+
+
+class ServiceRunError(RuntimeError):
+    """A submitted batch finished with failed jobs.
+
+    Wraps the engine's :class:`ExperimentError` for one subscriber;
+    ``summary`` is the same run summary a successful ``done`` event
+    carries (run id, manifest path, coalescing facts)."""
+
+    def __init__(self, message: str, summary: Dict[str, Any]):
+        super().__init__(message)
+        self.summary = summary
+
+
+class _Subscriber:
+    """One request's view of a (possibly shared) batch."""
+
+    def __init__(self, indices: List[int],
+                 on_result: Optional[Callable[[JobResult], None]]):
+        #: Batch indices this request asked for, in request order.
+        self.indices = indices
+        self.wanted = set(indices)
+        self.on_result = on_result
+
+    def emit(self, result: JobResult) -> None:
+        if self.on_result is not None and result.index in self.wanted:
+            self.on_result(result)
+
+
+class _Batch:
+    """Jobs coalesced into one engine run (one tenant, one window)."""
+
+    def __init__(self) -> None:
+        self.jobs: List[SimJob] = []
+        self.key_to_index: Dict[str, int] = {}
+        self.subscribers: List[_Subscriber] = []
+        #: Resolves to (results, summary) once the engine run finishes.
+        self.done: asyncio.Future = (
+            asyncio.get_running_loop().create_future())
+
+    def add(self, jobs: List[SimJob],
+            on_result: Optional[Callable[[JobResult], None]]
+            ) -> _Subscriber:
+        indices = []
+        for job in jobs:
+            key = job.cache_key()
+            index = self.key_to_index.get(key)
+            if index is None:
+                index = len(self.jobs)
+                self.jobs.append(job)
+                self.key_to_index[key] = index
+            indices.append(index)
+        subscriber = _Subscriber(indices, on_result)
+        self.subscribers.append(subscriber)
+        return subscriber
+
+    def dispatch(self, result: JobResult) -> None:
+        for subscriber in self.subscribers:
+            subscriber.emit(result)
+
+
+class SimulationService:
+    """Multi-tenant, coalescing front door to the experiment engine."""
+
+    def __init__(self, cache_dir: Union[str, Path],
+                 jobs: int = 1, coalesce_window: float = 0.05,
+                 quotas: Optional[Dict[str, int]] = None,
+                 max_retries: Optional[int] = None,
+                 job_timeout: Optional[float] = None):
+        self.store = ArtifactStore(cache_dir)
+        self.jobs = max(1, int(jobs))
+        self.coalesce_window = max(0.0, float(coalesce_window))
+        self.quotas = dict(quotas or {})
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
+        self._engines: Dict[str, ExperimentEngine] = {}
+        self._batches: Dict[str, _Batch] = {}
+        self._requests = 0
+        self._coalesced = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # Tenancy
+    # ------------------------------------------------------------------
+    def engine_for(self, tenant: str) -> ExperimentEngine:
+        """The tenant's engine (created on first use), rooted in its
+        store namespace so artifacts and manifests stay isolated."""
+        engine = self._engines.get(tenant)
+        if engine is None:
+            namespace = self.store.namespace(
+                tenant, quota_bytes=self.quotas.get(tenant))
+            engine = ExperimentEngine(store=namespace,
+                                      jobs=self.jobs,
+                                      max_retries=self.max_retries,
+                                      job_timeout=self.job_timeout)
+            self._engines[tenant] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    # Coalescing submission
+    # ------------------------------------------------------------------
+    async def submit(self, tenant: str, jobs: List[SimJob],
+                     on_result: Optional[Callable[[JobResult],
+                                                  None]] = None
+                     ) -> Dict[str, Any]:
+        """Run ``jobs`` for ``tenant``, coalescing with concurrent
+        submissions; streams terminal results through ``on_result`` and
+        returns the run summary.  Raises :class:`ServiceRunError` when
+        any of *this request's* jobs failed."""
+        self._requests += 1
+        batch = self._batches.get(tenant)
+        if batch is None:
+            batch = _Batch()
+            self._batches[tenant] = batch
+            asyncio.get_running_loop().create_task(
+                self._flush_later(tenant, batch))
+        else:
+            self._coalesced += 1
+        subscriber = batch.add(jobs, on_result)
+        results, summary, error = await asyncio.shield(batch.done)
+        summary = dict(summary,
+                       jobs=len(subscriber.indices),
+                       coalesced=len(batch.subscribers) > 1)
+        failed = [results[i] for i in sorted(subscriber.wanted)
+                  if results[i] is not None
+                  and results[i].error is not None]
+        if failed:
+            details = "; ".join(
+                f"{r.job.app}/{r.job.policy}: {r.error}"
+                for r in failed[:5])
+            raise ServiceRunError(
+                f"{len(failed)} job(s) failed: {details}",
+                summary=dict(summary, ok=False))
+        if error is not None and not failed:
+            # The run failed outside this subscriber's jobs (another
+            # request's job, or the engine itself); this request's own
+            # results are still complete and valid.
+            log.debug("batch error outside subscriber's jobs: %s", error)
+        return summary
+
+    async def _flush_later(self, tenant: str, batch: _Batch) -> None:
+        if self.coalesce_window > 0:
+            await asyncio.sleep(self.coalesce_window)
+        # Close the window: later submissions start a fresh batch.
+        if self._batches.get(tenant) is batch:
+            del self._batches[tenant]
+        engine = self.engine_for(tenant)
+        error: Optional[BaseException] = None
+        results: List[Optional[JobResult]] = [None] * len(batch.jobs)
+        try:
+            run_results = await engine.run_async(
+                batch.jobs, on_result=batch.dispatch)
+            results = list(run_results)
+        except ExperimentError as exc:
+            error = exc
+            # Partial results still reached subscribers via dispatch;
+            # recover the per-index view for submit()'s failure check.
+            for failure in exc.failures:
+                index = failure.get("index")
+                if index is not None:
+                    results[index] = JobResult(
+                        job=batch.jobs[index], value=None, cached=False,
+                        seconds=0.0, state=failure.get("state", "failed"),
+                        index=index, error=failure.get("error"))
+        except BaseException as exc:
+            error = exc
+        summary = {
+            "ok": error is None,
+            "tenant": tenant,
+            "run_id": engine.last_run_id,
+            "manifest": (str(engine.last_manifest)
+                         if engine.last_manifest else None),
+            "batch_jobs": len(batch.jobs),
+            "requests": len(batch.subscribers),
+            "sweeps": (engine.last_run_telemetry.get("counters", {})
+                       .get("engine/multi_replay/sweeps", 0)),
+        }
+        if error is not None:
+            summary["error"] = f"{type(error).__name__}: {error}"
+        batch.done.set_result((results, summary, error))
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The service's status document: per-tenant namespace stats,
+        recent run manifests, and live telemetry counters."""
+        runs = []
+        for tenant, engine in sorted(self._engines.items()):
+            if engine.manifest_dir is None \
+                    or not engine.manifest_dir.is_dir():
+                continue
+            for run_dir in sorted(engine.manifest_dir.iterdir(),
+                                  key=lambda p: p.name)[-5:]:
+                summary_path = run_dir / "summary.json"
+                if not summary_path.is_file():
+                    continue
+                try:
+                    summary = json.loads(summary_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue
+                runs.append({"tenant": tenant,
+                             "run_id": summary.get("run_id",
+                                                   run_dir.name),
+                             "status": summary.get("status"),
+                             "jobs": summary.get("jobs"),
+                             "wall_seconds": summary.get("wall_seconds")})
+        registry = get_registry()
+        return {
+            "tenants": self.store.namespaces_summary(),
+            "requests": self._requests,
+            "coalesced_requests": self._coalesced,
+            "runs": runs,
+            "telemetry": (registry.snapshot() if registry.enabled
+                          else {}),
+        }
+
+    # ------------------------------------------------------------------
+    # Wire front door
+    # ------------------------------------------------------------------
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """One client connection: requests in, event lines out.
+
+        Requests on a connection run concurrently (that is what makes
+        single-connection coalescing possible); a write lock keeps event
+        lines whole."""
+        write_lock = asyncio.Lock()
+        tasks: List[asyncio.Task] = []
+
+        async def send(obj: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(encode_line(obj))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line)
+                except ProtocolError as exc:
+                    await send({"id": None, "event": "error",
+                                "error": str(exc)})
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_request(request, send))
+                tasks.append(task)
+                if request.get("op") == "shutdown":
+                    break
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Loop shutdown while this connection idled in readline();
+            # end the task quietly instead of surfacing the cancel
+            # through the stream protocol's done-callback.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_request(self, request: Dict[str, Any],
+                              send) -> None:
+        request_id = request.get("id")
+        op = request.get("op")
+        try:
+            if op == "status":
+                await send(dict(self.status(), id=request_id,
+                                event="status"))
+                return
+            if op == "shutdown":
+                await send({"id": request_id, "event": "bye"})
+                self._shutdown = True
+                if self._server is not None:
+                    self._server.close()
+                return
+            jobs = jobs_from_request(request)
+            tenant = str(request.get("tenant") or DEFAULT_TENANT)
+            await send({"id": request_id, "event": "accepted",
+                        "jobs": len(jobs), "tenant": tenant})
+
+            queue: asyncio.Queue = asyncio.Queue()
+
+            async def pump() -> None:
+                while True:
+                    result = await queue.get()
+                    if result is None:
+                        return
+                    await send({"id": request_id, "event": "result",
+                                "index": result.index,
+                                "row": job_row(result)})
+
+            pump_task = asyncio.ensure_future(pump())
+            try:
+                summary = await self.submit(tenant, jobs,
+                                            on_result=queue.put_nowait)
+                done = dict(summary, id=request_id, event="done")
+            except ServiceRunError as exc:
+                done = dict(exc.summary, id=request_id, event="done",
+                            error=str(exc))
+            finally:
+                queue.put_nowait(None)
+                await pump_task
+            await send(done)
+        except ProtocolError as exc:
+            await send({"id": request_id, "event": "error",
+                        "error": str(exc)})
+        except (KeyboardInterrupt, SystemExit, asyncio.CancelledError):
+            raise
+        except BaseException as exc:  # defensive: keep the server up
+            log.exception("request %r failed", request_id)
+            await send({"id": request_id, "event": "error",
+                        "error": f"{type(exc).__name__}: {exc}"})
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> asyncio.AbstractServer:
+        """Bind and return the server (``port=0`` picks a free port —
+        read it back from ``server.sockets[0]``)."""
+        self._server = await asyncio.start_server(self.handle_connection,
+                                                  host, port)
+        return self._server
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            if not self._shutdown:
+                raise
+
+
+async def serve(cache_dir: Union[str, Path], host: str = "127.0.0.1",
+                port: int = 0, **kwargs) -> None:
+    """Convenience runner: build a service, bind, announce, serve."""
+    service = SimulationService(cache_dir, **kwargs)
+    server = await service.start(host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"repro service listening on {bound[0]}:{bound[1]}",
+          flush=True)
+    await service.serve_forever()

@@ -78,6 +78,7 @@ def _cache_stats_dict(stats) -> Dict[str, Any]:
         "corrupt": stats.corrupt,
         "digest_failures": getattr(stats, "digest_failures", 0),
         "quarantined": getattr(stats, "quarantined", 0),
+        "quota_rejected": getattr(stats, "quota_rejected", 0),
         "bytes_read": stats.bytes_read,
         "bytes_written": stats.bytes_written,
         "stage_seconds": dict(stats.stage_seconds),
@@ -138,7 +139,8 @@ def write_run_manifest(directory: Union[str, Path],
                        exceptions: Optional[List[dict]] = None,
                        status: str = "completed",
                        resumed_from: Optional[str] = None,
-                       job_states: Optional[Dict[str, int]] = None) -> Path:
+                       job_states: Optional[Dict[str, int]] = None,
+                       namespaces: Optional[List[dict]] = None) -> Path:
     """Write ``manifest.jsonl`` + ``summary.json`` under
     ``directory/<run_id>``; returns the run directory.
 
@@ -151,7 +153,9 @@ def write_run_manifest(directory: Union[str, Path],
     ``status`` is the run's terminal state (``completed`` for a clean
     run, ``failed`` when any job or the run itself did not finish,
     ``resumed`` for a clean run that continued ``resumed_from``);
-    ``job_states`` is a state-name → count histogram over the sweep.
+    ``job_states`` is a state-name → count histogram over the sweep;
+    ``namespaces`` lists tenant-namespace summaries (name, quota, usage,
+    per-namespace cache stats) for multi-tenant stores.
     """
     run_id = run_id or new_run_id()
     run_dir = Path(directory).expanduser() / run_id
@@ -187,6 +191,8 @@ def write_run_manifest(directory: Union[str, Path],
         summary["resumed_from"] = resumed_from
     if job_states is not None:
         summary["job_states"] = dict(job_states)
+    if namespaces:
+        summary["namespaces"] = list(namespaces)
     tmp = run_dir / "summary.json.tmp"
     tmp.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
@@ -405,9 +411,26 @@ def render_report(manifest: RunManifest, top: int = 12) -> str:
             f"artifact cache: {cache.get('hits', 0)} hits / "
             f"{cache.get('misses', 0)} misses ({100.0 * rate:.0f}% hit "
             f"rate), {cache.get('corrupt', 0)} corrupt "
-            f"({cache.get('digest_failures', 0)} digest failures), "
+            f"({cache.get('digest_failures', 0)} digest failures, "
+            f"{cache.get('quarantined', 0)} quarantined, "
+            f"{cache.get('quota_rejected', 0)} quota-rejected), "
             f"{cache.get('bytes_read', 0) / 1e6:.1f} MB read, "
             f"{cache.get('bytes_written', 0) / 1e6:.1f} MB written")
+    namespaces = s.get("namespaces") or []
+    if namespaces:
+        lines.extend(["", "-- tenant namespaces --"])
+        for entry in namespaces:
+            ns_cache = entry.get("cache") or {}
+            quota = entry.get("quota_bytes")
+            quota_text = (f"{quota / 1e6:.1f} MB quota" if quota
+                          else "no quota")
+            lines.append(
+                f"  {entry.get('namespace', '?')}: "
+                f"{entry.get('usage_bytes', 0) / 1e6:.1f} MB used "
+                f"({quota_text}), {ns_cache.get('hits', 0)} hits / "
+                f"{ns_cache.get('misses', 0)} misses, "
+                f"{ns_cache.get('quarantined', 0)} quarantined, "
+                f"{ns_cache.get('quota_rejected', 0)} quota-rejected")
     spans = _span_table(s, wall, top)
     if spans:
         lines.extend(["", "-- slowest stages --", spans])

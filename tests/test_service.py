@@ -1,0 +1,308 @@
+"""The asyncio simulation service: coalescing, streaming, tenancy.
+
+The centerpiece is the differential test: a sweep submitted through the
+service by two concurrent (coalesced) clients must be *byte-identical*
+— artifact files, cache stats, manifest ``canonical_rows`` — to the
+same jobs run through the CLI engine path, with the coalesced group
+executing exactly one shared-stream sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.engine import ExperimentEngine, SimJob
+from repro.service.client import request_once
+from repro.service.protocol import (ProtocolError, job_from_dict,
+                                    job_to_dict, jobs_from_request)
+from repro.service.server import SimulationService
+from repro.telemetry.manifest import canonical_rows, read_run_manifest
+from repro.telemetry.metrics import MetricsRegistry, set_registry
+
+LENGTH = 4000
+
+#: Stats counters that must match between the CLI and service paths
+#: (timings legitimately differ; these cannot).
+STAT_FIELDS = ("hits", "misses", "corrupt", "digest_failures",
+               "quarantined", "quota_rejected", "bytes_read",
+               "bytes_written")
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = set_registry(MetricsRegistry(enabled=True))
+    try:
+        yield
+    finally:
+        set_registry(previous)
+
+
+def sweep_request(policies, tenant="alice"):
+    return {"op": "sweep", "tenant": tenant, "apps": ["tomcat"],
+            "policies": list(policies), "mode": "misses",
+            "length": LENGTH}
+
+
+async def _serve_and_request(service, *requests):
+    """Start ``service``, fire ``requests`` concurrently, return each
+    request's event list."""
+    server = await service.start("127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    try:
+        return await asyncio.gather(
+            *(request_once(host, port, request)
+              for request in requests))
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+def artifact_files(root: Path):
+    """Relative path → bytes for every artifact under a store root."""
+    files = {}
+    for path in sorted(root.rglob("*.pkl")):
+        rel = path.relative_to(root)
+        if rel.parts[0] in ("runs", ".quarantine"):
+            continue
+        files[str(rel)] = path.read_bytes()
+    return files
+
+
+class TestDifferentialEquivalence:
+    def test_coalesced_service_run_matches_cli_engine_path(self,
+                                                           tmp_path):
+        """Two concurrent clients, overlapping policy sweeps → one
+        shared run whose artifacts, stats, and canonical manifest rows
+        are byte-identical to the CLI engine running the merged jobs."""
+        # --- service path: two coalescible clients ---------------------
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.25)
+        events_a, events_b = asyncio.run(_serve_and_request(
+            service,
+            sweep_request(["lru", "srrip"]),
+            sweep_request(["srrip", "opt"])))
+        done_a, done_b = events_a[-1], events_b[-1]
+        assert done_a["ok"] and done_b["ok"]
+        # Coalesced: one engine run, the srrip overlap deduplicated.
+        assert done_a["coalesced"] and done_b["coalesced"]
+        assert done_a["run_id"] == done_b["run_id"]
+        assert done_a["batch_jobs"] == 3
+        assert done_a["requests"] == 2
+        # Exactly one shared-stream multi-policy sweep for the group.
+        assert done_a["sweeps"] == 1
+
+        # --- CLI engine path: the same merged job list -----------------
+        jobs = [SimJob(app="tomcat", policy=policy, length=LENGTH,
+                       mode="misses")
+                for policy in ("lru", "srrip", "opt")]
+        engine = ExperimentEngine(cache_dir=tmp_path / "cli", jobs=1)
+        engine.run(jobs)
+
+        # --- byte-identical artifacts ----------------------------------
+        service_store = tmp_path / "svc" / "tenants" / "alice"
+        cli_files = artifact_files(tmp_path / "cli")
+        svc_files = artifact_files(service_store)
+        assert cli_files.keys() == svc_files.keys()
+        assert set(p.split("/")[0] for p in cli_files) >= {"trace",
+                                                           "misses"}
+        for rel, blob in cli_files.items():
+            assert svc_files[rel] == blob, f"artifact differs: {rel}"
+
+        # --- identical manifest canonical rows -------------------------
+        svc_manifest = read_run_manifest(Path(done_a["manifest"]))
+        cli_manifest = read_run_manifest(engine.last_manifest)
+        assert (canonical_rows(svc_manifest.rows)
+                == canonical_rows(cli_manifest.rows))
+
+        # --- identical cache stats -------------------------------------
+        svc_cache = svc_manifest.summary["cache"]
+        cli_cache = cli_manifest.summary["cache"]
+        for field in STAT_FIELDS:
+            assert svc_cache[field] == cli_cache[field], field
+        assert svc_cache["stage_counts"] == cli_cache["stage_counts"]
+
+        # --- both runs did one sweep over three jobs -------------------
+        assert svc_manifest.summary["jobs"] == 3
+        assert (cli_manifest.summary["telemetry"]["counters"]
+                ["engine/multi_replay/sweeps"] == 1)
+
+    def test_streamed_rows_match_manifest_rows(self, tmp_path):
+        """The result events a client streams are exactly the manifest
+        rows its jobs produced (same shape, same values)."""
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.0)
+        (events,) = asyncio.run(_serve_and_request(
+            service, sweep_request(["lru", "srrip"])))
+        done = events[-1]
+        rows = [e["row"] for e in events if e["event"] == "result"]
+        assert len(rows) == 2
+        manifest = read_run_manifest(Path(done["manifest"]))
+        key = lambda r: (r["app"], r["policy"])
+        assert (sorted(rows, key=key)
+                == sorted(manifest.rows, key=key))
+
+
+class TestCoalescing:
+    def test_shared_results_fan_out_to_both_subscribers(self, tmp_path):
+        """The overlapping job is computed once and both clients
+        receive the identical row."""
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.25)
+        events_a, events_b = asyncio.run(_serve_and_request(
+            service,
+            sweep_request(["lru", "srrip"]),
+            sweep_request(["srrip", "opt"])))
+
+        def rows(events):
+            return {e["row"]["policy"]: e["row"] for e in events
+                    if e["event"] == "result"}
+
+        rows_a, rows_b = rows(events_a), rows(events_b)
+        # Each client sees exactly its requested policies...
+        assert set(rows_a) == {"lru", "srrip"}
+        assert set(rows_b) == {"srrip", "opt"}
+        # ...and the shared job's row is the same object's serialization.
+        assert rows_a["srrip"] == rows_b["srrip"]
+
+    def test_requests_after_the_window_start_a_new_batch(self, tmp_path):
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.0)
+
+        async def scenario():
+            server = await service.start("127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                first = await request_once(host, port,
+                                           sweep_request(["lru",
+                                                          "srrip"]))
+                second = await request_once(host, port,
+                                            sweep_request(["lru",
+                                                           "srrip"]))
+                return first, second
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        first, second = asyncio.run(scenario())
+        assert first[-1]["run_id"] != second[-1]["run_id"]
+        assert not second[-1]["coalesced"]
+        # The second run is fully cache-served: no new sweep.
+        assert second[-1]["sweeps"] == 0
+
+
+class TestTenancy:
+    def test_distinct_tenants_never_share_runs_or_artifacts(self,
+                                                            tmp_path):
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.25)
+        events_a, events_c = asyncio.run(_serve_and_request(
+            service,
+            sweep_request(["lru", "srrip"], tenant="alice"),
+            sweep_request(["lru", "srrip"], tenant="carol")))
+        done_a, done_c = events_a[-1], events_c[-1]
+        assert done_a["ok"] and done_c["ok"]
+        assert done_a["run_id"] != done_c["run_id"]
+        assert not done_a["coalesced"] and not done_c["coalesced"]
+        # Both tenants computed from cold: no cross-tenant cache hits.
+        for done in (done_a, done_c):
+            summary = read_run_manifest(Path(done["manifest"])).summary
+            assert summary["cache"]["misses"] > 0
+        alice_root = tmp_path / "svc" / "tenants" / "alice"
+        carol_root = tmp_path / "svc" / "tenants" / "carol"
+        assert artifact_files(alice_root).keys() \
+            == artifact_files(carol_root).keys()
+        assert (alice_root / "runs").is_dir()
+        assert (carol_root / "runs").is_dir()
+
+    def test_tenant_quota_surfaces_in_status(self, tmp_path):
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.0,
+                                    quotas={"tiny": 1})
+
+        async def scenario():
+            server = await service.start("127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                events = await request_once(
+                    host, port,
+                    sweep_request(["lru"], tenant="tiny"))
+                status = await request_once(host, port,
+                                            {"op": "status"})
+                return events, status[-1]
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        events, status = asyncio.run(scenario())
+        # A 1-byte quota rejects every artifact write: the run fails
+        # (the trace itself cannot be stored) but the service stays up
+        # and reports the rejections.
+        done = events[-1]
+        assert done["event"] == "done"
+        tiny = status["tenants"]["tiny"]
+        assert tiny["quota_bytes"] == 1
+        assert tiny["cache"]["quota_rejected"] > 0
+
+
+class TestProtocol:
+    def test_job_round_trips_through_wire_dict(self):
+        job = SimJob(app="tomcat", policy="srrip", length=LENGTH,
+                     mode="misses")
+        assert job_from_dict(job_to_dict(job)) == job
+
+    def test_sweep_expansion_matches_manual_jobs(self):
+        jobs = jobs_from_request(sweep_request(["lru", "srrip"]))
+        assert jobs == [SimJob(app="tomcat", policy="lru",
+                               length=LENGTH, mode="misses"),
+                        SimJob(app="tomcat", policy="srrip",
+                               length=LENGTH, mode="misses")]
+
+    def test_profile_builds_hinted_jobs(self):
+        jobs = jobs_from_request({"op": "profile", "apps": ["tomcat"],
+                                  "length": LENGTH})
+        assert len(jobs) == 1
+        assert jobs[0].policy == "thermometer"
+        assert jobs[0].mode == "misses"
+        assert jobs[0].needs_hints
+
+    def test_bad_requests_raise_protocol_errors(self):
+        for request in ({"op": "simulate"},
+                        {"op": "sweep", "apps": ["tomcat"]},
+                        {"op": "warp"},
+                        {"op": "simulate", "jobs": [{"policy": "lru"}]}):
+            with pytest.raises(ProtocolError):
+                jobs_from_request(request)
+
+    def test_malformed_line_gets_error_event_and_connection_survives(
+            self, tmp_path):
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.0)
+
+        async def scenario():
+            server = await service.start("127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write(b"not json\n")
+                await writer.drain()
+                error = json.loads(await reader.readline())
+                writer.write(json.dumps({"id": "s1",
+                                         "op": "status"}).encode()
+                             + b"\n")
+                await writer.drain()
+                status = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return error, status
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        error, status = asyncio.run(scenario())
+        assert error["event"] == "error"
+        assert status["event"] == "status"

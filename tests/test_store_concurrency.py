@@ -1,0 +1,217 @@
+"""Concurrent :class:`~repro.harness.engine.ArtifactStore` access.
+
+The asyncio service interleaves submitters over one shared store (and
+its tenant namespaces), so the store must tolerate threaded and
+async-interleaved put/get/fetch without torn writes, double-computes,
+or cross-namespace leaks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.harness.engine import (ArtifactStore, QuotaExceededError,
+                                  TENANTS_DIR)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestThreadedAccess:
+    def test_interleaved_put_get_same_key(self, store):
+        """Writers racing on one key never expose a torn value: every
+        read sees a complete payload from *some* writer."""
+        key = store.key("misses", app="tomcat", n=0)
+        payloads = [{"writer": w, "blob": list(range(200))}
+                    for w in range(8)]
+
+        def write(payload):
+            for _ in range(10):
+                store.put("misses", key, payload)
+
+        def read():
+            seen = []
+            for _ in range(40):
+                value = store.get("misses", key)
+                if value is not None:
+                    seen.append(value)
+            return seen
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            writers = [pool.submit(write, p) for p in payloads]
+            readers = [pool.submit(read) for _ in range(4)]
+            for future in writers:
+                future.result()
+            for future in readers:
+                for value in future.result():
+                    assert value in payloads
+        assert store.stats.corrupt == 0
+        assert store.get("misses", key) in payloads
+
+    def test_interleaved_distinct_keys(self, store):
+        """Parallel writers on distinct keys all land, stats intact."""
+        def work(i):
+            key = store.key("trace", app="tomcat", n=i)
+            store.put("trace", key, {"n": i})
+            assert store.get("trace", key) == {"n": i}
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for future in [pool.submit(work, i) for i in range(32)]:
+                future.result()
+        assert store.stats.hits == 32
+        assert store.stats.corrupt == 0
+
+    def test_fetch_single_flight(self, store):
+        """Concurrent fetches of one key run the compute exactly once."""
+        key = store.key("profile", app="tomcat")
+        computes = []
+        gate = threading.Event()
+
+        def compute():
+            computes.append(threading.get_ident())
+            gate.wait(1.0)  # hold the flight open so others pile up
+            return {"value": 42}
+
+        def fetch():
+            return store.fetch("profile", key, compute)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [pool.submit(fetch) for _ in range(6)]
+            while not computes:  # one thread entered the compute
+                pass
+            gate.set()
+            values = [future.result() for future in futures]
+        assert len(computes) == 1
+        assert values == [{"value": 42}] * 6
+
+    def test_fetch_distinct_keys_do_not_serialize(self, store):
+        """Single-flight is per key: two different keys compute
+        concurrently rather than one blocking the other."""
+        first_inside = threading.Event()
+        release_first = threading.Event()
+
+        def slow():
+            first_inside.set()
+            assert release_first.wait(5.0)
+            return "slow"
+
+        def fast():
+            return "fast"
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            slow_future = pool.submit(
+                store.fetch, "trace", store.key("trace", n=1), slow)
+            assert first_inside.wait(5.0)
+            # While the slow compute holds its flight, another key's
+            # fetch must complete unobstructed.
+            assert store.fetch("trace", store.key("trace", n=2),
+                               fast) == "fast"
+            release_first.set()
+            assert slow_future.result() == "slow"
+
+
+class TestNamespaceConcurrency:
+    def test_same_namespace_object_across_threads(self, store):
+        """namespace() hands every thread the same child store."""
+        children = []
+
+        def grab():
+            children.append(store.namespace("alice"))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(child is children[0] for child in children)
+
+    def test_namespaces_isolate_artifacts_and_stats(self, store):
+        """Interleaved tenants never see each other's artifacts, and
+        each namespace's stats count only its own traffic."""
+        def work(tenant, n):
+            ns = store.namespace(tenant)
+            for i in range(n):
+                key = ns.key("misses", tenant=tenant, i=i)
+                ns.put("misses", key, {tenant: i})
+                assert ns.get("misses", key) == {tenant: i}
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(work, "alice", 10),
+                       pool.submit(work, "bob", 7)]
+            for future in futures:
+                future.result()
+        alice, bob = store.namespace("alice"), store.namespace("bob")
+        assert alice.stats.hits == 10 and bob.stats.hits == 7
+        assert store.stats.hits == 0  # parent saw none of the traffic
+        # No artifact leaked across roots: bob's key (content-addressed
+        # from fields alice never wrote) is absent from alice's store.
+        assert (store.root / TENANTS_DIR / "alice").is_dir()
+        key = bob.key("misses", tenant="bob", i=0)
+        assert bob.get("misses", key) is not None
+        assert alice.get("misses", key) is None
+
+    def test_quota_rejections_are_per_namespace(self, store):
+        big = list(range(5000))
+        tight = store.namespace("tight", quota_bytes=1)
+        roomy = store.namespace("roomy")
+        with pytest.raises(QuotaExceededError):
+            tight.put("misses", tight.key("misses", n=0), big)
+        roomy.put("misses", roomy.key("misses", n=0), big)
+        assert tight.stats.quota_rejected == 1
+        assert roomy.stats.quota_rejected == 0
+        assert tight.namespace_summary()["cache"]["quota_rejected"] == 1
+
+    def test_quota_tracks_usage_across_writes(self, store):
+        ns = store.namespace("metered", quota_bytes=20_000)
+        written = 0
+        with pytest.raises(QuotaExceededError):
+            for i in range(1000):
+                ns.put("misses", ns.key("misses", n=i),
+                       list(range(500)))
+                written += 1
+        assert 0 < written < 1000
+        assert ns.usage_bytes() <= 20_000
+        # Rejection left nothing partial behind and later small writes
+        # that fit still succeed... or fail cleanly if nothing fits.
+        assert ns.stats.quota_rejected == 1
+
+
+class TestAsyncInterleaving:
+    def test_async_submitters_share_one_store(self, store):
+        """Async tasks interleaving put/get/fetch over threads (the
+        service's execution shape) neither tear writes nor
+        double-compute."""
+        computes = []
+
+        async def tenant_task(tenant, n):
+            loop = asyncio.get_running_loop()
+            ns = store.namespace(tenant)
+
+            def body(i):
+                key = ns.key("profile", app="tomcat", i=i % 3)
+
+                def compute():
+                    computes.append((tenant, i % 3))
+                    return {tenant: i % 3}
+
+                assert ns.fetch("profile", key,
+                                compute) == {tenant: i % 3}
+
+            await asyncio.gather(*(loop.run_in_executor(
+                None, body, i) for i in range(n)))
+
+        async def main():
+            await asyncio.gather(tenant_task("alice", 12),
+                                 tenant_task("bob", 12))
+
+        asyncio.run(main())
+        # Each (tenant, key mod 3) computed exactly once: single-flight
+        # plus store hits absorb the other 18 calls.
+        assert sorted(set(computes)) == sorted(computes)
+        assert len(computes) == 6
