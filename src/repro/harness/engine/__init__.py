@@ -34,7 +34,8 @@ import time  # noqa: F401
 from repro.harness.engine.store import (ArtifactStore, QUARANTINE_DIR,
                                         QuotaExceededError, STORE_VERSION,
                                         TENANTS_DIR, artifact_key,
-                                        default_cache_dir)
+                                        default_cache_dir,
+                                        validate_namespace)
 from repro.harness.engine.keys import (batch_key, effective_btb_config,
                                        replay_group_key, stream_key)
 from repro.harness.engine.jobs import (HINTED_POLICIES, JobResult,
@@ -63,4 +64,4 @@ __all__ = ["ArtifactStore", "AsyncExecutor", "Executor",
            "default_job_timeout", "default_jobs", "default_max_retries",
            "effective_btb_config", "execute_job", "job_deadline",
            "multi_replay_enabled", "replay_group_key", "run_job",
-           "run_job_batch", "stream_key"]
+           "run_job_batch", "stream_key", "validate_namespace"]

@@ -47,7 +47,7 @@ log = logging.getLogger(__name__)
 
 __all__ = ["ArtifactStore", "QuotaExceededError", "QUARANTINE_DIR",
            "STORE_VERSION", "TENANTS_DIR", "artifact_key",
-           "default_cache_dir"]
+           "default_cache_dir", "validate_namespace"]
 
 #: Bump to invalidate every cached artifact (format or semantics change).
 #: "2": BTBStats grew the ``target_mismatches`` counter, so version-1
@@ -66,6 +66,20 @@ TENANTS_DIR = "tenants"
 
 #: Namespace names must be path-safe: no separators, no dot-dot.
 _NAMESPACE_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_namespace(name: str) -> str:
+    """``name`` back if it is a legal namespace (tenant) name.
+
+    Raises :class:`ValueError` otherwise — the same check
+    :meth:`ArtifactStore.namespace` enforces, exposed so front doors
+    (the service's wire handler) can reject a bad tenant name up front
+    instead of letting it explode mid-run.
+    """
+    if not _NAMESPACE_RE.match(name or ""):
+        raise ValueError(f"invalid namespace name {name!r}: must "
+                         f"match {_NAMESPACE_RE.pattern}")
+    return name
 
 
 def default_cache_dir() -> Path:
@@ -176,9 +190,7 @@ class ArtifactStore:
         optional quota.  Repeated calls return the same object; a
         ``quota_bytes`` on a later call tightens/loosens the existing
         namespace's quota."""
-        if not _NAMESPACE_RE.match(name or ""):
-            raise ValueError(f"invalid namespace name {name!r}: must "
-                             f"match {_NAMESPACE_RE.pattern}")
+        validate_namespace(name)
         with self._lock:
             child = self._namespaces.get(name)
             if child is None:
@@ -284,15 +296,24 @@ class ArtifactStore:
         target = self.quarantine_path(kind, key)
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
+            # Quarantine lives under the store root, so the move keeps
+            # the tracked on-disk footprint unchanged.
             os.replace(path, target)
             with self._lock:
                 self.stats.quarantined += 1
             get_registry().count("store/quarantined")
         except OSError:
             try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            try:
                 path.unlink()
             except OSError:
-                pass
+                return
+            with self._lock:
+                if self._usage_bytes is not None:
+                    self._usage_bytes -= size
 
     # -- store protocol --------------------------------------------------
     def get(self, kind: str, key: str) -> Optional[Any]:
@@ -337,26 +358,39 @@ class ArtifactStore:
         """Atomically persist an artifact (write-to-temp + rename, so a
         concurrent reader never observes a partial file).
 
-        Under a namespace quota, a write that would push the footprint
-        past the bound is rejected with :class:`QuotaExceededError`
-        before any bytes touch disk.
+        Under a namespace quota, a *new* write that would push the
+        footprint past the bound is rejected with
+        :class:`QuotaExceededError` before any bytes touch disk
+        (overwrites of an existing key are always allowed — the store
+        is content-addressed, so they replace like with like).  The
+        quota check and the usage update happen in one lock scope: the
+        footprint change is reserved while the check holds, so
+        interleaved puts cannot each pass the check and overshoot the
+        quota together.
         """
         path = self.path(kind, key)
         blob = self._encode(obj)
+        delta: Optional[int] = None
         with self._lock:
-            if (self.quota_bytes is not None
-                    and self._usage_bytes is not None
-                    and self._usage_bytes + len(blob) > self.quota_bytes
-                    and not path.exists()):
-                self.stats.quota_rejected += 1
-                get_registry().count("store/quota_rejected")
-                raise QuotaExceededError(
-                    f"namespace {self.tenant or self.root.name!r} over "
-                    f"quota: {self._usage_bytes} + {len(blob)} bytes "
-                    f"exceeds {self.quota_bytes}",
-                    namespace=self.tenant,
-                    quota_bytes=self.quota_bytes,
-                    usage_bytes=self._usage_bytes)
+            if self._usage_bytes is not None:
+                try:
+                    prior = path.stat().st_size
+                except OSError:
+                    prior = 0
+                delta = len(blob) - prior
+                if (self.quota_bytes is not None and prior == 0
+                        and self._usage_bytes + delta
+                        > self.quota_bytes):
+                    self.stats.quota_rejected += 1
+                    get_registry().count("store/quota_rejected")
+                    raise QuotaExceededError(
+                        f"namespace {self.tenant or self.root.name!r} "
+                        f"over quota: {self._usage_bytes} + {len(blob)} "
+                        f"bytes exceeds {self.quota_bytes}",
+                        namespace=self.tenant,
+                        quota_bytes=self.quota_bytes,
+                        usage_bytes=self._usage_bytes)
+                self._usage_bytes += delta
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent,
                                    prefix=f".{key[:8]}.", suffix=".tmp")
@@ -369,11 +403,12 @@ class ArtifactStore:
                 os.unlink(tmp)
             except OSError:
                 pass
+            if delta is not None:
+                with self._lock:
+                    self._usage_bytes -= delta
             raise
         with self._lock:
             self.stats.bytes_written += len(blob)
-            if self._usage_bytes is not None:
-                self._usage_bytes += len(blob)
         get_registry().count("store/bytes_written", len(blob))
 
     def _flight_lock(self, kind: str, key: str) -> threading.Lock:
@@ -392,6 +427,10 @@ class ArtifactStore:
         concurrently, one runs ``compute`` and the rest block on it,
         then read the stored artifact back — the compute never runs
         twice for one key.  Distinct keys never block each other.
+
+        Quota rejections never fail the fetch: the computed value is
+        returned uncached (the rejection is counted in the stats) and a
+        later fetch simply recomputes.
         """
         cached = self.get(kind, key)
         if cached is not None:
@@ -407,7 +446,10 @@ class ArtifactStore:
             elapsed = time.perf_counter() - start
             with self._lock:
                 self.stats.add_stage(kind, elapsed)
-            self.put(kind, key, value)
+            try:
+                self.put(kind, key, value)
+            except QuotaExceededError:
+                pass
         with self._lock:
             self._flights.pop((kind, key), None)
         return value

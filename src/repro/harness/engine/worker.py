@@ -19,7 +19,9 @@ from repro.harness.engine.jobs import (JobResult, JobState,
                                        job_deadline)
 from repro.harness.reporting import CacheStats
 from repro.harness.engine.planner import GroupReplay
-from repro.harness.engine.store import ArtifactStore, STORE_VERSION
+from repro.harness.engine.store import (ArtifactStore,
+                                        QuotaExceededError,
+                                        STORE_VERSION)
 from repro.harness.runner import Harness, HarnessConfig
 from repro.telemetry.metrics import get_registry, snapshot_delta
 from repro.telemetry.profile_hooks import worker_profile
@@ -76,7 +78,14 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
                     value = group.compute(job, harness, store, store.salt)
                 if value is None:
                     value = execute_job(job, harness=harness, store=store)
-            store.put(job.mode, key, value)
+            try:
+                store.put(job.mode, key, value)
+            except QuotaExceededError as exc:
+                # The store is a cache: an over-quota namespace keeps
+                # working, the successfully computed value is simply
+                # returned uncached (retrying could never succeed).
+                log.warning("result of %s/%s not cached: %s",
+                            job.app, job.policy, exc)
         if fault is not None and fault.kind == "corrupt":
             registry.count("faults/injected")
             if corrupt_file(store.path(job.mode, key)):

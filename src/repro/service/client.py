@@ -63,8 +63,14 @@ class ServiceClient:
             if not line:
                 raise ConnectionError("service closed the connection")
             event = decode_line(line)
-            if event.get("id") not in (request["id"], None):
-                # Another pipelined request's event; not ours to handle.
+            event_id = event.get("id")
+            if event_id != request["id"]:
+                # Another pipelined request's event is not ours to
+                # handle; a connection-level error (id null — the
+                # server could not parse some line) is surfaced through
+                # on_event but never ends this request's wait.
+                if event_id is None and on_event is not None:
+                    on_event(event)
                 continue
             events.append(event)
             if on_event is not None:

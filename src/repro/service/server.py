@@ -32,7 +32,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.harness.engine import (ArtifactStore, ExperimentEngine,
-                                  ExperimentError, JobResult, SimJob)
+                                  ExperimentError, JobResult, SimJob,
+                                  validate_namespace)
 from repro.service.protocol import (ProtocolError, decode_line,
                                     encode_line, jobs_from_request)
 from repro.telemetry.manifest import job_row
@@ -121,6 +122,7 @@ class SimulationService:
         self.job_timeout = job_timeout
         self._engines: Dict[str, ExperimentEngine] = {}
         self._batches: Dict[str, _Batch] = {}
+        self._run_locks: Dict[str, asyncio.Lock] = {}
         self._requests = 0
         self._coalesced = 0
         self._server: Optional[asyncio.AbstractServer] = None
@@ -178,7 +180,16 @@ class SimulationService:
             raise ServiceRunError(
                 f"{len(failed)} job(s) failed: {details}",
                 summary=dict(summary, ok=False))
-        if error is not None and not failed:
+        if error is not None:
+            missing = [i for i in subscriber.wanted
+                       if results[i] is None]
+            if missing:
+                # The run died before this request's jobs produced
+                # results (invalid tenant, engine-level failure).
+                raise ServiceRunError(
+                    f"run failed with {len(missing)} job(s) "
+                    f"unfinished: {type(error).__name__}: {error}",
+                    summary=dict(summary, ok=False))
             # The run failed outside this subscriber's jobs (another
             # request's job, or the engine itself); this request's own
             # results are still complete and valid.
@@ -191,40 +202,61 @@ class SimulationService:
         # Close the window: later submissions start a fresh batch.
         if self._batches.get(tenant) is batch:
             del self._batches[tenant]
-        engine = self.engine_for(tenant)
         error: Optional[BaseException] = None
         results: List[Optional[JobResult]] = [None] * len(batch.jobs)
+        run_meta: Dict[str, Any] = {"run_id": None, "manifest": None,
+                                    "sweeps": 0}
         try:
-            run_results = await engine.run_async(
-                batch.jobs, on_result=batch.dispatch)
-            results = list(run_results)
-        except ExperimentError as exc:
+            engine = self.engine_for(tenant)
+            # One run at a time per tenant: engines are reused across
+            # batches and record last_run_id/last_manifest/telemetry as
+            # instance state, so an overlapping run_async would clobber
+            # this batch's summary (and break AsyncExecutor's
+            # concurrency=1 telemetry assumption).
+            async with self._run_locks.setdefault(tenant,
+                                                  asyncio.Lock()):
+                try:
+                    run_results = await engine.run_async(
+                        batch.jobs, on_result=batch.dispatch)
+                    results = list(run_results)
+                except ExperimentError as exc:
+                    error = exc
+                    # Partial results still reached subscribers via
+                    # dispatch; recover the per-index view for
+                    # submit()'s failure check.
+                    for failure in exc.failures:
+                        index = failure.get("index")
+                        if index is not None:
+                            results[index] = JobResult(
+                                job=batch.jobs[index], value=None,
+                                cached=False, seconds=0.0,
+                                state=failure.get("state", "failed"),
+                                index=index,
+                                error=failure.get("error"))
+                run_meta = {
+                    "run_id": engine.last_run_id,
+                    "manifest": (str(engine.last_manifest)
+                                 if engine.last_manifest else None),
+                    "sweeps": (engine.last_run_telemetry
+                               .get("counters", {})
+                               .get("engine/multi_replay/sweeps", 0)),
+                }
+        except asyncio.CancelledError as exc:
             error = exc
-            # Partial results still reached subscribers via dispatch;
-            # recover the per-index view for submit()'s failure check.
-            for failure in exc.failures:
-                index = failure.get("index")
-                if index is not None:
-                    results[index] = JobResult(
-                        job=batch.jobs[index], value=None, cached=False,
-                        seconds=0.0, state=failure.get("state", "failed"),
-                        index=index, error=failure.get("error"))
+            raise
         except BaseException as exc:
+            # Anything up to and including engine_for (an invalid
+            # tenant name, a full disk): the batch must still resolve
+            # or every subscriber would hang forever.
             error = exc
-        summary = {
-            "ok": error is None,
-            "tenant": tenant,
-            "run_id": engine.last_run_id,
-            "manifest": (str(engine.last_manifest)
-                         if engine.last_manifest else None),
-            "batch_jobs": len(batch.jobs),
-            "requests": len(batch.subscribers),
-            "sweeps": (engine.last_run_telemetry.get("counters", {})
-                       .get("engine/multi_replay/sweeps", 0)),
-        }
-        if error is not None:
-            summary["error"] = f"{type(error).__name__}: {error}"
-        batch.done.set_result((results, summary, error))
+        finally:
+            summary = dict(run_meta, ok=error is None, tenant=tenant,
+                           batch_jobs=len(batch.jobs),
+                           requests=len(batch.subscribers))
+            if error is not None:
+                summary["error"] = f"{type(error).__name__}: {error}"
+            if not batch.done.done():
+                batch.done.set_result((results, summary, error))
 
     # ------------------------------------------------------------------
     # Status
@@ -329,6 +361,10 @@ class SimulationService:
                 return
             jobs = jobs_from_request(request)
             tenant = str(request.get("tenant") or DEFAULT_TENANT)
+            try:
+                validate_namespace(tenant)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from None
             await send({"id": request_id, "event": "accepted",
                         "jobs": len(jobs), "tenant": tenant})
 

@@ -162,6 +162,23 @@ class TestCorruption:
         assert not second.cached
         assert second.value == first.value
 
+    def test_quota_rejection_returns_the_value_uncached(self, tmp_path):
+        """The store is a cache: an over-quota namespace still computes
+        — run_job returns the value with no error instead of failing
+        the attempt (QuotaExceededError's documented contract)."""
+        baseline = run_job(JOB, store=ArtifactStore(tmp_path / "warm"))
+        tight = ArtifactStore(tmp_path / "svc").namespace(
+            "tiny", quota_bytes=1)
+        result = run_job(JOB, store=tight)
+        assert result.error is None
+        assert not result.cached
+        assert result.value == baseline.value
+        assert tight.stats.quota_rejected > 0
+        # Nothing landed on disk: a rerun recomputes, same answer.
+        rerun = run_job(JOB, store=tight)
+        assert not rerun.cached
+        assert rerun.value == baseline.value
+
 
 class TestAtomicity:
     def test_no_temp_droppings_after_put(self, tmp_path):

@@ -16,10 +16,10 @@ from pathlib import Path
 import pytest
 
 from repro.harness.engine import ExperimentEngine, SimJob
-from repro.service.client import request_once
+from repro.service.client import ServiceClient, request_once
 from repro.service.protocol import (ProtocolError, job_from_dict,
                                     job_to_dict, jobs_from_request)
-from repro.service.server import SimulationService
+from repro.service.server import ServiceRunError, SimulationService
 from repro.telemetry.manifest import canonical_rows, read_run_manifest
 from repro.telemetry.metrics import MetricsRegistry, set_registry
 
@@ -238,14 +238,62 @@ class TestTenancy:
                 await server.wait_closed()
 
         events, status = asyncio.run(scenario())
-        # A 1-byte quota rejects every artifact write: the run fails
-        # (the trace itself cannot be stored) but the service stays up
-        # and reports the rejections.
+        # A 1-byte quota rejects every artifact write, but the store is
+        # a cache: the jobs compute their values uncached, the run
+        # succeeds, and the rejections are counted against the tenant.
         done = events[-1]
         assert done["event"] == "done"
+        assert done["ok"] is True
         tiny = status["tenants"]["tiny"]
         assert tiny["quota_bytes"] == 1
         assert tiny["cache"]["quota_rejected"] > 0
+
+    def test_invalid_tenant_name_is_rejected_up_front(self, tmp_path):
+        """A tenant name the store would refuse ('a/b' escapes the
+        tenants directory) gets an error event instead of an accepted
+        event that never resolves — and the connection stays usable."""
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.0)
+
+        async def scenario():
+            server = await service.start("127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                bad = await asyncio.wait_for(
+                    request_once(host, port,
+                                 sweep_request(["lru"], tenant="a/b")),
+                    timeout=30)
+                follow_up = await asyncio.wait_for(
+                    request_once(host, port, {"op": "status"}),
+                    timeout=30)
+                return bad, follow_up
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        bad, follow_up = asyncio.run(scenario())
+        assert [event["event"] for event in bad] == ["error"]
+        assert "invalid namespace" in bad[0]["error"]
+        assert follow_up[-1]["event"] == "status"
+
+    def test_direct_submit_with_bad_tenant_resolves(self, tmp_path):
+        """Library callers bypass the wire validation; the batch must
+        still resolve (raising ServiceRunError) instead of leaving the
+        submitter awaiting a future that never completes."""
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.0)
+        job = SimJob(app="tomcat", policy="lru", length=LENGTH,
+                     mode="misses")
+
+        async def scenario():
+            with pytest.raises(ServiceRunError) as err:
+                await asyncio.wait_for(
+                    service.submit("-bad/tenant-", [job]), timeout=30)
+            return err.value
+
+        error = asyncio.run(scenario())
+        assert error.summary["ok"] is False
+        assert "invalid namespace" in error.summary["error"]
 
 
 class TestProtocol:
@@ -306,3 +354,36 @@ class TestProtocol:
         error, status = asyncio.run(scenario())
         assert error["event"] == "error"
         assert status["event"] == "status"
+
+    def test_connection_level_error_does_not_end_a_request(self,
+                                                           tmp_path):
+        """An id-null error (some other line on the connection was
+        malformed) must not terminate a pipelined request's wait — the
+        client keeps collecting until *its* done event."""
+        service = SimulationService(tmp_path / "svc", jobs=1,
+                                    coalesce_window=0.0)
+
+        async def scenario():
+            server = await service.start("127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServiceClient.connect(host, port)
+                # The server reports this line with id null, before it
+                # sees the request that follows on the same connection.
+                client._writer.write(b"not json\n")
+                seen = []
+                events = await asyncio.wait_for(
+                    client.request(sweep_request(["lru"]),
+                                   on_event=seen.append),
+                    timeout=120)
+                await client.close()
+                return events, seen
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        events, seen = asyncio.run(scenario())
+        assert events[-1]["event"] == "done"
+        assert all(event.get("id") is not None for event in events)
+        assert any(event.get("id") is None
+                   and event["event"] == "error" for event in seen)

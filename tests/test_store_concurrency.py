@@ -181,6 +181,44 @@ class TestNamespaceConcurrency:
         # that fit still succeed... or fail cleanly if nothing fits.
         assert ns.stats.quota_rejected == 1
 
+    def test_overwrite_accounting_matches_disk(self, store):
+        """Re-putting a key replaces its file; the tracked usage must
+        subtract the replaced size, not accumulate every write."""
+        ns = store.namespace("meter2", quota_bytes=1_000_000)
+        key = ns.key("misses", n=0)
+        ns.put("misses", key, list(range(100)))
+        ns.put("misses", key, list(range(2000)))
+        ns.put("misses", key, [1])
+        assert ns.usage_bytes() == ns._scan_usage()
+
+    def test_concurrent_puts_never_overshoot_quota(self, store):
+        """The quota check reserves the bytes under the lock, so racing
+        writers cannot each pass the check and overshoot together."""
+        ns = store.namespace("raced")
+        ns.put("misses", ns.key("misses", n="probe"),
+               list(range(400)))
+        blob = ns.usage_bytes()
+        quota = blob * 5
+        ns.set_quota(quota)
+        rejected = []
+
+        def writer(i):
+            try:
+                ns.put("misses", ns.key("misses", n=i),
+                       list(range(400)))
+            except QuotaExceededError:
+                rejected.append(i)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rejected
+        assert ns._scan_usage() <= quota
+        assert ns.usage_bytes() == ns._scan_usage()
+
 
 class TestAsyncInterleaving:
     def test_async_submitters_share_one_store(self, store):
