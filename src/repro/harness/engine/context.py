@@ -50,7 +50,11 @@ class RunContext:
     on_result: Optional[Callable[[JobResult], None]] = None
     #: Telemetry snapshot taken when the run opened (None: disabled).
     parent_before: Optional[dict] = None
+    #: Root trace context of this run (None: tracing disabled) — every
+    #: job's pickled context is a child of it.
+    trace: Optional[Any] = None
     started: float = field(default_factory=time.perf_counter)
+    started_epoch: float = field(default_factory=time.time)
     #: Jobs already counted in ``engine/jobs/retried`` (once per job).
     retried: Set[int] = field(default_factory=set)
     #: Jobs already counted in ``engine/jobs/timed_out`` (once per job).
@@ -99,6 +103,14 @@ class RunContext:
         if self.on_result is not None:
             self.on_result(result)
 
+    def _journal_spans(self, result: JobResult) -> None:
+        """Write the attempt's collected trace spans into the journal
+        (next to the state rows — one ``events.jsonl``, two kinds)."""
+        if self.journal is None or not result.trace_spans:
+            return
+        for record in result.trace_spans:
+            self.journal.span(record)
+
     def start_attempt(self, i: int) -> None:
         self.attempts[i] += 1
         self.states[i] = JobState.RUNNING
@@ -111,6 +123,7 @@ class RunContext:
         self.stats.merge(result.stats)
         get_registry().count("engine/jobs/skipped")
         self.event(i, JobState.SKIPPED)
+        self._journal_spans(result)
         self._emit(result)
 
     def record_outcome(self, i: int, result: JobResult) -> bool:
@@ -118,6 +131,10 @@ class RunContext:
         registry = get_registry()
         job = self.jobs[i]
         result.index = i
+        # Spans are journaled for *every* attempt, retried ones included:
+        # a retry's trace shows the failed attempt next to the one that
+        # replaced it.
+        self._journal_spans(result)
         if result.state == JobState.SUCCEEDED:
             self.states[i] = JobState.SUCCEEDED
             self.results[i] = result

@@ -18,6 +18,7 @@ import copy
 import logging
 import random
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
@@ -34,6 +35,9 @@ from repro.harness.engine.store import (ArtifactStore, STORE_VERSION,
                                         default_cache_dir)
 from repro.harness.reporting import CacheStats
 from repro.telemetry.metrics import get_registry, snapshot_delta
+from repro.telemetry.tracing import (TraceContext, child_context,
+                                     new_span_id, span_record,
+                                     tracing_enabled)
 
 log = logging.getLogger(__name__)
 
@@ -161,10 +165,30 @@ class ExperimentEngine:
         self.last_run_id = run_id
         resumed_from = (self._resolve_resume(resume)
                         if resume is not None else None)
+        run_trace = None
+        if tracing_enabled():
+            # The run's root span: when the caller (the service) already
+            # stamped contexts onto the jobs, join that trace as a
+            # sibling of those job spans; otherwise open a child of the
+            # ambient context (or a fresh root) and stamp each job with
+            # its own child — either way the whole tree stays linked
+            # across the process-pool boundary.
+            carried = next((job.trace_context for job in jobs
+                            if job.trace_context is not None), None)
+            if carried is not None:
+                run_trace = TraceContext(carried.trace_id, new_span_id(),
+                                         carried.parent_id)
+            else:
+                run_trace = child_context()
+            jobs = [job if job.trace_context is not None
+                    else replace(job,
+                                 trace_context=run_trace.child_context())
+                    for job in jobs]
         ctx = RunContext(jobs=jobs, run_id=run_id,
                          max_retries=self.max_retries, stats=self.stats,
                          rng=random.Random(run_id),
                          resumed_from=resumed_from, on_result=on_result,
+                         trace=run_trace,
                          parent_before=(registry.snapshot()
                                         if registry.enabled else None))
         if self.manifest_dir is not None:
@@ -210,6 +234,18 @@ class ExperimentEngine:
                           for i in failed])
         return ctx.results  # type: ignore[return-value]
 
+    def _journal_run_span(self, ctx: RunContext,
+                          failure: Optional[dict]) -> None:
+        """Close the run's root span into the journal, giving an
+        exported trace one parent for the whole sweep."""
+        if ctx.trace is None or ctx.journal is None:
+            return
+        ctx.journal.span(span_record(
+            "engine/run", ctx.trace, ctx.started_epoch,
+            ctx.wall_seconds(),
+            args={"run_id": ctx.run_id, "jobs": len(ctx.jobs)},
+            error=failure is not None))
+
     def _select_executor(self, pending: Sequence[int]) -> Executor:
         if self._executor is not None:
             self._used_workers = isinstance(self._executor,
@@ -250,6 +286,7 @@ class ExperimentEngine:
                        "error": f"{type(exc).__name__}: {exc}"}
             raise
         finally:
+            self._journal_run_span(ctx, failure)
             ctx.close_journal()
             self._write_manifest(ctx, failure)
         return self._finish_run(ctx, failure)
@@ -281,6 +318,7 @@ class ExperimentEngine:
                        "error": f"{type(exc).__name__}: {exc}"}
             raise
         finally:
+            self._journal_run_span(ctx, failure)
             ctx.close_journal()
             self._write_manifest(ctx, failure)
         return self._finish_run(ctx, failure)

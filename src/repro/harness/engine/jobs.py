@@ -27,6 +27,7 @@ from repro.harness.engine.keys import effective_btb_config
 from repro.harness.engine.store import ArtifactStore, STORE_VERSION
 from repro.harness.reporting import CacheStats
 from repro.harness.runner import Harness, HarnessConfig
+from repro.telemetry.tracing import TraceContext, trace_span
 
 log = logging.getLogger(__name__)
 
@@ -171,6 +172,12 @@ class SimJob:
     thresholds: Tuple[float, ...] = (50.0, 80.0)
     default_category: int = 1
     warmup_fraction: float = 0.2
+    #: Trace context this job's worker-side spans link under (assigned
+    #: by the engine / service; ``compare=False`` keeps it out of
+    #: equality, hashing, and the cache key — causality is provenance,
+    #: not identity).
+    trace_context: Optional[TraceContext] = field(default=None,
+                                                  compare=False)
 
     def __post_init__(self) -> None:
         if self.mode not in ("sim", "misses"):
@@ -225,6 +232,11 @@ class JobResult:
     index: Optional[int] = None
     #: ``"ExcType: message"`` for failed / timed-out attempts.
     error: Optional[str] = None
+    #: Trace-span records collected while this attempt ran (see
+    #: :mod:`repro.telemetry.tracing`) — journaled by the parent into
+    #: the run's ``events.jsonl``, exactly like the telemetry delta is
+    #: merged into the manifest.
+    trace_spans: list = field(default_factory=list)
 
 
 def execute_job(job: SimJob, harness: Optional[Harness] = None,
@@ -232,18 +244,22 @@ def execute_job(job: SimJob, harness: Optional[Harness] = None,
     """Run one job through a :class:`Harness` (no job-level caching)."""
     h = harness if harness is not None else Harness(job.harness_config(),
                                                    store=store)
-    trace = h.trace(job.app, job.input_id)
+    with trace_span("harness/trace", app=job.app, input_id=job.input_id):
+        trace = h.trace(job.app, job.input_id)
     hints = None
     if job.needs_hints:
         # Hints must be profiled against the geometry the policy runs
         # with; the iso-storage variant swaps in the 7979-entry config.
         hint_config = effective_btb_config(job.policy, job.btb_config)
-        hints = h.hints(job.app, job.input_id, btb_config=hint_config)
-    if job.mode == "misses":
-        return h.run_misses(trace, job.policy, btb_config=job.btb_config,
-                            hints=hints)
-    return h.run_sim(trace, job.policy, btb_config=job.btb_config,
-                     hints=hints, params=job.params)
+        with trace_span("harness/hints", app=job.app, policy=job.policy):
+            hints = h.hints(job.app, job.input_id, btb_config=hint_config)
+    with trace_span("replay", app=job.app, policy=job.policy,
+                    mode=job.mode):
+        if job.mode == "misses":
+            return h.run_misses(trace, job.policy,
+                                btb_config=job.btb_config, hints=hints)
+        return h.run_sim(trace, job.policy, btb_config=job.btb_config,
+                         hints=hints, params=job.params)
 
 
 def _stats_delta(current: CacheStats, baseline: CacheStats) -> CacheStats:

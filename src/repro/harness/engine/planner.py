@@ -20,6 +20,7 @@ from repro.harness.engine.keys import (batch_key, effective_btb_config,
                                        replay_group_key, stream_key)
 from repro.harness.runner import Harness
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import trace_span
 
 log = logging.getLogger(__name__)
 
@@ -127,10 +128,12 @@ class GroupReplay:
                                                    job.btb_config)
                 hints_by_policy[job.policy] = harness.hints(
                     job.app, job.input_id, btb_config=hint_config)
-        stats = harness.run_misses_multi(
-            trace, [job.policy for _, job in todo],
-            btb_config=trigger.btb_config,
-            hints_by_policy=hints_by_policy)
+        with trace_span("sweep/multi", app=trigger.app,
+                        input_id=trigger.input_id, policies=len(todo)):
+            stats = harness.run_misses_multi(
+                trace, [job.policy for _, job in todo],
+                btb_config=trigger.btb_config,
+                hints_by_policy=hints_by_policy)
         get_registry().count("engine/multi_replay/sweeps")
         return {key: value for (key, _), value in zip(todo, stats)}
 

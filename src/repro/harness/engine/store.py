@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.harness.reporting import CacheStats
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import trace_span
 
 log = logging.getLogger(__name__)
 
@@ -432,24 +433,28 @@ class ArtifactStore:
         returned uncached (the rejection is counted in the stats) and a
         later fetch simply recomputes.
         """
-        cached = self.get(kind, key)
-        if cached is not None:
-            return cached
-        flight = self._flight_lock(kind, key)
-        with flight:
-            # Another flight may have landed while we waited.
+        with trace_span("store/fetch", kind=kind) as span:
             cached = self.get(kind, key)
             if cached is not None:
+                span.set(hit=True)
                 return cached
-            start = time.perf_counter()
-            value = compute()
-            elapsed = time.perf_counter() - start
+            span.set(hit=False)
+            flight = self._flight_lock(kind, key)
+            with flight:
+                # Another flight may have landed while we waited.
+                cached = self.get(kind, key)
+                if cached is not None:
+                    span.set(hit=True, coalesced=True)
+                    return cached
+                start = time.perf_counter()
+                value = compute()
+                elapsed = time.perf_counter() - start
+                with self._lock:
+                    self.stats.add_stage(kind, elapsed)
+                try:
+                    self.put(kind, key, value)
+                except QuotaExceededError:
+                    pass
             with self._lock:
-                self.stats.add_stage(kind, elapsed)
-            try:
-                self.put(kind, key, value)
-            except QuotaExceededError:
-                pass
-        with self._lock:
-            self._flights.pop((kind, key), None)
-        return value
+                self._flights.pop((kind, key), None)
+            return value

@@ -25,6 +25,7 @@ from repro.harness.engine.store import (ArtifactStore,
 from repro.harness.runner import Harness, HarnessConfig
 from repro.telemetry.metrics import get_registry, snapshot_delta
 from repro.telemetry.profile_hooks import worker_profile
+from repro.telemetry.tracing import collect_spans, trace_span
 from repro.testing.faults import active_fault_plan, corrupt_file, inject
 
 log = logging.getLogger(__name__)
@@ -68,35 +69,51 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
     telemetry_before = registry.snapshot() if registry.enabled else None
     start = time.perf_counter()
     cached = False
-    if store is not None:
-        key = job.cache_key(salt=store.salt)
-        value = store.get(job.mode, key)
-        cached = value is not None
-        if value is None:
-            with store.stats.stage(job.mode):
-                if group is not None and harness is not None:
-                    value = group.compute(job, harness, store, store.salt)
-                if value is None:
-                    value = execute_job(job, harness=harness, store=store)
-            try:
-                store.put(job.mode, key, value)
-            except QuotaExceededError as exc:
-                # The store is a cache: an over-quota namespace keeps
-                # working, the successfully computed value is simply
-                # returned uncached (retrying could never succeed).
-                log.warning("result of %s/%s not cached: %s",
-                            job.app, job.policy, exc)
-        if fault is not None and fault.kind == "corrupt":
-            registry.count("faults/injected")
-            if corrupt_file(store.path(job.mode, key)):
-                log.warning("injected corruption into stored %s artifact "
-                            "of job %d", job.mode, index)
-    else:
-        value = None
-        if group is not None and harness is not None:
-            value = group.compute(job, harness, None, salt)
-        if value is None:
-            value = execute_job(job, harness=harness)
+    # The job span's identity is the context pickled into the job, so a
+    # process-pool worker's span links straight back to the request (or
+    # engine run) that caused it.
+    with trace_span("job", context=job.trace_context, app=job.app,
+                    policy=job.policy, mode=job.mode, index=index,
+                    attempt=attempt) as jspan:
+        if store is not None:
+            key = job.cache_key(salt=store.salt)
+            if store.tenant is not None:
+                jspan.set(tenant=store.tenant)
+            jspan.set(key=key)
+            with trace_span("store/get", kind=job.mode) as gspan:
+                value = store.get(job.mode, key)
+                gspan.set(hit=value is not None)
+            cached = value is not None
+            jspan.set(cached=cached)
+            if value is None:
+                with store.stats.stage(job.mode):
+                    if group is not None and harness is not None:
+                        value = group.compute(job, harness, store,
+                                              store.salt)
+                    if value is None:
+                        value = execute_job(job, harness=harness,
+                                            store=store)
+                try:
+                    with trace_span("store/put", kind=job.mode):
+                        store.put(job.mode, key, value)
+                except QuotaExceededError as exc:
+                    # The store is a cache: an over-quota namespace keeps
+                    # working, the successfully computed value is simply
+                    # returned uncached (retrying could never succeed).
+                    log.warning("result of %s/%s not cached: %s",
+                                job.app, job.policy, exc)
+            if fault is not None and fault.kind == "corrupt":
+                registry.count("faults/injected")
+                if corrupt_file(store.path(job.mode, key)):
+                    log.warning("injected corruption into stored %s "
+                                "artifact of job %d", job.mode, index)
+        else:
+            value = None
+            if group is not None and harness is not None:
+                value = group.compute(job, harness, None, salt)
+            if value is None:
+                value = execute_job(job, harness=harness)
+            jspan.set(cached=False)
     elapsed = time.perf_counter() - start
     stats = (_stats_delta(store.stats, baseline)
              if store is not None else CacheStats())
@@ -121,24 +138,30 @@ def _execute_guarded(job: SimJob, *, index: Optional[int], attempt: int,
     batch (the engine, not the worker, decides about retries).
     """
     start = time.perf_counter()
-    try:
-        with job_deadline(job_timeout):
-            return run_job(job, store=store, harness=harness, salt=salt,
-                           index=index, attempt=attempt,
-                           in_worker=in_worker, group=group)
-    except JobTimeoutError as exc:
-        return JobResult(job=job, value=None, cached=False,
-                         seconds=time.perf_counter() - start,
-                         state=JobState.TIMED_OUT, attempt=attempt,
-                         index=index, error=str(exc))
-    except (KeyboardInterrupt, SystemExit):
-        raise
-    except BaseException as exc:
-        return JobResult(job=job, value=None, cached=False,
-                         seconds=time.perf_counter() - start,
-                         state=JobState.FAILED, attempt=attempt,
-                         index=index,
-                         error=f"{type(exc).__name__}: {exc}")
+    # The guard owns the span-collection scope so a failed or timed-out
+    # attempt still ships whatever spans it finished — the job span's
+    # ``error`` flag is how the trace shows *where* the attempt died.
+    with collect_spans() as spans:
+        try:
+            with job_deadline(job_timeout):
+                result = run_job(job, store=store, harness=harness,
+                                 salt=salt, index=index, attempt=attempt,
+                                 in_worker=in_worker, group=group)
+        except JobTimeoutError as exc:
+            result = JobResult(job=job, value=None, cached=False,
+                               seconds=time.perf_counter() - start,
+                               state=JobState.TIMED_OUT, attempt=attempt,
+                               index=index, error=str(exc))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            result = JobResult(job=job, value=None, cached=False,
+                               seconds=time.perf_counter() - start,
+                               state=JobState.FAILED, attempt=attempt,
+                               index=index,
+                               error=f"{type(exc).__name__}: {exc}")
+    result.trace_spans = spans
+    return result
 
 
 def _attach_shared_streams(stream_handles) -> List[Tuple[Any, Any]]:

@@ -29,8 +29,12 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.service.protocol import decode_line, encode_line
+from repro.telemetry.tracing import new_root_context, tracing_enabled
 
 __all__ = ["ServiceClient", "request_once"]
+
+#: Event names that end a request's wait.
+TERMINAL_EVENTS = ("done", "status", "metrics", "bye", "error")
 
 
 class ServiceClient:
@@ -52,9 +56,20 @@ class ServiceClient:
                                                   None]] = None
                       ) -> List[Dict[str, Any]]:
         """Send one request and collect its events until the terminal
-        one (``done``, ``status``, ``bye``, or ``error``)."""
+        one (``done``, ``status``, ``metrics``, ``bye``, or
+        ``error``).
+
+        With tracing on (see :mod:`repro.telemetry.tracing`) every job
+        request is stamped with a fresh root trace context — the
+        client's node in the trace the service and its workers link
+        their spans under.  Callers propagate an outer trace by
+        supplying their own ``trace`` field.
+        """
         request = dict(request)
         request.setdefault("id", f"c{next(self._ids)}")
+        if tracing_enabled() and request.get("op") in (
+                "simulate", "sweep", "profile"):
+            request.setdefault("trace", new_root_context().to_dict())
         self._writer.write(encode_line(request))
         await self._writer.drain()
         events: List[Dict[str, Any]] = []
@@ -75,7 +90,7 @@ class ServiceClient:
             events.append(event)
             if on_event is not None:
                 on_event(event)
-            if event.get("event") in ("done", "status", "bye", "error"):
+            if event.get("event") in TERMINAL_EVENTS:
                 return events
 
     async def close(self) -> None:

@@ -20,7 +20,8 @@ connection)::
     {"id": "r3", "op": "profile", "tenant": "alice",
      "apps": ["tomcat"], "length": 4000}
     {"id": "r4", "op": "status"}
-    {"id": "r5", "op": "shutdown"}
+    {"id": "r5", "op": "metrics"}
+    {"id": "r6", "op": "shutdown"}
 
 ``simulate`` runs an explicit job list; ``sweep`` expands an
 (apps × policies) matrix with shared settings; ``profile`` builds the
@@ -28,6 +29,16 @@ profile-guided artifacts (trace → OPT profile → hint map) for each app
 by running the ``thermometer`` policy — afterwards the store serves the
 hints to any later request.  All three produce the same thing
 downstream: a list of :class:`~repro.harness.engine.SimJob`.
+
+``metrics`` returns the service's live metrics as one Prometheus
+text-exposition document (``{"event": "metrics", "text": "..."}``) —
+per-tenant SLO latency histograms plus cache/quota/coalescing counters;
+see ``docs/OBSERVABILITY.md``.
+
+A request may carry a ``trace`` object (``{"trace_id", "span_id"}``,
+as produced by :class:`~repro.telemetry.tracing.TraceContext`); the
+service links its request/batch/job spans under it so an exported trace
+reaches from the client's root down into pool workers.
 
 Job fields: ``app`` (required), ``policy``, ``input_id``, ``length``,
 ``mode`` (``misses``/``sim``), ``entries``/``ways`` (BTB geometry),
@@ -64,7 +75,7 @@ __all__ = ["ProtocolError", "decode_line", "encode_line",
            "job_from_dict", "job_to_dict", "jobs_from_request"]
 
 #: Ops a request may carry.
-OPS = ("simulate", "sweep", "profile", "status", "shutdown")
+OPS = ("simulate", "sweep", "profile", "status", "metrics", "shutdown")
 
 _JOB_FIELDS = ("app", "policy", "input_id", "length", "mode",
                "thresholds", "default_category", "warmup_fraction")

@@ -28,6 +28,8 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -36,8 +38,12 @@ from repro.harness.engine import (ArtifactStore, ExperimentEngine,
                                   validate_namespace)
 from repro.service.protocol import (ProtocolError, decode_line,
                                     encode_line, jobs_from_request)
-from repro.telemetry.manifest import job_row
-from repro.telemetry.metrics import get_registry
+from repro.telemetry.manifest import append_spans, job_row
+from repro.telemetry.metrics import (LATENCY_BUCKETS, get_registry,
+                                     to_prometheus_text)
+from repro.telemetry.tracing import (TraceContext, child_context,
+                                     new_span_id, span_record,
+                                     tracing_enabled)
 
 log = logging.getLogger(__name__)
 
@@ -45,6 +51,13 @@ __all__ = ["ServiceRunError", "SimulationService", "serve"]
 
 #: Tenant used when a request names none.
 DEFAULT_TENANT = "default"
+
+
+def _per_tenant(name: str, tenant: str) -> str:
+    """A registry key with the inline-label convention
+    :func:`~repro.telemetry.metrics.to_prometheus_text` exports as a
+    Prometheus label (``service/requests{tenant="alice"}``)."""
+    return '%s{tenant="%s"}' % (name, tenant)
 
 
 class ServiceRunError(RuntimeError):
@@ -81,6 +94,9 @@ class _Batch:
         self.jobs: List[SimJob] = []
         self.key_to_index: Dict[str, int] = {}
         self.subscribers: List[_Subscriber] = []
+        #: When this batch's coalescing window opened (monotonic/epoch).
+        self.created = time.perf_counter()
+        self.created_epoch = time.time()
         #: Resolves to (results, summary) once the engine run finishes.
         self.done: asyncio.Future = (
             asyncio.get_running_loop().create_future())
@@ -157,6 +173,8 @@ class SimulationService:
         returns the run summary.  Raises :class:`ServiceRunError` when
         any of *this request's* jobs failed."""
         self._requests += 1
+        registry = get_registry()
+        registry.count(_per_tenant("service/requests", tenant))
         batch = self._batches.get(tenant)
         if batch is None:
             batch = _Batch()
@@ -165,6 +183,7 @@ class SimulationService:
                 self._flush_later(tenant, batch))
         else:
             self._coalesced += 1
+            registry.count(_per_tenant("service/coalesced", tenant))
         subscriber = batch.add(jobs, on_result)
         results, summary, error = await asyncio.shield(batch.done)
         summary = dict(summary,
@@ -197,11 +216,16 @@ class SimulationService:
         return summary
 
     async def _flush_later(self, tenant: str, batch: _Batch) -> None:
+        registry = get_registry()
         if self.coalesce_window > 0:
             await asyncio.sleep(self.coalesce_window)
         # Close the window: later submissions start a fresh batch.
         if self._batches.get(tenant) is batch:
             del self._batches[tenant]
+        registry.observe(
+            _per_tenant("service/coalesce_delay_seconds", tenant),
+            time.perf_counter() - batch.created,
+            bounds=LATENCY_BUCKETS)
         error: Optional[BaseException] = None
         results: List[Optional[JobResult]] = [None] * len(batch.jobs)
         run_meta: Dict[str, Any] = {"run_id": None, "manifest": None,
@@ -215,6 +239,13 @@ class SimulationService:
             # concurrency=1 telemetry assumption).
             async with self._run_locks.setdefault(tenant,
                                                   asyncio.Lock()):
+                # Queue wait: window open -> tenant run lock acquired
+                # (how long the batch sat behind earlier batches).
+                registry.observe(
+                    _per_tenant("service/queue_wait_seconds", tenant),
+                    time.perf_counter() - batch.created,
+                    bounds=LATENCY_BUCKETS)
+                run_started = time.perf_counter()
                 try:
                     run_results = await engine.run_async(
                         batch.jobs, on_result=batch.dispatch)
@@ -233,6 +264,10 @@ class SimulationService:
                                 state=failure.get("state", "failed"),
                                 index=index,
                                 error=failure.get("error"))
+                registry.observe(
+                    _per_tenant("service/run_seconds", tenant),
+                    time.perf_counter() - run_started,
+                    bounds=LATENCY_BUCKETS)
                 run_meta = {
                     "run_id": engine.last_run_id,
                     "manifest": (str(engine.last_manifest)
@@ -250,6 +285,7 @@ class SimulationService:
             # or every subscriber would hang forever.
             error = exc
         finally:
+            self._journal_batch_span(batch, tenant, run_meta, error)
             summary = dict(run_meta, ok=error is None, tenant=tenant,
                            batch_jobs=len(batch.jobs),
                            requests=len(batch.subscribers))
@@ -257,6 +293,33 @@ class SimulationService:
                 summary["error"] = f"{type(error).__name__}: {error}"
             if not batch.done.done():
                 batch.done.set_result((results, summary, error))
+
+    def _journal_batch_span(self, batch: _Batch, tenant: str,
+                            run_meta: Dict[str, Any],
+                            error: Optional[BaseException]) -> None:
+        """One span covering the batch's whole life (window open → run
+        finished), journaled into its run's ``events.jsonl`` next to
+        the engine's spans — this is the coalescing layer's node in the
+        exported trace."""
+        if not tracing_enabled() or not run_meta.get("manifest"):
+            return
+        carried = next((job.trace_context for job in batch.jobs
+                        if job.trace_context is not None), None)
+        if carried is None:
+            return
+        ctx = TraceContext(carried.trace_id, new_span_id(),
+                           carried.parent_id)
+        record = span_record(
+            "service/batch", ctx, batch.created_epoch,
+            time.perf_counter() - batch.created,
+            args={"tenant": tenant, "jobs": len(batch.jobs),
+                  "requests": len(batch.subscribers),
+                  "run_id": run_meta.get("run_id")},
+            error=error is not None)
+        try:
+            append_spans(Path(run_meta["manifest"]), [record])
+        except OSError:  # pragma: no cover - disk-full etc.
+            log.debug("could not journal batch span", exc_info=True)
 
     # ------------------------------------------------------------------
     # Status
@@ -293,6 +356,30 @@ class SimulationService:
             "telemetry": (registry.snapshot() if registry.enabled
                           else {}),
         }
+
+    def metrics_text(self) -> str:
+        """The service's live metrics as one Prometheus text-exposition
+        document (the ``metrics`` op's payload — point a scraper, or
+        ``python -m repro.tools.top``, at it).
+
+        Gauges that are snapshots of current state (per-tenant store
+        usage and quota, open batches) are refreshed here; counters and
+        the per-tenant SLO histograms accumulate where the work happens.
+        """
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("service/tenants", len(self._engines))
+            registry.gauge("service/open_batches", len(self._batches))
+            for tenant, summary in \
+                    self.store.namespaces_summary().items():
+                registry.gauge(
+                    _per_tenant("store/usage_bytes", tenant),
+                    summary.get("usage_bytes") or 0)
+                quota = summary.get("quota_bytes")
+                if quota is not None:
+                    registry.gauge(
+                        _per_tenant("store/quota_bytes", tenant), quota)
+        return to_prometheus_text(registry.snapshot())
 
     # ------------------------------------------------------------------
     # Wire front door
@@ -348,10 +435,18 @@ class SimulationService:
                               send) -> None:
         request_id = request.get("id")
         op = request.get("op")
+        arrival = time.perf_counter()
+        arrival_epoch = time.time()
         try:
             if op == "status":
                 await send(dict(self.status(), id=request_id,
                                 event="status"))
+                return
+            if op == "metrics":
+                await send({"id": request_id, "event": "metrics",
+                            "content_type":
+                                "text/plain; version=0.0.4",
+                            "text": self.metrics_text()})
                 return
             if op == "shutdown":
                 await send({"id": request_id, "event": "bye"})
@@ -365,6 +460,17 @@ class SimulationService:
                 validate_namespace(tenant)
             except ValueError as exc:
                 raise ProtocolError(str(exc)) from None
+            req_ctx: Optional[TraceContext] = None
+            if tracing_enabled():
+                # The request's node in the trace: a child of whatever
+                # context the client sent (its root span), stamped onto
+                # every job so worker-side spans link back to the
+                # client across the pool boundary.
+                req_ctx = child_context(
+                    TraceContext.from_dict(request.get("trace")))
+                jobs = [replace(job,
+                                trace_context=req_ctx.child_context())
+                        for job in jobs]
             await send({"id": request_id, "event": "accepted",
                         "jobs": len(jobs), "tenant": tenant})
 
@@ -390,6 +496,25 @@ class SimulationService:
             finally:
                 queue.put_nowait(None)
                 await pump_task
+            elapsed = time.perf_counter() - arrival
+            get_registry().observe(
+                _per_tenant("service/request_seconds", tenant),
+                elapsed, bounds=LATENCY_BUCKETS)
+            if req_ctx is not None and done.get("manifest"):
+                # The request span closes the loop: journaled into the
+                # run it landed in, it is the parent every batch / run /
+                # job span of this request links up to.
+                try:
+                    append_spans(Path(done["manifest"]), [span_record(
+                        "service/request", req_ctx, arrival_epoch,
+                        elapsed,
+                        args={"tenant": tenant, "op": op,
+                              "jobs": len(jobs),
+                              "ok": bool(done.get("ok"))},
+                        error=not done.get("ok"))])
+                except OSError:  # pragma: no cover - disk-full etc.
+                    log.debug("could not journal request span",
+                              exc_info=True)
             await send(done)
         except ProtocolError as exc:
             await send({"id": request_id, "event": "error",

@@ -1,12 +1,19 @@
-"""Unified telemetry: metrics, spans, run manifests, structured logging.
+"""Unified telemetry: metrics, tracing, run manifests, structured logging.
 
-Four pieces, designed to be cheap enough to leave on by default
+Five pieces, designed to be cheap enough to leave on by default
 (``REPRO_TELEMETRY=0`` turns the registry off entirely):
 
 * :mod:`repro.telemetry.metrics` — a process-local
   :class:`MetricsRegistry` (counters / gauges / fixed-bucket histograms)
   plus hierarchical wall-time spans, with mergeable JSON snapshots for
-  cross-process aggregation;
+  cross-process aggregation and a Prometheus text-exposition encoder
+  (:func:`to_prometheus_text` — what the service's ``metrics`` op
+  serves);
+* :mod:`repro.telemetry.tracing` — end-to-end request tracing:
+  :class:`TraceContext` triples that pickle into jobs and cross the
+  process-pool boundary, :func:`trace_span` blocks collected into the
+  run journal, exported by ``python -m repro.tools.trace_export``
+  (``REPRO_TRACING=0`` turns tracing alone off);
 * :mod:`repro.telemetry.observer` — :class:`TelemetryObserver`, a
   :class:`~repro.btb.observer.BTBObserver` that folds the hit / fill /
   evict / bypass event seam into eviction-age and per-set-occupancy
@@ -14,34 +21,44 @@ Four pieces, designed to be cheap enough to leave on by default
 * :mod:`repro.telemetry.manifest` — per-run **run manifests**
   (``manifest.jsonl`` + ``summary.json``) written next to the artifact
   store by :class:`~repro.harness.engine.ExperimentEngine`, rendered by
-  ``python -m repro.tools.report``;
+  ``python -m repro.tools.report`` and ``python -m repro.tools.top``;
 * :mod:`repro.telemetry.logconfig` — the shared structured-``logging``
   setup behind every CLI's ``--verbose/--quiet`` flags.
 
-See ``docs/TELEMETRY.md`` for metric names, the manifest schema, and the
-environment variables (``REPRO_TELEMETRY``, ``REPRO_PROFILE``,
-``REPRO_PROFILE_DIR``).
+See ``docs/TELEMETRY.md`` for metric names and the manifest schema,
+``docs/OBSERVABILITY.md`` for tracing and the live-metrics surface, and
+the environment variables (``REPRO_TELEMETRY``, ``REPRO_TRACING``,
+``REPRO_PROFILE``, ``REPRO_PROFILE_DIR``).
 """
 
 from repro.telemetry.logconfig import (add_logging_args, emit,
                                        setup_cli_logging, setup_logging)
 from repro.telemetry.manifest import (RunManifest, job_row, new_run_id,
-                                      read_run_manifest, render_report,
+                                      read_run_manifest, read_spans,
+                                      render_report, resolve_run_dir,
                                       write_run_manifest)
-from repro.telemetry.metrics import (DEFAULT_BUCKETS, Histogram,
+from repro.telemetry.metrics import (BucketMismatchError, DEFAULT_BUCKETS,
+                                     Histogram, LATENCY_BUCKETS,
                                      MetricsRegistry, get_registry,
                                      merge_snapshots, set_registry,
-                                     snapshot_delta, telemetry_enabled)
+                                     snapshot_delta, telemetry_enabled,
+                                     to_prometheus_text)
 from repro.telemetry.observer import TelemetryObserver
 from repro.telemetry.profile_hooks import profile_mode, worker_profile
+from repro.telemetry.tracing import (TraceContext, collect_spans,
+                                     trace_span, tracing_enabled)
 
 __all__ = [
+    "BucketMismatchError",
     "DEFAULT_BUCKETS",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "RunManifest",
     "TelemetryObserver",
+    "TraceContext",
     "add_logging_args",
+    "collect_spans",
     "emit",
     "get_registry",
     "job_row",
@@ -49,12 +66,16 @@ __all__ = [
     "new_run_id",
     "profile_mode",
     "read_run_manifest",
+    "read_spans",
     "render_report",
+    "resolve_run_dir",
     "set_registry",
     "setup_cli_logging",
     "setup_logging",
     "snapshot_delta",
     "telemetry_enabled",
-    "worker_profile",
+    "to_prometheus_text",
+    "trace_span",
+    "tracing_enabled",
     "write_run_manifest",
 ]

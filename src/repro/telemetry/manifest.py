@@ -50,9 +50,10 @@ def _format_table(columns, rows) -> str:
     return format_table(columns, rows)
 
 __all__ = ["RunJournal", "RunManifest", "MANIFEST_VERSION",
-           "canonical_rows", "job_row", "new_run_id", "read_events",
-           "read_jobs_index", "read_run_manifest", "render_report",
-           "write_run_manifest"]
+           "append_spans", "canonical_rows", "job_row", "new_run_id",
+           "read_events", "read_jobs_index", "read_run_manifest",
+           "read_spans", "render_report", "resolve_run_dir",
+           "synthesize_summary", "write_run_manifest"]
 
 #: 2: summary gained ``status`` / ``resumed_from`` / ``job_states``;
 #: rows gained ``state`` / ``attempt`` / ``error``; run directories
@@ -230,6 +231,18 @@ class RunJournal:
         self._fh.write(json.dumps(row, sort_keys=True) + "\n")
         self._fh.flush()
 
+    def span(self, record: Dict[str, Any]) -> None:
+        """Journal one finished trace-span record (see
+        :func:`repro.telemetry.tracing.span_record`) next to the state
+        rows; span rows carry ``"kind": "span"`` and no ``state`` key,
+        so :func:`read_events` keeps its historical state-only view."""
+        if self._fh is None:
+            return
+        row = dict(record)
+        row.setdefault("kind", "span")
+        self._fh.write(json.dumps(row, sort_keys=True) + "\n")
+        self._fh.flush()
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
@@ -242,13 +255,56 @@ class RunJournal:
         self.close()
 
 
-def read_events(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
-    """The state-transition journal of a run (empty if never written)."""
+def _read_journal_rows(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every parseable ``events.jsonl`` row (state transitions *and*
+    trace spans); an interrupted writer's torn final line is skipped."""
     path = Path(run_dir).expanduser() / "events.jsonl"
     if not path.exists():
         return []
-    return [json.loads(line) for line in path.read_text().splitlines()
-            if line.strip()]
+    rows = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return rows
+
+
+def read_events(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """The state-transition journal of a run (empty if never written).
+
+    Trace-span rows (``"kind": "span"``) share the file but are not
+    state transitions; read those with :func:`read_spans`."""
+    return [row for row in _read_journal_rows(run_dir)
+            if row.get("kind", "state") == "state"]
+
+
+def read_spans(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """The trace spans journaled for a run (empty when tracing was off),
+    in write order."""
+    return [row for row in _read_journal_rows(run_dir)
+            if row.get("kind") == "span"]
+
+
+def append_spans(run_dir: Union[str, Path],
+                 records: Sequence[Dict[str, Any]]) -> None:
+    """Append finished span records to a run's ``events.jsonl``.
+
+    The engine journals its own and its workers' spans while the run is
+    open; this is for spans that finish *after* the journal closes — the
+    service's per-request and per-batch spans land here once the run
+    summary exists."""
+    if not records:
+        return
+    path = Path(run_dir).expanduser() / "events.jsonl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        for record in records:
+            row = dict(record)
+            row.setdefault("kind", "span")
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
 
 
 def read_jobs_index(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
@@ -296,33 +352,128 @@ class RunManifest:
         return self.summary.get("run_id", self.path.name)
 
 
-def _resolve_run_dir(path: Path) -> Path:
+#: Files any of which mark a directory as a run directory — an
+#: interrupted run may have journal files but no ``summary.json`` yet.
+_RUN_DIR_MARKERS = ("summary.json", "events.jsonl", "jobs.json",
+                    "manifest.jsonl")
+
+
+def _run_dir_mtime(run_dir: Path) -> float:
+    stamps = []
+    for name in _RUN_DIR_MARKERS:
+        try:
+            stamps.append((run_dir / name).stat().st_mtime)
+        except OSError:
+            continue
+    return max(stamps, default=0.0)
+
+
+def resolve_run_dir(path: Union[str, Path]) -> Path:
     """Accept a run dir, a ``summary.json`` path, or a cache root whose
-    ``runs/`` subdirectory holds runs (latest wins)."""
+    ``runs/`` subdirectory holds runs (latest wins).  A directory with
+    only journal files (an in-flight or interrupted run) counts."""
+    path = Path(path).expanduser()
     if path.is_file():
         return path.parent
-    if (path / "summary.json").exists():
+    if any((path / name).exists() for name in _RUN_DIR_MARKERS):
         return path
     runs = path / "runs" if (path / "runs").is_dir() else path
     candidates = [p for p in runs.iterdir()
-                  if (p / "summary.json").exists()] if runs.is_dir() else []
+                  if any((p / name).exists()
+                         for name in _RUN_DIR_MARKERS)] \
+        if runs.is_dir() else []
     if not candidates:
         raise FileNotFoundError(f"no run manifest under {path}")
-    return max(candidates,
-               key=lambda p: (p / "summary.json").stat().st_mtime)
+    return max(candidates, key=_run_dir_mtime)
+
+
+#: Backwards-compatible private alias (pre-observability callers).
+_resolve_run_dir = resolve_run_dir
+
+
+def synthesize_summary(run_dir: Union[str, Path]) -> Dict[str, Any]:
+    """A best-effort summary for a run whose ``summary.json`` is missing
+    or unreadable (in flight, interrupted, or torn mid-write).
+
+    Reconstructed from the incremental journal: the job index gives the
+    sweep size, the last state event per job gives the state histogram,
+    and the event timestamps bound the wall clock.  The result carries
+    ``"partial": True`` plus a ``"missing"`` list naming what could not
+    be recovered, so renderers can say so instead of tracebacking.
+    """
+    run_dir = Path(run_dir).expanduser()
+    jobs_index = read_jobs_index(run_dir)
+    events = read_events(run_dir)
+    if not jobs_index and not events:
+        raise FileNotFoundError(
+            f"no summary and no journal under {run_dir} — nothing to "
+            f"reconstruct")
+    states: Dict[int, str] = {}
+    for event in events:
+        index = event.get("index")
+        state = event.get("state")
+        if index is not None and state is not None:
+            states[index] = state
+    total = max(len(jobs_index), len(states))
+    job_states: Dict[str, int] = {}
+    for i in range(total):
+        state = states.get(i, "pending")
+        job_states[state] = job_states.get(state, 0) + 1
+    stamps = [e["t"] for e in events if "t" in e]
+    summary: Dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "run_id": run_dir.name,
+        "status": "in-progress",
+        "partial": True,
+        "missing": ["summary.json"],
+        "jobs": total,
+        "job_states": job_states,
+        "wall_seconds": (round(max(stamps) - min(stamps), 3)
+                         if len(stamps) > 1 else 0.0),
+    }
+    if not jobs_index:
+        summary["missing"].append("jobs.json")
+    if not events:
+        summary["missing"].append("events.jsonl")
+    return summary
 
 
 def read_run_manifest(path: Union[str, Path]) -> RunManifest:
     """Load a manifest from a run directory (or ``summary.json``, or a
-    cache root — the most recent run is picked)."""
+    cache root — the most recent run is picked).
+
+    An in-progress or interrupted run — no ``summary.json``, or a torn
+    one — degrades to a journal-reconstructed summary (see
+    :func:`synthesize_summary`) instead of raising, so operators can
+    inspect a run that is still in flight or died mid-write.
+    """
     run_dir = _resolve_run_dir(Path(path).expanduser())
-    summary = json.loads((run_dir / "summary.json").read_text())
+    summary: Optional[Dict[str, Any]] = None
+    summary_path = run_dir / "summary.json"
+    if summary_path.exists():
+        try:
+            loaded = json.loads(summary_path.read_text())
+            if isinstance(loaded, dict):
+                summary = loaded
+        except (OSError, json.JSONDecodeError):
+            summary = None
+    if summary is None:
+        summary = synthesize_summary(run_dir)
+        if summary_path.exists():
+            # It was there but unreadable: torn write, not absence.
+            summary["missing"] = ["summary.json (corrupt)"] + [
+                m for m in summary.get("missing", [])
+                if m != "summary.json"]
     rows: List[Dict[str, Any]] = []
     jsonl = run_dir / "manifest.jsonl"
     if jsonl.exists():
         for line in jsonl.read_text().splitlines():
-            if line.strip():
+            if not line.strip():
+                continue
+            try:
                 rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
     return RunManifest(path=run_dir, summary=summary, rows=rows)
 
 
@@ -393,6 +544,12 @@ def render_report(manifest: RunManifest, top: int = 12) -> str:
         f"{wall:.2f}s on {s.get('workers', 1)} worker(s); "
         f"utilization {100.0 * s.get('worker_utilization', 0.0):.0f}%",
     ]
+    if s.get("partial"):
+        missing = ", ".join(s.get("missing", [])) or "summary.json"
+        lines.append(
+            f"PARTIAL RUN — reconstructed from the journal; missing: "
+            f"{missing}.  Figures below cover only what was journaled "
+            f"before the run stopped (or up to now, if still running).")
     status = s.get("status")
     if status:
         line = f"status: {status}"

@@ -24,20 +24,40 @@ full catalogue.
 
 from __future__ import annotations
 
+import math
 import os
+import re
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Histogram", "MetricsRegistry", "get_registry", "set_registry",
-           "merge_snapshots", "snapshot_delta", "telemetry_enabled",
-           "DEFAULT_BUCKETS"]
+__all__ = ["BucketMismatchError", "Histogram", "MetricsRegistry",
+           "get_registry", "set_registry", "merge_snapshots",
+           "snapshot_delta", "telemetry_enabled", "to_prometheus_text",
+           "DEFAULT_BUCKETS", "LATENCY_BUCKETS"]
 
 #: Default histogram bucket upper bounds (power-of-4 ladder); values above
 #: the last bound land in the implicit overflow bucket.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+#: Seconds-scale buckets for request/queue latency SLO histograms
+#: (1 ms … 5 min); the service's per-tenant latency metrics use these.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0, 300.0)
+
+
+class BucketMismatchError(ValueError):
+    """Two histograms whose bucket boundaries cannot be reconciled.
+
+    Raised instead of silently mis-merging snapshots produced by
+    registries with different bucket layouts (e.g. a worker running an
+    older release).  When one layout is a strict coarsening of the other
+    — every boundary of one appears in the other — the merge re-buckets
+    to the coarser layout instead of raising.
+    """
 
 
 def telemetry_enabled() -> bool:
@@ -81,11 +101,68 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """An upper-bound estimate of the ``q``-quantile from the bucket
+        counts (the bound of the bucket the quantile falls in;
+        ``math.inf`` when it lands in the overflow bucket)."""
+        if self.count <= 0:
+            return 0.0
+        target = max(1.0, q * self.count)
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            cumulative += self.counts[i]
+            if cumulative >= target:
+                return float(bound)
+        return math.inf
+
+    def rebucket(self, bounds: Sequence[float]) -> "Histogram":
+        """This histogram re-bucketed onto coarser ``bounds``.
+
+        Legal only when ``bounds`` is a subset of this histogram's
+        boundaries — then every source bucket maps wholly into one
+        destination bucket and no observation is misplaced.  Raises
+        :class:`BucketMismatchError` otherwise.
+        """
+        bounds = tuple(bounds)
+        if bounds == self.bounds:
+            return self
+        if not set(bounds) <= set(self.bounds):
+            raise BucketMismatchError(
+                f"cannot re-bucket {self.bounds} onto {bounds}: the "
+                f"target bounds are not a subset of the source bounds")
+        target = Histogram(bounds=bounds)
+        for i, n in enumerate(self.counts):
+            if not n:
+                continue
+            if i < len(self.bounds):
+                upper = self.bounds[i]
+                j = next((k for k, b in enumerate(bounds) if upper <= b),
+                         len(bounds))
+            else:
+                j = len(bounds)  # overflow stays overflow
+            target.counts[j] += n
+        target.count = self.count
+        target.sum = self.sum
+        return target
+
     def merge(self, other: "Histogram") -> None:
-        if tuple(other.bounds) != self.bounds:
-            raise ValueError(
-                f"cannot merge histograms with different bounds: "
-                f"{self.bounds} vs {tuple(other.bounds)}")
+        """Add ``other`` bucket-wise.  Mismatched bounds re-bucket to
+        the coarser layout when one is a subset of the other, and raise
+        :class:`BucketMismatchError` (with both layouts named) when
+        neither is."""
+        other_bounds = tuple(other.bounds)
+        if other_bounds != self.bounds:
+            if set(self.bounds) <= set(other_bounds):
+                other = other.rebucket(self.bounds)
+            elif set(other_bounds) <= set(self.bounds):
+                coarse = self.rebucket(other_bounds)
+                self.bounds = coarse.bounds
+                self.counts = coarse.counts
+            else:
+                raise BucketMismatchError(
+                    f"cannot merge histograms with incompatible bounds: "
+                    f"{self.bounds} vs {other_bounds} (neither layout "
+                    f"is a coarsening of the other)")
         for i, n in enumerate(other.counts):
             self.counts[i] += n
         self.count += other.count
@@ -202,7 +279,11 @@ class MetricsRegistry:
             if existing is None:
                 self.histograms[name] = incoming
             else:
-                existing.merge(incoming)
+                try:
+                    existing.merge(incoming)
+                except BucketMismatchError as exc:
+                    raise BucketMismatchError(
+                        f"histogram {name!r}: {exc}") from None
         for path, rec in snap.get("spans", {}).items():
             record = self.spans.get(path)
             if record is None:
@@ -253,8 +334,8 @@ def snapshot_delta(after: dict, before: dict) -> dict:
                 delta["histograms"][name] = dict(payload)
             continue
         if tuple(base["bounds"]) != tuple(payload["bounds"]):
-            raise ValueError(f"histogram {name!r} changed bounds "
-                             "between snapshots")
+            raise BucketMismatchError(f"histogram {name!r} changed "
+                                      "bounds between snapshots")
         counts = [a - b for a, b in zip(payload["counts"], base["counts"])]
         count = payload["count"] - base["count"]
         if count:
@@ -271,6 +352,107 @@ def snapshot_delta(after: dict, before: dict) -> dict:
             delta["spans"][path] = {"count": count, "seconds": seconds,
                                     "errors": errors}
     return delta
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+#: Registry names may carry inline Prometheus-style labels:
+#: ``service/request_seconds{tenant="alice"}``.
+_LABELED_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+_NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _split_labels(name: str) -> Tuple[str, str]:
+    match = _LABELED_RE.match(name)
+    if match:
+        return match.group("base"), match.group("labels")
+    return name, ""
+
+
+def _prom_name(path: str, prefix: str) -> str:
+    return f"{prefix}_{_NAME_SANITIZE_RE.sub('_', path)}"
+
+
+def _prom_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _join_labels(*parts: str) -> str:
+    labels = ",".join(part for part in parts if part)
+    return f"{{{labels}}}" if labels else ""
+
+
+def to_prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a registry snapshot in Prometheus text exposition format
+    (version 0.0.4).
+
+    Counters become ``<prefix>_<name>_total``, gauges keep their name,
+    histograms expand to cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count``, and wall-time spans become the three labeled
+    counter families ``<prefix>_span_seconds_total`` /
+    ``_span_calls_total`` / ``_span_errors_total``.  Registry names may
+    embed labels inline (``...{tenant="alice"}``); the label string is
+    carried through verbatim, which is how the service's per-tenant SLO
+    series are produced.  ``/`` and other illegal characters sanitize
+    to ``_``.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family(name: str, mtype: str, help_text: str) -> List[str]:
+        entry = families.setdefault(
+            name, {"type": mtype, "help": help_text, "samples": []})
+        return entry["samples"]
+
+    for raw, value in sorted(snapshot.get("counters", {}).items()):
+        base, labels = _split_labels(raw)
+        name = _prom_name(base, prefix) + "_total"
+        family(name, "counter", f"repro counter {base}").append(
+            f"{name}{_join_labels(labels)} {_prom_value(value)}")
+    for raw, value in sorted(snapshot.get("gauges", {}).items()):
+        base, labels = _split_labels(raw)
+        name = _prom_name(base, prefix)
+        family(name, "gauge", f"repro gauge {base}").append(
+            f"{name}{_join_labels(labels)} {_prom_value(value)}")
+    for raw, payload in sorted(snapshot.get("histograms", {}).items()):
+        base, labels = _split_labels(raw)
+        name = _prom_name(base, prefix)
+        samples = family(name, "histogram", f"repro histogram {base}")
+        cumulative = 0
+        bounds = list(payload["bounds"]) + [math.inf]
+        for bound, count in zip(bounds, payload["counts"]):
+            cumulative += count
+            le = f'le="{_prom_value(bound)}"'
+            samples.append(f"{name}_bucket{_join_labels(labels, le)} "
+                           f"{cumulative}")
+        samples.append(f"{name}_sum{_join_labels(labels)} "
+                       f"{_prom_value(payload['sum'])}")
+        samples.append(f"{name}_count{_join_labels(labels)} "
+                       f"{payload['count']}")
+    span_families = (("seconds", f"{prefix}_span_seconds_total",
+                      "cumulative wall seconds per span path"),
+                     ("count", f"{prefix}_span_calls_total",
+                      "span entries per span path"),
+                     ("errors", f"{prefix}_span_errors_total",
+                      "spans closed by an exception, per span path"))
+    for path, record in sorted(snapshot.get("spans", {}).items()):
+        label = f'span="{path}"'
+        for key, name, help_text in span_families:
+            family(name, "counter", help_text).append(
+                f"{name}{_join_labels(label)} "
+                f"{_prom_value(record.get(key, 0))}")
+    lines: List[str] = []
+    for name, entry in families.items():
+        lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        lines.extend(entry["samples"])
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 # ----------------------------------------------------------------------

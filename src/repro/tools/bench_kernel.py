@@ -11,11 +11,13 @@ Runs the same (apps × policies) miss sweep twice:
   kernel's sweep path).
 
 Both modes run with telemetry disabled.  A separate replay-only sweep
-(traces/hints/streams precomputed, off/on passes interleaved) measures
-the metrics registry's cost on the hot path as
-``telemetry_overhead_pct``.  ``--max-overhead-pct`` (default 3) turns the
-budget into an exit code so CI fails when instrumentation creeps into the
-replay hot loop.
+(traces/hints/streams precomputed, off/on/traced passes interleaved)
+measures the metrics registry's cost on the hot path as
+``telemetry_overhead_pct`` and the trace-span machinery's cost (a
+collection scope plus one ``trace_span`` per replay — the worker job
+path's instrumentation) as ``tracing_overhead_pct``.
+``--max-overhead-pct`` (default 3) turns both budgets into an exit code
+so CI fails when instrumentation creeps into the replay hot loop.
 
 Writes a ``BENCH_kernel.json`` record so CI tracks the perf trajectory::
 
@@ -125,17 +127,21 @@ def _run_shared(apps, policies, length: int) -> float:
 def _measure_overhead(apps, policies, length: int,
                       repeats: int) -> tuple:
     """Best-of-``repeats`` seconds for a replay-only sweep with telemetry
-    (off, on).
+    (off, on, traced).
 
     Traces, hints, and the shared streams are precomputed outside the
     timed region: the isolated/shared modes deliberately include that
     build work (it is what the kernel amortizes), but it is far too
     noisy to resolve a few-percent instrumentation cost.  The overhead
     budget guards the replay hot path, so that is what gets timed —
-    with off/on passes interleaved so clock drift hits both equally,
-    and the enabled side read from its own ``bench/replay`` span so the
-    span machinery is part of the measurement.
+    with off/on/traced passes interleaved so clock drift hits all three
+    equally.  The enabled side is read from its own ``bench/replay``
+    span so the span machinery is part of the measurement; the traced
+    side additionally opens one :func:`~repro.telemetry.tracing`
+    collection scope and a per-replay ``trace_span`` — exactly what the
+    worker's job path adds when tracing is on.
     """
+    from repro.telemetry.tracing import collect_spans, trace_span
     prepared = []
     for app in apps:
         harness = Harness(HarnessConfig(apps=(app,), length=length))
@@ -150,19 +156,48 @@ def _measure_overhead(apps, policies, length: int,
             harness.run_misses(trace, policy, hints=hints)
         return time.perf_counter() - start
 
+    def traced_sweep():
+        with collect_spans():
+            start = time.perf_counter()
+            for harness, trace, policy, hints in prepared:
+                with trace_span("replay", policy=policy):
+                    harness.run_misses(trace, policy, hints=hints)
+            return time.perf_counter() - start
+
+    env_prev = {name: os.environ.get(name)
+                for name in ("REPRO_TELEMETRY", "REPRO_TRACING")}
     sweep()  # warm the stream memo and first-touch allocations
-    off = on = float("inf")
-    for _ in range(repeats):
-        gc.collect()
-        set_registry(MetricsRegistry(enabled=False))
-        off = min(off, sweep())
-        gc.collect()
-        registry = MetricsRegistry(enabled=True)
-        set_registry(registry)
-        with registry.span("bench/replay"):
-            sweep()
-        on = min(on, registry.span_seconds("bench/replay"))
-    return off, on
+    off = on = traced = float("inf")
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            set_registry(MetricsRegistry(enabled=False))
+            off = min(off, sweep())
+            gc.collect()
+            registry = MetricsRegistry(enabled=True)
+            set_registry(registry)
+            with registry.span("bench/replay"):
+                sweep()
+            on = min(on, registry.span_seconds("bench/replay"))
+            gc.collect()
+            # Force tracing on regardless of ambient env, so the budget
+            # is measured even where CI disables telemetry globally.
+            os.environ["REPRO_TELEMETRY"] = "1"
+            os.environ["REPRO_TRACING"] = "1"
+            set_registry(MetricsRegistry(enabled=True))
+            traced = min(traced, traced_sweep())
+            for name, value in env_prev.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+    finally:
+        for name, value in env_prev.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    return off, on, traced
 
 
 def run_benchmark(apps=DEFAULT_APPS, policies=DEFAULT_POLICIES,
@@ -179,12 +214,14 @@ def run_benchmark(apps=DEFAULT_APPS, policies=DEFAULT_POLICIES,
                        for _ in range(repeats))
         shared = min(_run_shared(apps, policies, length)
                      for _ in range(repeats))
-        replay_off, replay_on = _measure_overhead(apps, policies, length,
-                                                  max(3, repeats))
+        replay_off, replay_on, replay_traced = _measure_overhead(
+            apps, policies, length, max(3, repeats))
     finally:
         set_registry(previous)
     overhead = (100.0 * (replay_on - replay_off) / replay_off
                 if replay_off else 0.0)
+    tracing_overhead = (100.0 * (replay_traced - replay_off) / replay_off
+                        if replay_off else 0.0)
     return {
         "bench": "kernel",
         "apps": list(apps),
@@ -196,6 +233,8 @@ def run_benchmark(apps=DEFAULT_APPS, policies=DEFAULT_POLICIES,
         "replay_seconds": round(replay_off, 4),
         "telemetry_replay_seconds": round(replay_on, 4),
         "telemetry_overhead_pct": round(overhead, 2),
+        "tracing_replay_seconds": round(replay_traced, 4),
+        "tracing_overhead_pct": round(tracing_overhead, 2),
         "speedup": round(isolated / shared, 3) if shared else 0.0,
     }
 
@@ -402,6 +441,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             and record["telemetry_overhead_pct"] > args.max_overhead_pct):
         log.error("telemetry overhead %.2f%% exceeds budget %.2f%%",
                   record["telemetry_overhead_pct"], args.max_overhead_pct)
+        failed = True
+    if (args.max_overhead_pct > 0
+            and record.get("tracing_overhead_pct", 0.0)
+            > args.max_overhead_pct):
+        log.error("tracing overhead %.2f%% exceeds budget %.2f%%",
+                  record["tracing_overhead_pct"], args.max_overhead_pct)
         failed = True
     if args.replay_output:
         replay_apps = (list(app_names()) if args.replay_apps == "all"

@@ -105,8 +105,29 @@ async def _smoke(cache_dir: str, jobs: int) -> int:
               and bob_cache.get("misses", 0) > 0
               and alice_cache != bob_cache,
               "per-namespace cache stats are tracked independently")
+
+        metrics = (await request_once(host, port, {"op": "metrics"}))[-1]
+        text = metrics.get("text", "")
+        check(metrics.get("event") == "metrics" and bool(text),
+              "metrics op returns a text exposition document")
+        check("repro_service_request_seconds_bucket" in text,
+              "metrics expose the per-tenant request-latency histogram")
+        check('tenant="alice"' in text and 'tenant="bob"' in text,
+              "metrics carry per-tenant labels for both tenants")
+        check("repro_service_requests_total" in text,
+              "metrics expose the per-tenant request counter")
+
         if done_a.get("manifest"):
             emit(f"smoke: run manifest at {done_a['manifest']}")
+            from repro.telemetry.manifest import read_spans
+            from repro.telemetry.tracing import tracing_enabled
+            if tracing_enabled():
+                spans = read_spans(done_a["manifest"])
+                check(any(s.get("name") == "job" for s in spans)
+                      and any(s.get("name") == "service/request"
+                              for s in spans),
+                      f"trace spans journaled with the run "
+                      f"({len(spans)} span(s))")
     finally:
         server.close()
         await server.wait_closed()
