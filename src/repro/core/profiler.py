@@ -65,6 +65,16 @@ class OptProfile:
     #: offline-simulation cost).
     elapsed_seconds: float = 0.0
 
+    def __getstate__(self) -> Dict[str, object]:
+        # Timing is provenance, not identity: the content-addressed
+        # store must serialize the same profiling recipe to the same
+        # bytes on every host (the fabric's peer fetch and differential
+        # tests depend on it), so wall clock stays out of the pickle.
+        # Freshly computed profiles still expose their elapsed time.
+        state = dict(self.__dict__)
+        state["elapsed_seconds"] = 0.0
+        return state
+
     def hit_to_taken(self) -> Dict[int, float]:
         """pc → hit-to-taken percentage for every profiled branch."""
         return {pc: b.hit_to_taken for pc, b in self.branches.items()}

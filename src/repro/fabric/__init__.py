@@ -1,0 +1,37 @@
+"""repro.fabric — the distributed sweep fabric.
+
+N worker processes pretending to be N hosts lease job groups from a
+coordinator over stdlib sockets (the service's line-JSON framing),
+steal work when their queue drains, and resolve artifacts shard-first /
+peer-second / recompute-last.  The coordinator drives the unmodified
+:class:`~repro.harness.engine.core.ExperimentEngine`, so journals,
+manifests, retries, and resume behave exactly as in a local run — and
+the merged result of a fabric sweep is *byte-identical* to the serial
+engine's, chaos or no chaos.  See ``docs/FABRIC.md``.
+
+Layering (mirrors the engine package):
+
+* :mod:`~repro.fabric.wire`        — payload packing (pickle/b64).
+* :mod:`~repro.fabric.peers`       — artifact server + peer-backed store.
+* :mod:`~repro.fabric.worker`      — one worker host.
+* :mod:`~repro.fabric.coordinator` — leases, stealing, host loss.
+* :mod:`~repro.fabric.launch`      — local N-host sweeps + supervisor.
+"""
+
+from repro.fabric.coordinator import (FabricCoordinator, FabricError,
+                                      FabricExecutor)
+from repro.fabric.launch import run_fabric_sweep
+from repro.fabric.peers import ArtifactServer, PeerBackedStore, fetch_blob
+from repro.fabric.worker import FabricWorker, worker_main
+
+__all__ = [
+    "ArtifactServer",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricExecutor",
+    "FabricWorker",
+    "PeerBackedStore",
+    "fetch_blob",
+    "run_fabric_sweep",
+    "worker_main",
+]

@@ -1,0 +1,164 @@
+"""Run a whole fabric sweep on one machine: N local worker hosts.
+
+:func:`run_fabric_sweep` is the batteries-included entry point the CLI
+and the tests build on: it binds a coordinator, launches ``hosts``
+worker processes (each pretending to be a separate host, with its own
+shard store under ``<cache_dir>/hosts/h<slot>``), runs one engine sweep
+across them, and tears everything down.
+
+Ordering matters for process workers: the coordinator's listening
+socket is bound *before* the workers fork (their connects queue in the
+TCP backlog) and its accept/monitor threads start *after*, so the fork
+happens from a single-threaded coordinator.  A **supervisor** thread
+then respawns any worker process that dies while the run still needs
+hosts — chaos plans full of ``die``/``partition`` faults keep killing
+hosts, and the respawns (reusing the dead slot's shard store, warm
+cache included) are what lets such a sweep converge instead of running
+out of hosts.
+
+``mode="thread"`` runs the workers as in-process threads instead:
+no fork cost, ideal for property tests — but ``die`` faults would kill
+the whole process and per-attempt timeouts are inert off the main
+thread, so keep chaos plans on process mode.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import threading
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.fabric.coordinator import FabricCoordinator
+from repro.fabric.worker import DEFAULT_LINGER, worker_main
+from repro.harness.engine.jobs import JobResult, SimJob
+
+log = logging.getLogger(__name__)
+
+__all__ = ["run_fabric_sweep"]
+
+#: Total respawn budget per sweep, as a multiple of the host count — a
+#: backstop against a fault plan that kills hosts faster than they can
+#: finish anything.
+RESPAWN_FACTOR = 4
+
+
+def _spawn(mode: str, mp_ctx, address: str, shard: Path, host_id: str,
+           linger: float, stop_event: threading.Event):
+    if mode == "process":
+        proc = mp_ctx.Process(
+            target=worker_main, args=(address, str(shard)),
+            kwargs={"host_id": host_id, "linger": linger}, daemon=True)
+        proc.start()
+        return proc
+    thread = threading.Thread(
+        target=worker_main, args=(address, str(shard)),
+        kwargs={"host_id": host_id, "linger": linger,
+                "stop_event": stop_event},
+        daemon=True, name=f"fabric-worker-{host_id}")
+    thread.start()
+    return thread
+
+
+def run_fabric_sweep(jobs: Sequence[SimJob],
+                     cache_dir: Union[str, Path, None] = None, *,
+                     hosts: int = 3, partition_seed: int = 0,
+                     mode: str = "process",
+                     max_retries: Optional[int] = None,
+                     job_timeout: Optional[float] = None,
+                     heartbeat_timeout: float = 5.0,
+                     grace: float = 20.0,
+                     linger: float = DEFAULT_LINGER,
+                     resume: Optional[str] = None,
+                     on_result: Optional[Callable[[JobResult], None]]
+                     = None,
+                     supervise: bool = True,
+                     coordinator: Optional[FabricCoordinator] = None
+                     ) -> List[JobResult]:
+    """One distributed sweep over ``hosts`` local worker hosts.
+
+    Returns the engine's results in input order (the full
+    :meth:`ExperimentEngine.run` contract — a failed sweep raises
+    ``ExperimentError`` after its manifest is written).  Pass a
+    pre-built ``coordinator`` to inspect its engine (manifest path,
+    merged telemetry) afterwards; ``cache_dir``/``hosts`` etc. are then
+    taken from it.
+    """
+    if mode not in ("process", "thread"):
+        raise ValueError(f"mode must be 'process' or 'thread', "
+                         f"got {mode!r}")
+    coord = coordinator
+    if coord is None:
+        coord = FabricCoordinator(
+            cache_dir=cache_dir, hosts=hosts,
+            partition_seed=partition_seed, max_retries=max_retries,
+            job_timeout=job_timeout,
+            heartbeat_timeout=heartbeat_timeout, grace=grace)
+    if coord.engine.cache_dir is None:
+        raise ValueError("a fabric sweep needs a cache directory: the "
+                         "coordinator store is where artifacts are "
+                         "mirrored")
+    coord.reopen()
+    address = coord.bind()
+    shard_root = coord.engine.cache_dir / "hosts"
+    n = coord.hosts_expected
+    try:
+        mp_ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        mp_ctx = multiprocessing.get_context()
+    stop_event = threading.Event()
+    shards = [shard_root / f"h{slot}" for slot in range(n)]
+    # Fork the first generation before any coordinator thread exists.
+    workers = [_spawn(mode, mp_ctx, address, shards[slot], f"h{slot}",
+                      linger, stop_event) for slot in range(n)]
+    generations = [0] * n
+    done = threading.Event()
+    supervisor: Optional[threading.Thread] = None
+
+    def _supervise() -> None:
+        respawns = 0
+        while not done.wait(0.2):
+            for slot in range(n):
+                if workers[slot].is_alive() or not coord.run_active():
+                    continue
+                if respawns >= RESPAWN_FACTOR * n:
+                    log.error("fabric: respawn budget (%d) exhausted; "
+                              "slot %d stays down",
+                              RESPAWN_FACTOR * n, slot)
+                    continue
+                respawns += 1
+                generations[slot] += 1
+                host_id = f"h{slot}r{generations[slot]}"
+                log.warning("fabric: worker slot %d died; respawning "
+                            "as %s (respawn %d)", slot, host_id,
+                            respawns)
+                workers[slot] = _spawn(mode, mp_ctx, address,
+                                       shards[slot], host_id, linger,
+                                       stop_event)
+
+    try:
+        coord.start()
+        if supervise and mode == "process":
+            supervisor = threading.Thread(target=_supervise,
+                                          daemon=True,
+                                          name="fabric-supervisor")
+            supervisor.start()
+        return coord.run(jobs, resume=resume, on_result=on_result)
+    finally:
+        coord.finish()
+        done.set()
+        if supervisor is not None:
+            supervisor.join(timeout=2.0)
+        stop_event.set()
+        budget = linger + 5.0
+        for worker in workers:
+            worker.join(timeout=budget)
+        if mode == "process":
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+                    worker.join(timeout=1.0)
+                if worker.is_alive():  # pragma: no cover - last resort
+                    worker.kill()
+        coord.close()

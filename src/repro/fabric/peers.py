@@ -1,0 +1,188 @@
+"""Digest-based peer artifact exchange between fabric worker hosts.
+
+Every worker host runs an :class:`ArtifactServer` next to its shard
+store and announces its address when it registers; the coordinator
+forwards the live peer map with every lease.  A host's
+:class:`PeerBackedStore` then resolves cache misses in two steps: local
+disk first, then a ``fetch``-by-digest round trip to each live peer —
+only when nobody has the artifact does the host recompute it.
+
+The exchange is deliberately dumb on the serving side:
+:meth:`ArtifactStore.read_blob` ships the on-disk envelope (magic +
+sha256 + payload) verbatim, with no validation and no stats.  All trust
+lives on the *consuming* side — the fetched envelope is adopted
+byte-verbatim and then read back through the normal
+:meth:`ArtifactStore.get`, so a corrupt peer payload is caught by the
+same integrity digest, quarantined by the same machinery, and the host
+falls back to local recompute exactly as it would for local bit rot.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+from typing import Callable, Dict, Optional, Union
+
+from repro.fabric.wire import pack_bytes, unpack_bytes
+from repro.harness.engine.store import ArtifactStore, STORE_VERSION
+from repro.service.framing import (ProtocolError, SocketFrameReader,
+                                   send_frame)
+from repro.telemetry.metrics import get_registry
+
+log = logging.getLogger(__name__)
+
+__all__ = ["ArtifactServer", "PeerBackedStore", "fetch_blob",
+           "parse_address"]
+
+#: Per-fetch network budget: peers are same-machine (or same-rack), so
+#: a slow peer is a dead peer — fall back to recompute, don't stall.
+FETCH_TIMEOUT = 2.0
+
+
+def parse_address(address: str) -> tuple:
+    """``"host:port"`` → ``(host, port)`` (IPv4/hostname form)."""
+    host, _, port = address.rpartition(":")
+    return host, int(port)
+
+
+def fetch_blob(address: str, kind: str, key: str,
+               timeout: float = FETCH_TIMEOUT) -> Optional[bytes]:
+    """One artifact envelope from the peer at ``address``, or None.
+
+    Every failure mode — refused connection, timeout, torn frame, a
+    ``miss`` reply — degrades to None: peer fetch is an optimisation,
+    never a dependency.
+    """
+    try:
+        with socket.create_connection(parse_address(address),
+                                      timeout=timeout) as sock:
+            send_frame(sock, {"op": "fetch", "kind": kind, "key": key})
+            reply = SocketFrameReader(sock).read_frame()
+    except (OSError, ProtocolError, ValueError):
+        return None
+    if not reply or reply.get("event") != "artifact":
+        return None
+    try:
+        return unpack_bytes(reply.get("blob"))
+    except (TypeError, ValueError):
+        return None
+
+
+class ArtifactServer:
+    """Serve this host's shard store to its peers (fetch-by-digest).
+
+    One accept thread plus one thread per connection; all daemons, so a
+    dying worker never hangs on its server.  Replies come straight from
+    :meth:`ArtifactStore.read_blob` — absent keys answer ``miss``.
+    """
+
+    def __init__(self, store: ArtifactStore,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.store = store
+        self._host = host
+        self._port = port
+        self._listener: Optional[socket.socket] = None
+        self._closed = threading.Event()
+        self.address: Optional[str] = None
+
+    def start(self) -> str:
+        """Bind, start accepting, and return the ``host:port`` address."""
+        self._listener = socket.create_server((self._host, self._port))
+        bound_host, bound_port = self._listener.getsockname()[:2]
+        self.address = f"{bound_host}:{bound_port}"
+        threading.Thread(target=self._accept_loop, daemon=True,
+                         name="fabric-artifact-accept").start()
+        return self.address
+
+    def close(self) -> None:
+        self._closed.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._serve, args=(conn,),
+                             daemon=True,
+                             name="fabric-artifact-conn").start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        registry = get_registry()
+        try:
+            with conn:
+                reader = SocketFrameReader(conn)
+                while True:
+                    try:
+                        frame = reader.read_frame()
+                    except ProtocolError:
+                        return
+                    if frame is None:
+                        return
+                    if frame.get("op") != "fetch":
+                        send_frame(conn, {"event": "error",
+                                          "error": "unknown op"})
+                        continue
+                    blob = self.store.read_blob(str(frame.get("kind")),
+                                                str(frame.get("key")))
+                    if blob is None:
+                        send_frame(conn, {"event": "miss"})
+                        continue
+                    registry.count("fabric/peer/served")
+                    send_frame(conn, {"event": "artifact",
+                                      "blob": pack_bytes(blob)})
+        except OSError:
+            return
+
+
+class PeerBackedStore(ArtifactStore):
+    """A shard store whose misses consult live peers before recomputing.
+
+    ``peers`` is a callable returning the *current* ``{host name:
+    artifact address}`` map (the fabric worker refreshes it from every
+    lease reply), so a lost host silently drops out of the fetch path.
+
+    The adopted envelope is validated by the base class's own ``get``:
+    a corrupt peer payload is quarantined and counted
+    (``fabric/peer/corrupt``) and the next peer — or local recompute —
+    takes over.  A successful peer fetch counts ``fabric/peer/fetched``
+    and, because the blob is adopted byte-verbatim, leaves this shard's
+    copy byte-identical to the peer's.
+    """
+
+    def __init__(self, root, salt: str = STORE_VERSION, *,
+                 peers: Optional[Callable[[], Dict[str, str]]] = None,
+                 **kwargs):
+        super().__init__(root, salt=salt, **kwargs)
+        self._peers = peers
+
+    def get(self, kind: str, key: str):
+        value = super().get(kind, key)
+        if value is not None or self._peers is None:
+            return value
+        registry = get_registry()
+        for name, address in sorted(self._peers().items()):
+            blob = fetch_blob(address, kind, key)
+            if blob is None:
+                continue
+            self.adopt_blob(kind, key, blob)
+            value = super().get(kind, key)
+            if value is not None:
+                registry.count("fabric/peer/fetched")
+                log.debug("peer %s served %s artifact %s", name, kind,
+                          key[:12])
+                return value
+            # The adopted envelope failed its digest: the base get
+            # already quarantined it; note the bad peer and move on.
+            registry.count("fabric/peer/corrupt")
+            log.warning("peer %s sent a corrupt %s artifact %s; "
+                        "quarantined, trying the next source", name,
+                        kind, key[:12])
+        return None

@@ -1,0 +1,51 @@
+"""Payload encoding for fabric frames: pickled objects and raw blobs.
+
+The fabric reuses the service's line-JSON framing
+(:mod:`repro.service.framing`) for its control plane, so every frame is
+one JSON object per line.  Jobs, results, and artifact envelopes are
+binary; they ride inside those JSON frames as base64 text fields.
+
+Jobs and results are *pickled*: the fabric is a trusted, same-machine
+(or same-trust-domain) transport between processes running the same
+code — exactly the trust model of the engine's ``ProcessPoolExecutor``,
+which also ships pickles between its processes.  Do not point a fabric
+worker at an untrusted coordinator.
+
+Artifact envelopes are NOT re-pickled: :func:`pack_bytes` carries the
+store's on-disk bytes (magic + digest + payload) verbatim, so an
+artifact adopted on another host is byte-identical to the original and
+the store's own integrity digest keeps protecting it end to end.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from typing import Any, Optional
+
+__all__ = ["pack", "pack_bytes", "unpack", "unpack_bytes"]
+
+
+def pack(obj: Any) -> str:
+    """An object as base64(pickle) text, safe inside a JSON frame."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(payload).decode("ascii")
+
+
+def unpack(text: str) -> Any:
+    """Inverse of :func:`pack` (trusted input only — see module doc)."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def pack_bytes(blob: Optional[bytes]) -> Optional[str]:
+    """Raw bytes as base64 text (None passes through)."""
+    if blob is None:
+        return None
+    return base64.b64encode(blob).decode("ascii")
+
+
+def unpack_bytes(text: Optional[str]) -> Optional[bytes]:
+    """Inverse of :func:`pack_bytes` (None passes through)."""
+    if text is None:
+        return None
+    return base64.b64decode(text.encode("ascii"))

@@ -246,10 +246,24 @@ class ExperimentEngine:
             args={"run_id": ctx.run_id, "jobs": len(ctx.jobs)},
             error=failure is not None))
 
+    def set_executor(self, executor: Optional[Executor]) -> None:
+        """Swap the execution strategy for subsequent runs.
+
+        The library seam for executors that must be wired back to their
+        engine *after* it exists — the fabric coordinator builds the
+        engine first, then installs a
+        :class:`~repro.fabric.coordinator.FabricExecutor` pointing at
+        both.  ``None`` restores the default jobs-count-based choice.
+        """
+        self._executor = executor
+
     def _select_executor(self, pending: Sequence[int]) -> Executor:
         if self._executor is not None:
-            self._used_workers = isinstance(self._executor,
-                                            ProcessPoolJobExecutor)
+            # An injected strategy declares whether attempts ran in
+            # other processes (see Executor.uses_workers) — that is what
+            # decides the manifest's telemetry-merge policy.
+            self._used_workers = bool(getattr(self._executor,
+                                              "uses_workers", False))
             return self._executor
         if self.jobs > 1 and len(pending) > 1:
             self._used_workers = True

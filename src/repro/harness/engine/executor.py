@@ -49,6 +49,12 @@ class Executor:
     engine's façade only opens/closes the run around this call.
     """
 
+    #: True when attempts run in *other processes* whose telemetry
+    #: registries die with them — the engine then merges each
+    #: :class:`JobResult`'s telemetry delta into the run manifest
+    #: instead of relying on the parent registry having seen the work.
+    uses_workers: bool = False
+
     def __init__(self, engine) -> None:
         self.engine = engine
         self.planner: Planner = engine.planner
@@ -105,6 +111,8 @@ class SerialExecutor(Executor):
 
 class ProcessPoolJobExecutor(Executor):
     """Fan batches out over a process pool (the ``jobs > 1`` path)."""
+
+    uses_workers = True
 
     def execute(self, ctx: RunContext, pending: Sequence[int]) -> None:
         from concurrent.futures.process import BrokenProcessPool

@@ -369,8 +369,39 @@ class ArtifactStore:
         interleaved puts cannot each pass the check and overshoot the
         quota together.
         """
+        self._write_blob(kind, key, self._encode(obj))
+
+    def read_blob(self, kind: str, key: str) -> Optional[bytes]:
+        """The artifact's raw on-disk envelope (magic + digest +
+        payload), or None when absent.
+
+        No stats, no validation: this is the *serving* side of the
+        fabric's peer fetch-by-digest — bytes ship verbatim and the
+        consumer's :meth:`get` (after :meth:`adopt_blob`) is what
+        verifies the integrity digest.
+        """
+        try:
+            return self.path(kind, key).read_bytes()
+        except OSError:
+            return None
+
+    def adopt_blob(self, kind: str, key: str, blob: bytes) -> None:
+        """Adopt an already-encoded envelope byte-verbatim (the write
+        side of peer fetch and of the coordinator's result mirroring).
+
+        Adopting instead of re-pickling guarantees every copy of an
+        artifact across fabric hosts is byte-identical.  The envelope is
+        self-verifying, so nothing is validated here: a corrupt adopted
+        blob is caught — and quarantined — by the next :meth:`get`,
+        exactly like local bit rot.  Quota accounting matches
+        :meth:`put`.
+        """
+        self._write_blob(kind, key, bytes(blob))
+
+    def _write_blob(self, kind: str, key: str, blob: bytes) -> None:
+        """Shared atomic-write path of :meth:`put` / :meth:`adopt_blob`
+        (quota reservation, temp-file rename, usage/stats updates)."""
         path = self.path(kind, key)
-        blob = self._encode(obj)
         delta: Optional[int] = None
         with self._lock:
             if self._usage_bytes is not None:

@@ -62,7 +62,10 @@ def run_job(job: SimJob, cache_root: Optional[str] = None,
         plan = active_fault_plan()
         if plan is not None:
             fault = plan.fault_for(index, attempt)
-    if fault is not None and fault.kind != "corrupt":
+    # ``corrupt`` applies after the compute (below); ``partition`` is a
+    # transport fault the fabric worker performs itself before calling
+    # in here — with no fabric link to sever it is inert.
+    if fault is not None and fault.kind not in ("corrupt", "partition"):
         registry.count("faults/injected")
         inject(fault, in_worker=in_worker)
     baseline = copy.deepcopy(store.stats) if store is not None else None

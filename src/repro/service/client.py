@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Callable, Dict, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
 
-from repro.service.protocol import decode_line, encode_line
+from repro.service.framing import LineFrameBuffer, encode_line
 from repro.telemetry.tracing import new_root_context, tracing_enabled
 
 __all__ = ["ServiceClient", "request_once"]
@@ -36,15 +37,38 @@ __all__ = ["ServiceClient", "request_once"]
 #: Event names that end a request's wait.
 TERMINAL_EVENTS = ("done", "status", "metrics", "bye", "error")
 
+#: Bytes per ``StreamReader.read`` — chunked reads through the shared
+#: frame buffer, so response lines are not capped by asyncio's default
+#: 64 KiB ``readline`` limit.
+_READ_CHUNK = 256 * 1024
+
 
 class ServiceClient:
     """One connection to a running simulation service."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter,
+                 max_frame_bytes: Optional[int] = None):
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
+        self._frames: Deque[Dict[str, Any]] = deque()
+        self._buffer = (LineFrameBuffer() if max_frame_bytes is None
+                        else LineFrameBuffer(max_frame_bytes))
+
+    async def _next_event(self) -> Dict[str, Any]:
+        """The next response frame, via the shared line-frame buffer
+        (oversized frames raise
+        :class:`~repro.service.framing.FrameTooLargeError`, a
+        connection severed mid-line raises
+        :class:`~repro.service.framing.TornFrameError`)."""
+        while not self._frames:
+            data = await self._reader.read(_READ_CHUNK)
+            if not data:
+                self._buffer.eof()
+                raise ConnectionError("service closed the connection")
+            self._frames.extend(self._buffer.feed(data))
+        return self._frames.popleft()
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "ServiceClient":
@@ -74,10 +98,7 @@ class ServiceClient:
         await self._writer.drain()
         events: List[Dict[str, Any]] = []
         while True:
-            line = await self._reader.readline()
-            if not line:
-                raise ConnectionError("service closed the connection")
-            event = decode_line(line)
+            event = await self._next_event()
             event_id = event.get("id")
             if event_id != request["id"]:
                 # Another pipelined request's event is not ours to

@@ -1,0 +1,199 @@
+"""Line-JSON framing shared by every wire consumer in the repo.
+
+One JSON object per ``\\n``-terminated line is the repo's only wire
+format — the simulation service (:mod:`repro.service`), its client, and
+the distributed sweep fabric (:mod:`repro.fabric`) all speak it.  This
+module owns the *transport-agnostic* mechanics every one of those
+endpoints used to hand-roll: encoding, decoding, incremental buffering
+of partial reads, oversized-frame protection, and torn-frame detection
+at EOF.
+
+:class:`LineFrameBuffer` is the core: feed it whatever byte chunks the
+transport produced (asyncio ``read()``, blocking ``recv()``, a test's
+hand-cut slices) and it hands back complete decoded frames, buffering
+torn lines until their remainder arrives.  A line longer than
+``max_frame_bytes`` raises :class:`FrameTooLargeError` and the buffer
+*resynchronizes* at the next newline, so one oversized frame cannot
+wedge the connection; a connection that closes with a partial line still
+buffered is a torn frame (:meth:`LineFrameBuffer.eof`).
+
+:class:`SocketFrameReader` / :func:`send_frame` wrap the same buffer
+around a blocking socket for the fabric's synchronous endpoints; the
+asyncio :class:`~repro.service.client.ServiceClient` drives the buffer
+itself from ``StreamReader.read`` chunks.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["FrameTooLargeError", "LineFrameBuffer", "MAX_FRAME_BYTES",
+           "ProtocolError", "SocketFrameReader", "TornFrameError",
+           "decode_line", "encode_line", "send_frame"]
+
+#: Default per-frame ceiling.  Generous — the largest legitimate frames
+#: are the fabric's base64 artifact payloads (a long trace's pickle) —
+#: while still bounding what one malformed or hostile line can make an
+#: endpoint buffer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A line the receiver cannot act on (reported, not fatal: the
+    buffer has already consumed the bad line, so the connection can
+    keep serving subsequent frames)."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A line exceeded the buffer's ``max_frame_bytes`` ceiling.
+
+    The oversized bytes are discarded and the buffer resynchronizes at
+    the next newline — the caller decides whether that is fatal (a
+    client mid-request) or survivable (a server skipping one bad line).
+    """
+
+
+class TornFrameError(ProtocolError):
+    """The transport closed with a partial line still buffered — the
+    peer died (or was severed) mid-frame."""
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """One frame as a compact, key-sorted JSON line."""
+    return (json.dumps(obj, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one frame (must be a JSON object)."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"not a JSON line: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return obj
+
+
+class LineFrameBuffer:
+    """Incremental line-JSON decoder over arbitrary byte chunks.
+
+    ``feed(data)`` appends ``data`` and returns every frame completed by
+    it (empty list when the bytes end mid-line: the partial line stays
+    buffered for the next feed).  Errors — an oversized line, an
+    undecodable line — raise *after the offending line has been
+    consumed*, so a caller that survives the exception keeps a usable
+    buffer; frames decoded before the error are not lost, the next
+    ``feed`` (even ``feed(b"")``) returns them first.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buf = bytearray()
+        self._ready: List[Dict[str, Any]] = []
+        self._discarding = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes of the current partial (torn) line."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Consume ``data``; return the frames it completed."""
+        self._buf += data
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline < 0:
+                if self._discarding:
+                    # Still inside the oversized line: drop and wait.
+                    self._buf.clear()
+                elif len(self._buf) > self.max_frame_bytes:
+                    self._buf.clear()
+                    self._discarding = True
+                    raise FrameTooLargeError(
+                        f"frame exceeds {self.max_frame_bytes} bytes "
+                        f"(discarding until the next newline)")
+                break
+            line = bytes(self._buf[:newline])
+            del self._buf[:newline + 1]
+            if self._discarding:
+                # The tail of the oversized line; resynchronized now.
+                self._discarding = False
+                continue
+            if len(line) > self.max_frame_bytes:
+                raise FrameTooLargeError(
+                    f"frame of {len(line)} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte ceiling")
+            if not line.strip():
+                continue
+            self._ready.append(decode_line(line))
+        out = self._ready
+        self._ready = []
+        return out
+
+    def eof(self) -> None:
+        """Declare end-of-stream; raises :class:`TornFrameError` if a
+        partial line is still buffered."""
+        if self._buf or self._discarding:
+            torn = len(self._buf)
+            self._buf.clear()
+            self._discarding = False
+            raise TornFrameError(
+                f"connection closed mid-frame ({torn} byte(s) of a "
+                f"partial line buffered)")
+
+
+def send_frame(sock: socket.socket, obj: Dict[str, Any],
+               lock: Optional[threading.Lock] = None) -> None:
+    """Write one frame to a blocking socket (optionally serialized by
+    ``lock`` so concurrent senders — a heartbeat thread next to a
+    request loop — never interleave bytes mid-line)."""
+    data = encode_line(obj)
+    if lock is None:
+        sock.sendall(data)
+        return
+    with lock:
+        sock.sendall(data)
+
+
+class SocketFrameReader:
+    """Blocking frame reader over a connected socket.
+
+    ``read_frame()`` returns the next frame, or None on a clean EOF; a
+    dirty EOF (bytes of a partial line buffered) raises
+    :class:`TornFrameError`.  Decode errors propagate from the
+    underlying :class:`LineFrameBuffer` with the buffer resynchronized,
+    so a server loop may log and continue.
+    """
+
+    #: Bytes per ``recv`` — large enough that artifact-sized frames do
+    #: not crawl, small enough not to matter for control traffic.
+    CHUNK = 256 * 1024
+
+    def __init__(self, sock: socket.socket,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self._sock = sock
+        self._buffer = LineFrameBuffer(max_frame_bytes)
+        self._frames: Deque[Dict[str, Any]] = deque()
+        self._eof = False
+
+    def read_frame(self) -> Optional[Dict[str, Any]]:
+        while not self._frames:
+            if self._eof:
+                return None
+            try:
+                data = self._sock.recv(self.CHUNK)
+            except OSError:
+                # A severed/reset socket is an EOF for framing purposes;
+                # whether it tore a frame is what eof() reports.
+                data = b""
+            if not data:
+                self._eof = True
+                self._buffer.eof()
+                return None
+            self._frames.extend(self._buffer.feed(data))
+        return self._frames.popleft()

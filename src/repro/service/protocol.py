@@ -65,11 +65,15 @@ two byte for byte.  ``error`` events (bad request, failed run) carry an
 from __future__ import annotations
 
 import dataclasses
-import json
 from typing import Any, Dict, List, Optional
 
 from repro.btb.config import BTBConfig, DEFAULT_BTB_CONFIG
 from repro.harness.engine import SimJob
+# Framing (encode/decode, buffering, oversized/torn-frame handling)
+# lives in repro.service.framing, shared with the fabric's wire layer;
+# re-exported here so protocol consumers keep their historical imports.
+from repro.service.framing import (ProtocolError, decode_line,
+                                   encode_line)
 
 __all__ = ["ProtocolError", "decode_line", "encode_line",
            "job_from_dict", "job_to_dict", "jobs_from_request"]
@@ -79,28 +83,6 @@ OPS = ("simulate", "sweep", "profile", "status", "metrics", "shutdown")
 
 _JOB_FIELDS = ("app", "policy", "input_id", "length", "mode",
                "thresholds", "default_category", "warmup_fraction")
-
-
-class ProtocolError(ValueError):
-    """A request line the service cannot act on (reported, not fatal:
-    the connection stays open for the next line)."""
-
-
-def encode_line(obj: Dict[str, Any]) -> bytes:
-    """One response/request object as a compact JSON line."""
-    return (json.dumps(obj, sort_keys=True,
-                       separators=(",", ":")) + "\n").encode("utf-8")
-
-
-def decode_line(line: bytes) -> Dict[str, Any]:
-    """Parse one request line (must be a JSON object)."""
-    try:
-        obj = json.loads(line.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"not a JSON line: {exc}") from None
-    if not isinstance(obj, dict):
-        raise ProtocolError("request must be a JSON object")
-    return obj
 
 
 def _btb_config(source: Dict[str, Any]) -> BTBConfig:

@@ -13,6 +13,12 @@ and *how* a worker should misbehave:
 * ``die``     — the worker process SIGKILLs itself mid-batch, so the
   parent sees a broken process pool (downgraded to ``raise`` when the
   job runs in-process rather than in a worker).
+* ``partition`` — a *transport* fault: a fabric worker host severs its
+  coordinator socket before running the job and keeps computing its
+  lease locally (see :mod:`repro.fabric.worker`), so the coordinator
+  must detect the silent host and re-lease the orphaned group.  Outside
+  the fabric there is no link to sever, so the engine's job path treats
+  a scheduled ``partition`` as inert (the job runs normally).
 
 Plans are wired through the :data:`PLAN_ENV_VAR` environment variable —
 either inline JSON or ``@/path/to/plan.json`` — so they reach *real*
@@ -47,7 +53,7 @@ __all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "InjectedFault",
 #: ``@path``); unset/empty disables injection.
 PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
 
-FAULT_KINDS = ("raise", "hang", "corrupt", "die")
+FAULT_KINDS = ("raise", "hang", "corrupt", "die", "partition")
 
 
 class InjectedFault(RuntimeError):
@@ -191,10 +197,13 @@ def inject(fault: Fault, in_worker: bool = False) -> None:
 
     ``corrupt`` is not applied here — the caller mangles the stored
     artifact *after* computing it (see
-    :func:`repro.harness.engine.run_job`).  ``hang`` returns after its
-    sleep unless a deadline signal interrupts it; ``die`` SIGKILLs the
-    process only when ``in_worker`` is true, otherwise it degrades to a
-    ``raise`` so in-process runs are not killed.
+    :func:`repro.harness.engine.run_job`).  ``partition`` is not applied
+    here either: it is a transport fault the fabric worker host performs
+    itself (severing its coordinator socket) before the job ever reaches
+    this function.  ``hang`` returns after its sleep unless a deadline
+    signal interrupts it; ``die`` SIGKILLs the process only when
+    ``in_worker`` is true, otherwise it degrades to a ``raise`` so
+    in-process runs are not killed.
     """
     if fault.kind == "raise":
         raise InjectedFault(f"injected failure at job {fault.index}")

@@ -1,0 +1,186 @@
+"""The shared line-JSON framing layer and its two socket consumers.
+
+:mod:`repro.service.framing` is the one wire format in the repo — the
+asyncio service client and the fabric's blocking endpoints both decode
+through :class:`LineFrameBuffer`.  These are the regression tests for
+the failure modes that used to be hand-rolled per endpoint: torn reads
+reassembling, oversized frames raising *and resynchronizing*, and a
+connection dying mid-line being reported as a torn frame on both the
+blocking (:class:`SocketFrameReader`) and asyncio
+(:class:`~repro.service.client.ServiceClient`) paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.framing import (FrameTooLargeError, LineFrameBuffer,
+                                   ProtocolError, SocketFrameReader,
+                                   TornFrameError, decode_line,
+                                   encode_line, send_frame)
+
+
+class TestLineFrameBuffer:
+    def test_torn_chunks_reassemble(self):
+        buf = LineFrameBuffer()
+        assert buf.feed(b'{"a": ') == []
+        assert buf.pending_bytes > 0
+        assert buf.feed(b'1}\n{"b": 2}\n{"c"') == [{"a": 1}, {"b": 2}]
+        assert buf.feed(b": 3}\n") == [{"c": 3}]
+        buf.eof()
+
+    def test_single_byte_feeds_reassemble(self):
+        buf = LineFrameBuffer()
+        frames = []
+        for byte in b'{"x": 42}\n':
+            frames.extend(buf.feed(bytes([byte])))
+        assert frames == [{"x": 42}]
+
+    def test_blank_lines_are_skipped(self):
+        buf = LineFrameBuffer()
+        assert buf.feed(b'\n  \n{"a": 1}\n\n') == [{"a": 1}]
+
+    def test_oversized_line_raises_and_resynchronizes(self):
+        buf = LineFrameBuffer(max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            buf.feed(b"x" * 40)
+        # The tail of the oversized line is discarded up to its newline;
+        # the next frame decodes normally.
+        assert buf.feed(b'yyy\n{"ok": 1}\n') == [{"ok": 1}]
+        buf.eof()
+
+    def test_oversized_line_with_newline_in_one_feed(self):
+        buf = LineFrameBuffer(max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            buf.feed(b"x" * 40 + b'\n{"ok": 1}\n')
+        # The good frame after the bad line is not lost.
+        assert buf.feed(b"") == [{"ok": 1}]
+
+    def test_frames_decoded_before_an_error_are_not_lost(self):
+        buf = LineFrameBuffer()
+        with pytest.raises(ProtocolError):
+            buf.feed(b'{"a": 1}\nnot json\n{"b": 2}\n')
+        assert buf.feed(b"") == [{"a": 1}, {"b": 2}]
+
+    def test_non_object_frame_is_a_protocol_error(self):
+        buf = LineFrameBuffer()
+        with pytest.raises(ProtocolError):
+            buf.feed(b"[1, 2, 3]\n")
+
+    def test_eof_with_a_partial_line_is_a_torn_frame(self):
+        buf = LineFrameBuffer()
+        buf.feed(b'{"partial": ')
+        with pytest.raises(TornFrameError):
+            buf.eof()
+        # eof() drained the partial line: the buffer is reusable.
+        assert buf.pending_bytes == 0
+        buf.eof()
+
+    def test_eof_mid_oversized_discard_is_a_torn_frame(self):
+        buf = LineFrameBuffer(max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            buf.feed(b"x" * 40)
+        with pytest.raises(TornFrameError):
+            buf.eof()
+
+    def test_encode_decode_round_trip(self):
+        frame = {"op": "fetch", "kind": "trace", "key": "ab" * 8}
+        line = encode_line(frame)
+        assert line.endswith(b"\n")
+        assert decode_line(line[:-1]) == frame
+
+
+class TestSocketFrameReader:
+    @pytest.fixture()
+    def pair(self):
+        a, b = socket.socketpair()
+        yield a, b
+        a.close()
+        b.close()
+
+    def test_torn_sends_reassemble(self, pair):
+        a, b = pair
+        reader = SocketFrameReader(b)
+        a.sendall(b'{"x": ')
+        a.sendall(b'1}\n')
+        assert reader.read_frame() == {"x": 1}
+        a.close()
+        assert reader.read_frame() is None
+
+    def test_send_frame_is_readable_verbatim(self, pair):
+        a, b = pair
+        send_frame(a, {"op": "lease", "host": "h0"})
+        assert (SocketFrameReader(b).read_frame()
+                == {"op": "lease", "host": "h0"})
+
+    def test_connection_severed_mid_frame_is_torn(self, pair):
+        a, b = pair
+        reader = SocketFrameReader(b)
+        a.sendall(b'{"partial": ')
+        a.close()
+        with pytest.raises(TornFrameError):
+            reader.read_frame()
+
+    def test_oversized_frame_raises_then_resynchronizes(self, pair):
+        a, b = pair
+        reader = SocketFrameReader(b, max_frame_bytes=64)
+        a.sendall(b"y" * 200 + b'\n')
+        with pytest.raises(FrameTooLargeError):
+            reader.read_frame()
+        a.sendall(b'{"ok": 1}\n')
+        assert reader.read_frame() == {"ok": 1}
+
+
+def _scripted_server(payload: bytes):
+    """An asyncio server that answers any one request line with
+    ``payload`` and closes the connection."""
+
+    async def handler(reader, writer):
+        await reader.readline()
+        writer.write(payload)
+        await writer.drain()
+        writer.close()
+
+    return asyncio.start_server(handler, "127.0.0.1", 0)
+
+
+async def _client_request(payload: bytes, max_frame_bytes: int):
+    server = await _scripted_server(payload)
+    host, port = server.sockets[0].getsockname()[:2]
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        client = ServiceClient(reader, writer,
+                               max_frame_bytes=max_frame_bytes)
+        try:
+            return await asyncio.wait_for(
+                client.request({"op": "status"}), timeout=30)
+        finally:
+            await client.close()
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+class TestServiceClientFraming:
+    """The asyncio client rides the same buffer: the same oversized and
+    torn failure modes must surface as the same framing errors."""
+
+    def test_oversized_response_line_raises(self):
+        payload = b'{"pad": "' + b"x" * 4096 + b'"}\n'
+        with pytest.raises(FrameTooLargeError):
+            asyncio.run(_client_request(payload, max_frame_bytes=256))
+
+    def test_connection_severed_mid_line_is_torn(self):
+        with pytest.raises(TornFrameError):
+            asyncio.run(_client_request(b'{"event": "done", ',
+                                        max_frame_bytes=1 << 20))
+
+    def test_intact_response_still_round_trips(self):
+        events = asyncio.run(_client_request(
+            b'{"id": "c1", "event": "status", "ok": true}\n',
+            max_frame_bytes=1 << 20))
+        assert events == [{"id": "c1", "event": "status", "ok": True}]
