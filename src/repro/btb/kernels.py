@@ -141,7 +141,8 @@ class ReplayKernel:
     def matches(cls, policy, stream: AccessStream) -> bool:
         return True
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         raise NotImplementedError
 
     # -- shared write-back helpers -------------------------------------
@@ -187,7 +188,8 @@ class LRUKernel(ReplayKernel):
     def matches(cls, policy, stream: AccessStream) -> bool:
         return policy._clock == 0
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         part = stream.partition()
         pcs, tgts, pos = part.pcs, part.targets, part.positions
         starts = part.starts.tolist()
@@ -211,6 +213,8 @@ class LRUKernel(ReplayKernel):
                 way = dct.get(pc)
                 if way is not None:
                     hits += 1
+                    if hits_out is not None:
+                        hits_out[pos[k]] = 1
                     t = tgts[k]
                     if tgt[way] != t:
                         mismatches += 1
@@ -261,7 +265,8 @@ class FIFOKernel(ReplayKernel):
     def matches(cls, policy, stream: AccessStream) -> bool:
         return policy._clock == 0
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         part = stream.partition()
         pcs, tgts, pos = part.pcs, part.targets, part.positions
         starts = part.starts.tolist()
@@ -288,6 +293,8 @@ class FIFOKernel(ReplayKernel):
                 way = dct.get(pc)
                 if way is not None:
                     hits += 1
+                    if hits_out is not None:
+                        hits_out[pos[k]] = 1
                     t = tgts[k]
                     if tgt[way] != t:
                         mismatches += 1
@@ -336,7 +343,8 @@ class SRRIPKernel(ReplayKernel):
         m = policy.rrpv_max
         return all(v == m for row in policy._rrpv for v in row)
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         part = stream.partition()
         pcs, tgts, pos = part.pcs, part.targets, part.positions
         starts = part.starts.tolist()
@@ -362,6 +370,8 @@ class SRRIPKernel(ReplayKernel):
                 way = dct.get(pc)
                 if way is not None:
                     hits += 1
+                    if hits_out is not None:
+                        hits_out[pos[k]] = 1
                     t = tgts[k]
                     if tgt[way] != t:
                         mismatches += 1
@@ -422,7 +432,8 @@ class OPTKernel(ReplayKernel):
                 and policy._next_use is stream._next_use)
 
     def replay(self, btb, stream: AccessStream,
-               outcomes: Optional[bytearray] = None) -> None:
+               outcomes: Optional[bytearray] = None,
+               hits_out: Optional[bytearray] = None) -> None:
         part = stream.partition()
         pcs, tgts, pos = part.pcs, part.targets, part.positions
         next_sorted = stream.next_use[part.order].tolist()
@@ -448,6 +459,8 @@ class OPTKernel(ReplayKernel):
                 way = dct.get(pc)
                 if way is not None:
                     hits += 1
+                    if hits_out is not None:
+                        hits_out[pos[k]] = 1
                     t = tgts[k]
                     if tgt[way] != t:
                         mismatches += 1
@@ -504,7 +517,8 @@ class ThermometerKernel(ReplayKernel):
     def matches(cls, policy, stream: AccessStream) -> bool:
         return policy._clock == 0
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         part = stream.partition()
         pcs, tgts, pos = part.pcs, part.targets, part.positions
         starts = part.starts.tolist()
@@ -548,6 +562,8 @@ class ThermometerKernel(ReplayKernel):
                 way = dct.get(pc)
                 if way is not None:
                     hits += 1
+                    if hits_out is not None:
+                        hits_out[pos[k]] = 1
                     t = tgts[k]
                     if tgt[way] != t:
                         mismatches += 1
@@ -625,7 +641,8 @@ class PLRUKernel(ReplayKernel):
     vectors in place, so any starting bit state is reproduced exactly and
     no freshness precondition is needed."""
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         part = stream.partition()
         pcs, tgts, pos = part.pcs, part.targets, part.positions
         starts = part.starts.tolist()
@@ -664,6 +681,8 @@ class PLRUKernel(ReplayKernel):
                 way = dct.get(pc)
                 if way is not None:
                     hits += 1
+                    if hits_out is not None:
+                        hits_out[pos[k]] = 1
                     t = tgts[k]
                     if tgt[way] != t:
                         mismatches += 1
@@ -748,7 +767,8 @@ class DIPKernel(GlobalOrderKernel):
     """DIP set dueling: leader-set roles are static, PSEL and the BIP
     fill counter evolve in global fill order."""
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         pcs = stream.pcs_list
         tgts_in = stream.targets_list
         sets = stream.sets_list
@@ -772,6 +792,8 @@ class DIPKernel(GlobalOrderKernel):
             way = dct.get(pc)
             if way is not None:
                 hits += 1
+                if hits_out is not None:
+                    hits_out[i] = 1
                 row = tgts[s]
                 t = tgts_in[i]
                 if row[way] != t:
@@ -823,7 +845,8 @@ class DIPKernel(GlobalOrderKernel):
 class SHIPKernel(GlobalOrderKernel):
     """SHiP: RRIP aging per set, signature counters shared globally."""
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         pcs = stream.pcs_list
         tgts_in = stream.targets_list
         sets = stream.sets_list
@@ -846,6 +869,8 @@ class SHIPKernel(GlobalOrderKernel):
             way = dct.get(pc)
             if way is not None:
                 hits += 1
+                if hits_out is not None:
+                    hits_out[i] = 1
                 row = tgts[s]
                 t = tgts_in[i]
                 if row[way] != t:
@@ -901,7 +926,8 @@ class GHRPKernel(GlobalOrderKernel):
     """GHRP: dead-block prediction from (pc, global history) signatures;
     the history register and skewed counter tables are global."""
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         pcs = stream.pcs_list
         tgts_in = stream.targets_list
         sets = stream.sets_list
@@ -933,6 +959,8 @@ class GHRPKernel(GlobalOrderKernel):
             way = dct.get(pc)
             if way is not None:
                 hits += 1
+                if hits_out is not None:
+                    hits_out[i] = 1
                 row = tgts[s]
                 t = tgts_in[i]
                 if row[way] != t:
@@ -1007,7 +1035,8 @@ class HawkeyeKernel(GlobalOrderKernel):
     """Hawkeye: per-sampled-set OPTgen, globally shared predictor
     counters trained in stream order."""
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         pcs = stream.pcs_list
         tgts_in = stream.targets_list
         sets = stream.sets_list
@@ -1046,6 +1075,8 @@ class HawkeyeKernel(GlobalOrderKernel):
             way = dct.get(pc)
             if way is not None:
                 hits += 1
+                if hits_out is not None:
+                    hits_out[i] = 1
                 row = tgts[s]
                 t = tgts_in[i]
                 if row[way] != t:
@@ -1107,7 +1138,8 @@ class DuelingThermometerKernel(GlobalOrderKernel):
     """Set-dueling Thermometer: leader roles are static, but follower
     behavior flips with the global PSEL counter."""
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         pcs = stream.pcs_list
         tgts_in = stream.targets_list
         sets = stream.sets_list
@@ -1140,6 +1172,8 @@ class DuelingThermometerKernel(GlobalOrderKernel):
             way = dct.get(pc)
             if way is not None:
                 hits += 1
+                if hits_out is not None:
+                    hits_out[i] = 1
                 row = tgts[s]
                 t = tgts_in[i]
                 if row[way] != t:
@@ -1213,7 +1247,8 @@ class OnlineThermometerKernel(GlobalOrderKernel):
     """Online Thermometer: globally shared (taken, hit) counter tables
     updated on every event."""
 
-    def replay(self, btb, stream: AccessStream) -> None:
+    def replay(self, btb, stream: AccessStream,
+               hits_out: Optional[bytearray] = None) -> None:
         pcs = stream.pcs_list
         tgts_in = stream.targets_list
         sets = stream.sets_list
@@ -1255,6 +1290,8 @@ class OnlineThermometerKernel(GlobalOrderKernel):
             slot = (word ^ (word >> tb)) & mask
             if way is not None:
                 hits += 1
+                if hits_out is not None:
+                    hits_out[i] = 1
                 row = tgts[s]
                 t = tgts_in[i]
                 if row[way] != t:
@@ -1396,16 +1433,20 @@ def select_kernel(btb, stream: AccessStream) -> Optional[ReplayKernel]:
     return kernel_cls()
 
 
-def try_fast_replay(stream: AccessStream, btb):
+def try_fast_replay(stream: AccessStream, btb,
+                    hits_out: Optional[bytearray] = None):
     """Replay ``stream`` through a specialized kernel if one applies.
 
     Returns ``btb.stats`` on success, or None when the replay must fall
-    back to the reference loop.
+    back to the reference loop.  ``hits_out``, when given, must be a
+    zeroed ``bytearray`` of ``len(stream)``; every access that hits
+    writes a 1 at its stream position (misses and bypasses stay 0) —
+    the per-access outcome column the frontend timing kernel consumes.
     """
     kernel = select_kernel(btb, stream)
     if kernel is None:
         return None
-    kernel.replay(btb, stream)
+    kernel.replay(btb, stream, hits_out=hits_out)
     return btb.stats
 
 

@@ -25,6 +25,8 @@ from repro.frontend.ras import ReturnAddressStack
 from repro.frontend.icache import CacheModel, InstructionHierarchy
 from repro.frontend.fdip import FDIPEngine
 from repro.frontend.simulator import FrontendSimulator, SimResult, simulate
+from repro.frontend.kernels import (fast_sim_enabled, fast_sim_supported,
+                                    set_fast_sim_enabled)
 
 __all__ = [
     "AlwaysTakenPredictor",
@@ -42,5 +44,8 @@ __all__ = [
     "ReturnAddressStack",
     "SimResult",
     "TageLitePredictor",
+    "fast_sim_enabled",
+    "fast_sim_supported",
+    "set_fast_sim_enabled",
     "simulate",
 ]

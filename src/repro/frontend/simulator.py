@@ -114,6 +114,10 @@ class FrontendSimulator:
         self.ras = ReturnAddressStack(params.ras_entries)
         self.fdip = FDIPEngine(params)
         self._l2_misses_at_warmup = 0
+        # Whether the BTB models partial-tag aliasing (PartialTagBTB
+        # defines the attribute in __init__) — probed once here and per
+        # simulate() instead of getattr-ing on every taken branch.
+        self._btb_false_hits = hasattr(btb, "last_hit_was_false")
 
     # ------------------------------------------------------------------
     # Pipeline stages.  Each stage consumes plain-int scalars from the
@@ -181,7 +185,7 @@ class FrontendSimulator:
             result.btb_stall_cycles += params.btb_miss_penalty
             self.fdip.redirect()
             return params.btb_miss_penalty
-        if getattr(btb, "last_hit_was_false", False):
+        if self._btb_false_hits and btb.last_hit_was_false:
             # Partial-tag alias: the BTB served a wrong target
             # (compressed-BTB model) — execute-time redirect.
             result.indirect_stall_cycles += params.indirect_penalty
@@ -261,10 +265,25 @@ class FrontendSimulator:
         btb = self.btb
         if stream is not None and stream.trace is not trace:
             raise ValueError("stream was built from a different trace")
+        # Re-probe in case the BTB was swapped after construction.
+        self._btb_false_hits = hasattr(btb, "last_hit_was_false")
         if stream is None and btb is not None:
             config = getattr(btb, "config", None)
             if config is not None:
                 stream = access_stream_for(trace, config)
+
+        # Stage-decoupled fast path (repro.frontend.kernels): dispatched
+        # whenever the machine is built purely from the stock components
+        # it models; returns None — and we run the reference loop below —
+        # for prefetchers, subclassed/observed components, monkeypatched
+        # hooks, or when REPRO_FAST_SIM disables it.  Imported lazily to
+        # avoid a cycle (the kernel module constructs SimResult).
+        from repro.frontend import kernels as _sim_kernels
+        fast = _sim_kernels.try_fast_simulate(self, trace, warmup_fraction,
+                                              stream)
+        if fast is not None:
+            return fast
+
         columns = (stream.trace_columns() if stream is not None
                    else (trace.pcs.tolist(), trace.targets.tolist(),
                          trace.kinds.tolist(), trace.taken.tolist(),
@@ -287,8 +306,9 @@ class FrontendSimulator:
         # run under telemetry spans — whole-region wall time only, the
         # per-record loop itself is never instrumented.
         registry = get_registry()
-        warm_result = SimResult(trace_name=trace.name,
-                                instructions=trace.num_instructions)
+        warm_result = SimResult(
+            trace_name=trace.name,
+            instructions=int(trace.ilens[:warmup_end].sum()) if n else 0)
         with registry.span("simulate"):
             with registry.span("warmup"):
                 _, next_fetch, btb_index = self._replay_region(

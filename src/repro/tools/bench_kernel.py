@@ -33,6 +33,13 @@ sweep-vs-serial comparison (``run_misses_multi`` against N independent
 recorded ``floors`` become the gate: the run exits 1 if any policy's
 measured speedup drops below its floor, or if the multi-policy sweep
 falls below its own floor.
+
+``--sim-output`` runs the per-app fast-vs-reference ``simulate``
+breakdown (the stage-decoupled frontend kernel of
+``repro.frontend.kernels`` against the reference ``_replay_region``
+loop, traces/streams precomputed, passes interleaved) and writes a
+``BENCH_sim.json`` record with per-app floors plus a ``geomean`` floor,
+gated the same way.
 """
 
 from __future__ import annotations
@@ -41,22 +48,28 @@ import argparse
 import gc
 import json
 import logging
+import math
 import os
 import sys
 import time
 from typing import Dict, List, Optional
 
 from repro.btb import kernels
-from repro.btb.btb import run_btb
+from repro.btb.btb import BTB, run_btb
+from repro.btb.config import DEFAULT_BTB_CONFIG
+from repro.frontend import kernels as sim_kernels
+from repro.frontend.simulator import FrontendSimulator
 from repro.harness.runner import Harness, HarnessConfig
 from repro.telemetry.logconfig import (add_logging_args, emit,
                                        setup_cli_logging)
 from repro.telemetry.metrics import MetricsRegistry, set_registry
-from repro.trace.stream import clear_stream_cache
+from repro.trace.stream import access_stream_for, clear_stream_cache
+from repro.workloads import make_app_trace
 from repro.workloads.datacenter import app_names
 
 __all__ = ["main", "run_benchmark", "run_multi_benchmark",
-           "run_replay_benchmark", "check_replay_floors"]
+           "run_replay_benchmark", "run_sim_benchmark",
+           "check_replay_floors", "check_sim_floors"]
 
 # Stable name: __name__ is "__main__" under python -m, which
 # would escape the repro logger tree.
@@ -90,6 +103,14 @@ REPLAY_FLOORS = {
 #: independent replays of the same group (small tolerance for timer
 #: noise on the CI runners).
 MULTI_REPLAY_FLOOR = 0.9
+
+#: Seed speedup floors for the stage-decoupled ``simulate`` fast path
+#: (``repro.frontend.kernels``) against the reference ``_replay_region``
+#: loop, used when no committed ``BENCH_sim.json`` supplies its own
+#: ``floors``.  Measured speedups sit around 2.8-3.7x per app; the
+#: per-app floor keeps headroom for CI-runner noise and the ``geomean``
+#: entry enforces the >= 2x acceptance bar across the full sweep.
+SIM_FLOORS = dict({app: 1.8 for app in app_names()}, geomean=2.0)
 
 
 def _hints_for(harness: Harness, app: str, policy: str):
@@ -383,6 +404,87 @@ def check_replay_floors(record: dict,
     return breaches
 
 
+def run_sim_benchmark(apps, length: int = 60000, repeats: int = 3) -> dict:
+    """Per-app ``simulate`` timings: the stage-decoupled fast path of
+    :mod:`repro.frontend.kernels` vs. the reference ``_replay_region``
+    loop.
+
+    Traces and the shared access streams (set partitions included) are
+    precomputed, so the timed region is ``simulate`` itself — dispatch,
+    the columnar passes, and the ordered reduction against the
+    per-record interpreter loop.  Each pass runs on a fresh simulator
+    and pristine default-geometry BTB; fast and reference passes are
+    interleaved per app so clock drift hits both equally, and the
+    best-of-``repeats`` seconds are reported per app together with the
+    geomean speedup.
+    """
+    previous = set_registry(MetricsRegistry(enabled=False))
+    try:
+        prepared = []
+        for app in apps:
+            trace = make_app_trace(app, length=length)
+            stream = access_stream_for(trace, DEFAULT_BTB_CONFIG)
+            stream.partition()
+            prepared.append((app, trace))
+
+        def timed_pass(trace, fast_enabled: bool) -> float:
+            sim = FrontendSimulator(btb=BTB(DEFAULT_BTB_CONFIG))
+            prev = sim_kernels.set_fast_sim_enabled(fast_enabled)
+            try:
+                start = time.perf_counter()
+                sim.simulate(trace)
+                return time.perf_counter() - start
+            finally:
+                sim_kernels.set_fast_sim_enabled(prev)
+
+        for _, trace in prepared:  # warm allocations on both paths
+            timed_pass(trace, True)
+            timed_pass(trace, False)
+        fast = {app: float("inf") for app in apps}
+        reference = {app: float("inf") for app in apps}
+        for _ in range(max(1, repeats)):
+            gc.collect()
+            for app, trace in prepared:
+                fast[app] = min(fast[app], timed_pass(trace, True))
+                reference[app] = min(reference[app],
+                                     timed_pass(trace, False))
+    finally:
+        set_registry(previous)
+    per_app: Dict[str, dict] = {}
+    log_speedups = 0.0
+    for app in apps:
+        speedup = reference[app] / fast[app] if fast[app] else 0.0
+        log_speedups += math.log(speedup) if speedup > 0 else 0.0
+        per_app[app] = {
+            "reference_seconds": round(reference[app], 4),
+            "fast_seconds": round(fast[app], 4),
+            "speedup": round(speedup, 3),
+        }
+    geomean = math.exp(log_speedups / len(apps)) if apps else 0.0
+    return {
+        "bench": "sim",
+        "length": length,
+        "repeats": repeats,
+        "apps": per_app,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def check_sim_floors(record: dict, floors: Dict[str, float]) -> List[str]:
+    """Apps (or ``geomean``) whose simulate speedup fell below their
+    recorded floor."""
+    breaches = []
+    for name, floor in sorted(floors.items()):
+        if name == "geomean":
+            if record["geomean_speedup"] < floor:
+                breaches.append(name)
+            continue
+        measured = record["apps"].get(name)
+        if measured is not None and measured["speedup"] < floor:
+            breaches.append(name)
+    return breaches
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.bench_kernel",
@@ -422,6 +524,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                                          + ("random", "brrip")),
                         help="comma-separated policies for the "
                              "multi-policy group sweep (empty skips it)")
+    parser.add_argument("--sim-output", default="",
+                        help="also run the per-app fast-vs-reference "
+                             "simulate breakdown and write its record "
+                             "here (e.g. BENCH_sim.json; '-' = stdout "
+                             "only; empty skips it).  An existing file's "
+                             "recorded floors gate the run.")
+    parser.add_argument("--sim-apps", default="all",
+                        help="comma-separated apps for the simulate "
+                             "breakdown; 'all' = the full datacenter "
+                             "sweep")
     add_logging_args(parser)
     args = parser.parse_args(argv)
     setup_cli_logging(args)
@@ -484,6 +596,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         if multi is not None and multi["speedup"] < multi["floor"]:
             log.error("multi-policy sweep speedup %.3fx is below the "
                       "floor %.2fx", multi["speedup"], multi["floor"])
+            failed = True
+    if args.sim_output:
+        sim_apps = (list(app_names()) if args.sim_apps == "all"
+                    else [a for a in args.sim_apps.split(",") if a])
+        sim = run_sim_benchmark(sim_apps, args.length,
+                                repeats=max(1, args.repeats))
+        floors = dict(SIM_FLOORS)
+        if args.sim_output != "-" and os.path.exists(args.sim_output):
+            try:
+                with open(args.sim_output, encoding="utf-8") as fh:
+                    floors.update(json.load(fh).get("floors") or {})
+            except (OSError, ValueError):
+                log.warning("ignoring unreadable %s", args.sim_output)
+        sim["floors"] = floors
+        rendered = json.dumps(sim, indent=2)
+        emit(rendered)
+        if args.sim_output != "-":
+            with open(args.sim_output, "w", encoding="utf-8") as fh:
+                fh.write(rendered + "\n")
+            log.info("wrote %s", args.sim_output)
+        for name in check_sim_floors(sim, floors):
+            measured = (sim["geomean_speedup"] if name == "geomean"
+                        else sim["apps"][name]["speedup"])
+            log.error("simulate fast-path speedup %.3fx for %s is below "
+                      "the recorded floor %.2fx", measured, name,
+                      floors[name])
             failed = True
     return 1 if failed else 0
 
